@@ -1,0 +1,346 @@
+//! The streaming use case of §V-A: a 4-point FFT pipeline (Fig. 5).
+//!
+//! Fourteen processes — a generator, three columns of four `FFT2_s_i`
+//! nodes, and a consumer — all with `T_p = d_p = 200 ms`, FIFO channels
+//! along the dataflow, and the functional priority aligned with the data
+//! direction, "hence the task graph maps one-to-one to the process-network
+//! graph".
+//!
+//! The computation is a real 4-point decimation-in-time FFT on complex
+//! samples: column 0 loads (bit-reversed) samples, column 1 computes the
+//! two 2-point butterflies, column 2 combines them with the twiddle factor
+//! `-i`, and the consumer emits the spectrum. A unit test checks the
+//! pipeline against a direct DFT.
+
+use fppn_core::{
+    BehaviorBank, ChannelKind, EventSpec, Fppn, FppnBuilder, JobCtx, PortId, ProcessId,
+    ProcessSpec, Value,
+};
+use fppn_taskgraph::WcetModel;
+use fppn_time::TimeQ;
+
+/// Process ids of the FFT network.
+#[derive(Debug, Clone)]
+pub struct FftIds {
+    /// The sample generator.
+    pub generator: ProcessId,
+    /// `FFT2_s_i` nodes: `stages[s][i]`.
+    pub stages: [[ProcessId; 4]; 3],
+    /// The spectrum consumer.
+    pub consumer: ProcessId,
+}
+
+/// All 14 processes in a deterministic order (generator, the 12 stage
+/// nodes, consumer).
+impl FftIds {
+    /// Iterates over every process id of the network.
+    pub fn all(&self) -> Vec<ProcessId> {
+        let mut v = vec![self.generator];
+        for col in &self.stages {
+            v.extend_from_slice(col);
+        }
+        v.push(self.consumer);
+        v
+    }
+}
+
+fn cadd(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn csub(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// Multiplication by the twiddle factor `-i`.
+fn cmul_minus_i(a: (f64, f64)) -> (f64, f64) {
+    (a.1, -a.0)
+}
+
+/// Reference direct DFT of 4 real samples (for verification).
+pub fn dft4(x: [f64; 4]) -> [(f64, f64); 4] {
+    let mut out = [(0.0, 0.0); 4];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = (0.0, 0.0);
+        for (n, &xn) in x.iter().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * (k * n) as f64 / 4.0;
+            acc = cadd(acc, (xn * angle.cos(), xn * angle.sin()));
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// The deterministic test signal of frame `k` (1-based): four samples.
+pub fn test_signal(k: u64) -> [f64; 4] {
+    let k = k as i64;
+    [
+        ((k * 7 + 1) % 11 - 5) as f64,
+        ((k * 5 + 2) % 13 - 6) as f64,
+        ((k * 3 + 4) % 7 - 3) as f64,
+        ((k * 11 + 3) % 17 - 8) as f64,
+    ]
+}
+
+/// Builds the Fig. 5 FFT network.
+///
+/// The generator reads four-sample frames from its external input port when
+/// provided (as `Value::List` of floats), otherwise uses [`test_signal`].
+/// The consumer writes the complex spectrum to its external output port.
+pub fn fft_network() -> (Fppn, BehaviorBank, FftIds) {
+    let ms = TimeQ::from_ms;
+    let period = EventSpec::periodic(ms(200));
+    let mut b = FppnBuilder::new();
+
+    let generator =
+        b.process(ProcessSpec::new("generator", period.clone()).with_input("samples"));
+    let mut stages = [[ProcessId::from_index(0); 4]; 3];
+    for (s, col) in stages.iter_mut().enumerate() {
+        for (i, slot) in col.iter_mut().enumerate() {
+            *slot = b.process(ProcessSpec::new(format!("FFT2_{s}_{i}"), period.clone()));
+        }
+    }
+    let consumer = b.process(ProcessSpec::new("consumer", period.clone()).with_output("spectrum"));
+
+    // Column 0 loads bit-reversed samples: node i <- x[br(i)],
+    // br = [0, 2, 1, 3].
+    let gen_ch: Vec<_> = (0..4)
+        .map(|i| {
+            let ch = b.channel(format!("gen->s0_{i}"), generator, stages[0][i], ChannelKind::Fifo);
+            b.priority(generator, stages[0][i]);
+            ch
+        })
+        .collect();
+    // Column 1 butterflies: node0 = s00 + s01, node1 = s00 - s01,
+    //                       node2 = s02 + s03, node3 = s02 - s03.
+    // Each column-0 node feeds two column-1 nodes over dedicated FIFOs.
+    let wiring1: [(usize, usize); 4] = [(0, 1), (0, 1), (2, 3), (2, 3)];
+    let mut col1_in = Vec::new(); // (left, right) channel per node
+    for (i, &(l, r)) in wiring1.iter().enumerate() {
+        let cl = b.channel(format!("s0_{l}->s1_{i}"), stages[0][l], stages[1][i], ChannelKind::Fifo);
+        let cr = b.channel(format!("s0_{r}->s1_{i}"), stages[0][r], stages[1][i], ChannelKind::Fifo);
+        b.priority(stages[0][l], stages[1][i]);
+        b.priority(stages[0][r], stages[1][i]);
+        col1_in.push((cl, cr));
+    }
+    // Column 2: X0 = a0 + a2; X1 = a1 + (-i)·a3; X2 = a0 - a2;
+    //           X3 = a1 - (-i)·a3.
+    let wiring2: [(usize, usize); 4] = [(0, 2), (1, 3), (0, 2), (1, 3)];
+    let mut col2_in = Vec::new();
+    for (i, &(l, r)) in wiring2.iter().enumerate() {
+        let cl = b.channel(format!("s1_{l}->s2_{i}"), stages[1][l], stages[2][i], ChannelKind::Fifo);
+        let cr = b.channel(format!("s1_{r}->s2_{i}"), stages[1][r], stages[2][i], ChannelKind::Fifo);
+        b.priority(stages[1][l], stages[2][i]);
+        b.priority(stages[1][r], stages[2][i]);
+        col2_in.push((cl, cr));
+    }
+    // Column 2 -> consumer.
+    let out_ch: Vec<_> = (0..4)
+        .map(|i| {
+            let ch = b.channel(format!("s2_{i}->cons"), stages[2][i], consumer, ChannelKind::Fifo);
+            b.priority(stages[2][i], consumer);
+            ch
+        })
+        .collect();
+
+    // ----- behaviors -----
+    let gen_out = gen_ch.clone();
+    b.behavior(generator, move || {
+        let gen_out = gen_out.clone();
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            let x: [f64; 4] = match ctx.read_input(PortId::from_index(0)) {
+                Some(Value::List(vs)) if vs.len() == 4 => {
+                    let mut arr = [0.0; 4];
+                    for (i, v) in vs.iter().enumerate() {
+                        arr[i] = v.as_float().unwrap_or(0.0);
+                    }
+                    arr
+                }
+                _ => test_signal(ctx.k()),
+            };
+            let br = [0usize, 2, 1, 3];
+            for (i, &ch) in gen_out.iter().enumerate() {
+                ctx.write(ch, Value::complex(x[br[i]], 0.0));
+            }
+        })
+    });
+
+    let read_complex = |ctx: &mut JobCtx<'_>, ch| -> (f64, f64) {
+        ctx.read_value(ch).as_complex().unwrap_or((0.0, 0.0))
+    };
+
+    // Column 0: pass-through (load/window stage).
+    for i in 0..4 {
+        let input = gen_ch[i];
+        let outs: Vec<_> = col1_in
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| wiring1[*j].0 == i || wiring1[*j].1 == i)
+            .map(|(j, &(cl, cr))| if wiring1[j].0 == i { cl } else { cr })
+            .collect();
+        b.behavior(stages[0][i], move || {
+            let outs = outs.clone();
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let v = read_complex(ctx, input);
+                for &ch in &outs {
+                    ctx.write(ch, Value::complex(v.0, v.1));
+                }
+            })
+        });
+    }
+    // Column 1: 2-point butterflies (+ for even nodes, - for odd).
+    for i in 0..4 {
+        let (cl, cr) = col1_in[i];
+        let outs: Vec<_> = col2_in
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| wiring2[*j].0 == i || wiring2[*j].1 == i)
+            .map(|(j, &(l, r))| if wiring2[j].0 == i { l } else { r })
+            .collect();
+        let minus = i % 2 == 1;
+        b.behavior(stages[1][i], move || {
+            let outs = outs.clone();
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let a = read_complex(ctx, cl);
+                let b_ = read_complex(ctx, cr);
+                let v = if minus { csub(a, b_) } else { cadd(a, b_) };
+                for &ch in &outs {
+                    ctx.write(ch, Value::complex(v.0, v.1));
+                }
+            })
+        });
+    }
+    // Column 2: final butterflies with the -i twiddle on the odd pair.
+    for i in 0..4 {
+        let (cl, cr) = col2_in[i];
+        let out = out_ch[i];
+        b.behavior(stages[2][i], move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let a = read_complex(ctx, cl);
+                let b_ = read_complex(ctx, cr);
+                let v = match i {
+                    0 => cadd(a, b_),
+                    1 => cadd(a, cmul_minus_i(b_)),
+                    2 => csub(a, b_),
+                    _ => csub(a, cmul_minus_i(b_)),
+                };
+                ctx.write(out, Value::complex(v.0, v.1));
+            })
+        });
+    }
+    // Consumer: gather the spectrum.
+    let spectrum_in = out_ch.clone();
+    b.behavior(consumer, move || {
+        let spectrum_in = spectrum_in.clone();
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            let bins: Vec<Value> = spectrum_in
+                .iter()
+                .map(|&ch| ctx.read_value(ch))
+                .collect();
+            ctx.write_output(PortId::from_index(0), Value::List(bins));
+        })
+    });
+
+    let (net, bank) = b.build().expect("FFT network is well-formed");
+    (
+        net,
+        bank,
+        FftIds {
+            generator,
+            stages,
+            consumer,
+        },
+    )
+}
+
+/// The §V-A WCET calibration: "execution times of all processes were
+/// roughly 14 ms, which resulted in a load 0.93". With 14 jobs in a 200 ms
+/// frame, a load of exactly 0.93 means `C = 186/14 = 93/7 ms ≈ 13.29 ms`.
+pub fn fft_wcet() -> WcetModel {
+    WcetModel::uniform(TimeQ::new(93, 7))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_core::{run_zero_delay, JobOrdering, Stimuli};
+    use fppn_taskgraph::{derive_task_graph, load};
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    #[test]
+    fn fourteen_processes_single_rate() {
+        let (net, _, ids) = fft_network();
+        assert_eq!(net.process_count(), 14);
+        assert_eq!(ids.all().len(), 14);
+        for pid in net.process_ids() {
+            assert_eq!(net.process(pid).event().period(), ms(200));
+        }
+    }
+
+    #[test]
+    fn task_graph_maps_one_to_one_to_process_graph() {
+        // §V-A: single-rate + FP aligned with dataflow => jobs = processes
+        // and (transitively reduced) edges = channels.
+        let (net, _, _) = fft_network();
+        let d = derive_task_graph(&net, &fft_wcet()).unwrap();
+        assert_eq!(d.hyperperiod, ms(200));
+        assert_eq!(d.graph.job_count(), 14);
+        assert_eq!(d.graph.edge_count(), net.channels().len());
+    }
+
+    #[test]
+    fn load_is_0_93() {
+        let (net, _, _) = fft_network();
+        let d = derive_task_graph(&net, &fft_wcet()).unwrap();
+        let l = load(&d.graph);
+        assert_eq!(l.load, TimeQ::new(93, 100));
+    }
+
+    #[test]
+    fn pipeline_computes_the_dft() {
+        let (net, bank, ids) = fft_network();
+        let mut behaviors = bank.instantiate();
+        let run = run_zero_delay(
+            &net,
+            &mut behaviors,
+            &Stimuli::new(),
+            ms(1000),
+            JobOrdering::default(),
+        )
+        .unwrap();
+        let out = run
+            .observables
+            .outputs
+            .iter()
+            .find(|((p, _), _)| *p == ids.consumer)
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(out.len(), 5); // 5 frames in 1000 ms
+        for (k, value) in out {
+            let expected = dft4(test_signal(*k));
+            let bins = value.as_list().unwrap();
+            for (bin, exp) in bins.iter().zip(expected) {
+                let (re, im) = bin.as_complex().unwrap();
+                assert!(
+                    (re - exp.0).abs() < 1e-9 && (im - exp.1).abs() < 1e-9,
+                    "frame {k}: got ({re}, {im}), expected {exp:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_linearizations() {
+        let (net, bank, _) = fft_network();
+        let mut b1 = bank.instantiate();
+        let r1 = run_zero_delay(&net, &mut b1, &Stimuli::new(), ms(600), JobOrdering::MinRankFirst)
+            .unwrap();
+        let mut b2 = bank.instantiate();
+        let r2 = run_zero_delay(&net, &mut b2, &Stimuli::new(), ms(600), JobOrdering::MaxRankFirst)
+            .unwrap();
+        assert_eq!(r1.observables.diff(&r2.observables), None);
+    }
+}

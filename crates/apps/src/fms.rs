@@ -1,0 +1,497 @@
+//! The avionics case study of §V-B: a Flight Management System subsystem
+//! (Fig. 7) "responsible for calculating the best computed position (BCP)
+//! and predicting the performance (e.g., fuel usage) of the airplane based
+//! on the sensor data and sporadic configuration commands from the pilot".
+//!
+//! Twelve processes: five periodic (`SensorInput` 200 ms, `HighFreqBCP`
+//! 200 ms, `LowFreqBCP` 5000 ms, `MagnDeclin` 1600 ms, `Performance`
+//! 1000 ms) and seven sporadic configuration processes (four sensor
+//! configs and `BCPConfig` at 2-per-200 ms, `MagnDeclinConfig` 5-per-1600,
+//! `PerformanceConfig` 5-per-1000). Functional priority is rate-monotonic
+//! among the periodic processes and every sporadic sits *below* its
+//! periodic user — both facts stated in §V-B.
+//!
+//! §V-B also reports the hyperperiod reduction: `H = 40 s` with
+//! `MagnDeclin` at 1600 ms was too costly for code generation, so its
+//! period was reduced to 400 ms "executing the main body of the job once
+//! per four invocations", giving `H = 10 s` and a derived task graph of
+//! **812 jobs**; the reduced-period variant is the default here.
+
+use fppn_core::{
+    BehaviorBank, ChannelId, ChannelKind, EventSpec, Fppn, FppnBuilder, JobCtx, PortId,
+    ProcessId, ProcessSpec, Value,
+};
+use fppn_taskgraph::WcetModel;
+use fppn_time::TimeQ;
+
+/// Which MagnDeclin period variant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmsVariant {
+    /// The original 1600 ms MagnDeclin period (`H = 40 s`).
+    Original,
+    /// The paper's reduced 400 ms period with the main body executed once
+    /// per four invocations (`H = 10 s`).
+    Reduced,
+}
+
+impl FmsVariant {
+    /// The MagnDeclin period of this variant.
+    pub fn magn_declin_period(self) -> TimeQ {
+        match self {
+            FmsVariant::Original => TimeQ::from_ms(1600),
+            FmsVariant::Reduced => TimeQ::from_ms(400),
+        }
+    }
+
+    /// How many invocations share one execution of the main body.
+    pub fn magn_declin_decimation(self) -> u64 {
+        match self {
+            FmsVariant::Original => 1,
+            FmsVariant::Reduced => 4,
+        }
+    }
+}
+
+/// Process ids of the FMS network.
+#[derive(Debug, Clone, Copy)]
+pub struct FmsIds {
+    /// Sensor acquisition, 200 ms.
+    pub sensor_input: ProcessId,
+    /// Fast best-computed-position, 200 ms.
+    pub high_freq_bcp: ProcessId,
+    /// Slow BCP correction, 5000 ms.
+    pub low_freq_bcp: ProcessId,
+    /// Magnetic declination table, 1600 ms (or 400 ms reduced).
+    pub magn_declin: ProcessId,
+    /// Fuel/performance prediction, 1000 ms.
+    pub performance: ProcessId,
+    /// Anemometer configuration, sporadic 2-per-200 ms.
+    pub anemo_config: ProcessId,
+    /// GPS configuration, sporadic 2-per-200 ms.
+    pub gps_config: ProcessId,
+    /// Inertial reference configuration, sporadic 2-per-200 ms.
+    pub irs_config: ProcessId,
+    /// Doppler configuration, sporadic 2-per-200 ms.
+    pub doppler_config: ProcessId,
+    /// BCP configuration, sporadic 2-per-200 ms.
+    pub bcp_config: ProcessId,
+    /// Declination-table configuration, sporadic 5-per-1600 ms.
+    pub magn_declin_config: ProcessId,
+    /// Performance configuration, sporadic 5-per-1000 ms.
+    pub performance_config: ProcessId,
+    /// The `BCPData` blackboard (HighFreqBCP → LowFreqBCP).
+    pub bcp_data: ChannelId,
+}
+
+/// All sporadic configuration processes.
+pub fn fms_sporadics(ids: &FmsIds) -> [ProcessId; 7] {
+    [
+        ids.anemo_config,
+        ids.gps_config,
+        ids.irs_config,
+        ids.doppler_config,
+        ids.bcp_config,
+        ids.magn_declin_config,
+        ids.performance_config,
+    ]
+}
+
+/// Builds the Fig. 7 FMS network.
+pub fn fms_network(variant: FmsVariant) -> (Fppn, BehaviorBank, FmsIds) {
+    let ms = TimeQ::from_ms;
+    let mut b = FppnBuilder::new();
+
+    // Periodic processes.
+    let sensor_input = b.process(
+        ProcessSpec::new("SensorInput", EventSpec::periodic(ms(200))).with_input("sensors"),
+    );
+    let high_freq_bcp = b.process(
+        ProcessSpec::new("HighFreqBCP", EventSpec::periodic(ms(200))).with_output("bcp"),
+    );
+    let low_freq_bcp = b.process(ProcessSpec::new("LowFreqBCP", EventSpec::periodic(ms(5000))));
+    let magn_declin = b.process(ProcessSpec::new(
+        "MagnDeclin",
+        EventSpec::periodic(variant.magn_declin_period()),
+    ));
+    let performance = b.process(
+        ProcessSpec::new("Performance", EventSpec::periodic(ms(1000)))
+            .with_output("performance"),
+    );
+    // Sporadic configuration processes. Their deadlines are set to two
+    // user periods: the paper leaves config deadlines unstated, but its
+    // 812-job count implies server periods equal to the user periods,
+    // which per §III-A requires `d_p > T_u(p)` (otherwise the footnote-3
+    // fractional-server rule would double the server-job count).
+    let anemo_config = b.process(ProcessSpec::new(
+        "AnemoConfig",
+        EventSpec::sporadic(2, ms(200)).with_deadline(ms(400)),
+    ));
+    let gps_config = b.process(ProcessSpec::new(
+        "GPSConfig",
+        EventSpec::sporadic(2, ms(200)).with_deadline(ms(400)),
+    ));
+    let irs_config = b.process(ProcessSpec::new(
+        "IRSConfig",
+        EventSpec::sporadic(2, ms(200)).with_deadline(ms(400)),
+    ));
+    let doppler_config = b.process(ProcessSpec::new(
+        "DopplerConfig",
+        EventSpec::sporadic(2, ms(200)).with_deadline(ms(400)),
+    ));
+    let bcp_config = b.process(ProcessSpec::new(
+        "BCPConfig",
+        EventSpec::sporadic(2, ms(200)).with_deadline(ms(400)),
+    ));
+    let magn_declin_config = b.process(ProcessSpec::new(
+        "MagnDeclinConfig",
+        EventSpec::sporadic(5, ms(1600)).with_deadline(ms(3200)),
+    ));
+    let performance_config = b.process(ProcessSpec::new(
+        "PerformanceConfig",
+        EventSpec::sporadic(5, ms(1000)).with_deadline(ms(2000)),
+    ));
+
+    // Sensor data: SensorInput -> HighFreqBCP (four blackboards).
+    let anemo_data = b.channel("AnemoData", sensor_input, high_freq_bcp, ChannelKind::Blackboard);
+    let gps_data = b.channel("GPSData", sensor_input, high_freq_bcp, ChannelKind::Blackboard);
+    let irs_data = b.channel("IRSData", sensor_input, high_freq_bcp, ChannelKind::Blackboard);
+    let doppler_data =
+        b.channel("DopplerData", sensor_input, high_freq_bcp, ChannelKind::Blackboard);
+    // BCP pipeline.
+    let bcp_data = b.channel("BCPData", high_freq_bcp, low_freq_bcp, ChannelKind::Blackboard);
+    let bcp_correction =
+        b.channel("BCPCorrection", low_freq_bcp, high_freq_bcp, ChannelKind::Blackboard);
+    let magn_decl = b.channel("MagnDecl", magn_declin, high_freq_bcp, ChannelKind::Blackboard);
+    let bcp_for_perf =
+        b.channel("BCPForPerf", high_freq_bcp, performance, ChannelKind::Blackboard);
+    // Configuration blackboards (sporadic -> its unique periodic user).
+    let c_anemo = b.channel("c_anemo", anemo_config, sensor_input, ChannelKind::Blackboard);
+    let c_gps = b.channel("c_gps", gps_config, sensor_input, ChannelKind::Blackboard);
+    let c_irs = b.channel("c_irs", irs_config, sensor_input, ChannelKind::Blackboard);
+    let c_doppler = b.channel("c_doppler", doppler_config, sensor_input, ChannelKind::Blackboard);
+    let c_bcp = b.channel("c_bcp", bcp_config, high_freq_bcp, ChannelKind::Blackboard);
+    let c_magn = b.channel("c_magn", magn_declin_config, magn_declin, ChannelKind::Blackboard);
+    let c_perf = b.channel("c_perf", performance_config, performance, ChannelKind::Blackboard);
+
+    // Functional priority on the channel-sharing pairs, directed
+    // rate-monotonically ("the relative functional priority of the
+    // periodic processes is rate-monotonic", §V-B); the 200 ms tie between
+    // SensorInput and HighFreqBCP follows the dataflow.
+    b.priority(sensor_input, high_freq_bcp); // 200 = 200, dataflow
+    b.priority(high_freq_bcp, low_freq_bcp); // 200 < 5000
+    b.priority(high_freq_bcp, magn_declin); // 200 < 400/1600
+    b.priority(high_freq_bcp, performance); // 200 < 1000
+    // "The sporadic processes had less functional priority than their
+    // periodic users": user -> config.
+    b.priority(sensor_input, anemo_config);
+    b.priority(sensor_input, gps_config);
+    b.priority(sensor_input, irs_config);
+    b.priority(sensor_input, doppler_config);
+    b.priority(high_freq_bcp, bcp_config);
+    b.priority(magn_declin, magn_declin_config);
+    b.priority(performance, performance_config);
+
+    // ----- behaviors -----
+    // Config processes publish calibration scalars.
+    let config_behavior = |ch: ChannelId, base: f64| {
+        move || -> fppn_core::BoxedBehavior {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let v = base + 0.01 * (ctx.k() % 10) as f64;
+                ctx.write(ch, Value::Float(v));
+            })
+        }
+    };
+    b.behavior(anemo_config, config_behavior(c_anemo, 1.0));
+    b.behavior(gps_config, config_behavior(c_gps, 1.1));
+    b.behavior(irs_config, config_behavior(c_irs, 0.9));
+    b.behavior(doppler_config, config_behavior(c_doppler, 1.05));
+    b.behavior(bcp_config, config_behavior(c_bcp, 0.5));
+    b.behavior(magn_declin_config, config_behavior(c_magn, 2.0));
+    b.behavior(performance_config, config_behavior(c_perf, 0.8));
+
+    // SensorInput: acquires raw sensor samples (external input or a
+    // deterministic synthetic flight), applies per-sensor calibration.
+    b.behavior(sensor_input, move || {
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            let k = ctx.k() as f64;
+            let raw: [f64; 4] = match ctx.read_input(PortId::from_index(0)) {
+                Some(Value::List(vs)) if vs.len() == 4 => {
+                    let mut a = [0.0; 4];
+                    for (i, v) in vs.iter().enumerate() {
+                        a[i] = v.as_float().unwrap_or(0.0);
+                    }
+                    a
+                }
+                // Synthetic flight: slowly drifting position/velocity.
+                _ => [
+                    250.0 + 0.1 * k,             // anemometer airspeed (kt)
+                    48.0 + 0.0001 * k,           // GPS latitude-ish
+                    48.0 + 0.000095 * k,         // IRS latitude-ish
+                    249.0 + 0.1 * k,             // doppler ground speed
+                ],
+            };
+            let cal = |ch: ChannelId, ctx: &mut JobCtx<'_>| match ctx.read_value(ch) {
+                Value::Float(c) => c,
+                _ => 1.0,
+            };
+            let (ca, cg, ci, cd) = (
+                cal(c_anemo, ctx),
+                cal(c_gps, ctx),
+                cal(c_irs, ctx),
+                cal(c_doppler, ctx),
+            );
+            ctx.write(anemo_data, Value::Float(raw[0] * ca));
+            ctx.write(gps_data, Value::Float(raw[1] * cg));
+            ctx.write(irs_data, Value::Float(raw[2] * ci));
+            ctx.write(doppler_data, Value::Float(raw[3] * cd));
+        })
+    });
+
+    // HighFreqBCP: weighted fusion of GPS and IRS positions, corrected by
+    // the slow loop and shifted by the magnetic declination; publishes the
+    // best computed position.
+    b.behavior(high_freq_bcp, move || {
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            let f = |ch: ChannelId, ctx: &mut JobCtx<'_>, default: f64| match ctx.read_value(ch) {
+                Value::Float(v) => v,
+                _ => default,
+            };
+            let gps = f(gps_data, ctx, 0.0);
+            let irs = f(irs_data, ctx, 0.0);
+            let anemo = f(anemo_data, ctx, 0.0);
+            let doppler = f(doppler_data, ctx, 0.0);
+            let weight = f(c_bcp, ctx, 0.5).clamp(0.0, 1.0);
+            let correction = f(bcp_correction, ctx, 0.0);
+            let declination = f(magn_decl, ctx, 0.0);
+            let position = weight * gps + (1.0 - weight) * irs + correction;
+            let speed = 0.5 * (anemo + doppler);
+            let bcp = position + declination * 1e-4;
+            ctx.write(bcp_data, Value::List(vec![Value::Float(bcp), Value::Float(speed)]));
+            ctx.write(
+                bcp_for_perf,
+                Value::List(vec![Value::Float(bcp), Value::Float(speed)]),
+            );
+            ctx.write_output(PortId::from_index(0), Value::Float(bcp));
+        })
+    });
+
+    // LowFreqBCP: slow smoothing loop producing a correction term.
+    b.behavior(low_freq_bcp, move || {
+        let mut smoothed = 0.0f64;
+        let mut initialized = false;
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            if let Value::List(vs) = ctx.read_value(bcp_data) {
+                if let Some(bcp) = vs.first().and_then(Value::as_float) {
+                    if !initialized {
+                        smoothed = bcp;
+                        initialized = true;
+                    } else {
+                        smoothed = 0.8 * smoothed + 0.2 * bcp;
+                    }
+                    ctx.write(bcp_correction, Value::Float((smoothed - bcp) * 0.01));
+                }
+            }
+        })
+    });
+
+    // MagnDeclin: declination from a coarse table, scaled by its config.
+    // In the reduced variant the main body runs once per `decimation`
+    // invocations (the paper's period-reduction trick).
+    let decimation = variant.magn_declin_decimation();
+    b.behavior(magn_declin, move || {
+        let table = [1.5f64, 1.8, 2.1, 2.4, 2.0, 1.7];
+        let mut current = 0.0f64;
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            if (ctx.k() - 1) % decimation == 0 {
+                let scale = match ctx.read_value(c_magn) {
+                    Value::Float(v) => v,
+                    _ => 2.0,
+                };
+                // Body-execution index: identical across variants (the
+                // reduced period fires 4x more often but the body runs at
+                // the original 1600 ms instants).
+                let body = (ctx.k() - 1) / decimation;
+                let idx = (body % table.len() as u64) as usize;
+                current = table[idx] * scale / 2.0;
+            }
+            ctx.write(magn_decl, Value::Float(current));
+        })
+    });
+
+    // Performance: fuel-flow prediction from speed and configuration.
+    b.behavior(performance, move || {
+        let mut fuel = 10_000.0f64; // kg remaining
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            let eff = match ctx.read_value(c_perf) {
+                Value::Float(v) => v,
+                _ => 0.8,
+            };
+            let speed = match ctx.read_value(bcp_for_perf) {
+                Value::List(vs) => vs.get(1).and_then(Value::as_float).unwrap_or(0.0),
+                _ => 0.0,
+            };
+            let burn = (0.5 + speed * 0.004) / eff;
+            fuel = (fuel - burn).max(0.0);
+            ctx.write_output(PortId::from_index(0), Value::Float(fuel));
+        })
+    });
+
+    let (net, bank) = b.build().expect("FMS network is well-formed");
+    let ids = FmsIds {
+        sensor_input,
+        high_freq_bcp,
+        low_freq_bcp,
+        magn_declin,
+        performance,
+        anemo_config,
+        gps_config,
+        irs_config,
+        doppler_config,
+        bcp_config,
+        magn_declin_config,
+        performance_config,
+        bcp_data,
+    };
+    (net, bank, ids)
+}
+
+/// Profiling-calibrated WCETs, chosen so the derived task-graph load of the
+/// reduced variant lands at the paper's ≈ 0.23 (§V-B).
+pub fn fms_wcet(ids: &FmsIds) -> WcetModel {
+    let ms = TimeQ::from_ms;
+    let mut w = WcetModel::uniform(ms(1)); // configs are tiny
+    w.set(ids.sensor_input, ms(6));
+    w.set(ids.high_freq_bcp, ms(10));
+    w.set(ids.low_freq_bcp, ms(15));
+    w.set(ids.magn_declin, ms(6));
+    w.set(ids.performance, ms(10));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_core::{run_zero_delay, JobOrdering, Stimuli};
+    use fppn_taskgraph::{derive_task_graph, load};
+    use fppn_time::hyperperiod;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    #[test]
+    fn twelve_processes_with_users() {
+        let (net, _, ids) = fms_network(FmsVariant::Reduced);
+        assert_eq!(net.process_count(), 12);
+        assert_eq!(net.user_of(ids.anemo_config), Some(ids.sensor_input));
+        assert_eq!(net.user_of(ids.bcp_config), Some(ids.high_freq_bcp));
+        assert_eq!(net.user_of(ids.magn_declin_config), Some(ids.magn_declin));
+        assert_eq!(net.user_of(ids.performance_config), Some(ids.performance));
+        // Sporadics sit below their users in FP.
+        assert!(net.has_priority(ids.sensor_input, ids.anemo_config));
+        assert!(!net.has_priority(ids.bcp_config, ids.high_freq_bcp));
+    }
+
+    #[test]
+    fn hyperperiod_reduction_40s_to_10s() {
+        let (net_orig, _, _) = fms_network(FmsVariant::Original);
+        let (net_red, _, _) = fms_network(FmsVariant::Reduced);
+        assert_eq!(net_orig.server_hyperperiod(), Some(TimeQ::from_secs(40)));
+        assert_eq!(net_red.server_hyperperiod(), Some(TimeQ::from_secs(10)));
+        // Cross-check against the raw period lcm.
+        let h = hyperperiod([200, 5000, 400, 1000].map(TimeQ::from_ms));
+        assert_eq!(h, Some(TimeQ::from_secs(10)));
+    }
+
+    #[test]
+    fn derived_task_graph_has_812_jobs() {
+        let (net, _, ids) = fms_network(FmsVariant::Reduced);
+        let d = derive_task_graph(&net, &fms_wcet(&ids)).unwrap();
+        assert_eq!(d.hyperperiod, TimeQ::from_secs(10));
+        // §V-B: "The derived task graph contained 812 jobs".
+        assert_eq!(d.graph.job_count(), 812);
+        // Per-process counts.
+        let count = |p| d.graph.jobs().iter().filter(|j| j.process == p).count();
+        assert_eq!(count(ids.sensor_input), 50);
+        assert_eq!(count(ids.high_freq_bcp), 50);
+        assert_eq!(count(ids.low_freq_bcp), 2);
+        assert_eq!(count(ids.magn_declin), 25);
+        assert_eq!(count(ids.performance), 10);
+        assert_eq!(count(ids.anemo_config), 100);
+        assert_eq!(count(ids.magn_declin_config), 125);
+        assert_eq!(count(ids.performance_config), 50);
+    }
+
+    #[test]
+    fn load_is_near_0_23() {
+        let (net, _, ids) = fms_network(FmsVariant::Reduced);
+        let d = derive_task_graph(&net, &fms_wcet(&ids)).unwrap();
+        let l = load(&d.graph);
+        let v = l.load.to_f64();
+        assert!((0.20..=0.27).contains(&v), "load = {v}");
+    }
+
+    #[test]
+    fn zero_delay_run_produces_bcp_and_fuel() {
+        let (net, bank, ids) = fms_network(FmsVariant::Reduced);
+        let mut behaviors = bank.instantiate();
+        let run = run_zero_delay(
+            &net,
+            &mut behaviors,
+            &Stimuli::new(),
+            ms(2000),
+            JobOrdering::default(),
+        )
+        .unwrap();
+        let bcp = run
+            .observables
+            .outputs
+            .iter()
+            .find(|((p, _), _)| *p == ids.high_freq_bcp)
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(bcp.len(), 10); // 200 ms over 2 s
+        let fuel = run
+            .observables
+            .outputs
+            .iter()
+            .find(|((p, _), _)| *p == ids.performance)
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(fuel.len(), 2);
+        // Fuel decreases.
+        let f0 = fuel[0].1.as_float().unwrap();
+        let f1 = fuel[1].1.as_float().unwrap();
+        assert!(f1 < f0);
+    }
+
+    #[test]
+    fn original_variant_functionally_equivalent_modulo_decimation() {
+        // The reduced variant runs MagnDeclin's body once per 4
+        // invocations; over a horizon where both variants execute the body
+        // at the same times (0, 1600, 3200 ms), HighFreqBCP sees the same
+        // declination sequence.
+        let horizon = ms(3200);
+        let run = |variant| {
+            let (net, bank, ids) = fms_network(variant);
+            let mut behaviors = bank.instantiate();
+            let r = run_zero_delay(
+                &net,
+                &mut behaviors,
+                &Stimuli::new(),
+                horizon,
+                JobOrdering::default(),
+            )
+            .unwrap();
+            let out = r
+                .observables
+                .outputs
+                .iter()
+                .find(|((p, _), _)| *p == ids.high_freq_bcp)
+                .map(|(_, v)| v.clone())
+                .unwrap();
+            out
+        };
+        assert_eq!(run(FmsVariant::Original), run(FmsVariant::Reduced));
+    }
+}

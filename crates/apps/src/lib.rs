@@ -1,0 +1,25 @@
+//! # fppn-apps — the paper's applications and workload generators
+//!
+//! Reference FPPNs reproducing the three networks of the DATE'15 paper:
+//!
+//! * [`fig1`]: the running example (signal app with reconfigurable filter
+//!   coefficients, a feedback loop, and the sporadic `CoefB`) whose derived
+//!   task graph is Fig. 3 and whose 2-processor schedule is Fig. 4;
+//! * [`fft`]: the §V-A streaming benchmark — a 14-process 4-point FFT
+//!   pipeline (Fig. 5) with the MPPA-calibrated WCETs (load 0.93);
+//! * [`fms`]: the §V-B avionics Flight Management System (Fig. 7), whose
+//!   reduced-hyperperiod task graph has exactly 812 jobs and load ≈ 0.23;
+//! * [`workloads`]: seeded random FPPNs for property/stress testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod fig1;
+pub mod fms;
+pub mod workloads;
+
+pub use fft::{dft4, fft_network, fft_wcet, test_signal, FftIds};
+pub use fig1::{fig1_network, fig1_wcet, Fig1Ids};
+pub use fms::{fms_network, fms_sporadics, fms_wcet, FmsIds, FmsVariant};
+pub use workloads::{random_workload, Workload, WorkloadConfig};

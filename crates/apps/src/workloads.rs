@@ -1,0 +1,222 @@
+//! Random FPPN workload generation for stress, property and scalability
+//! testing.
+//!
+//! Networks are generated from a seed: layered periodic processes with
+//! FIFO/blackboard channels along a total functional-priority order, plus
+//! sporadic configurators attached to random periodic users (satisfying the
+//! §III-A subclass restriction by construction). Behaviors are integer
+//! state machines, so observables are exactly comparable across execution
+//! backends.
+
+use fppn_core::{
+    BehaviorBank, ChannelId, ChannelKind, EventSpec, Fppn, FppnBuilder, JobCtx, ProcessSpec,
+    Value,
+};
+use fppn_taskgraph::WcetModel;
+use fppn_time::TimeQ;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a random workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of periodic processes.
+    pub periodic: usize,
+    /// Number of sporadic processes (each attached to a periodic user).
+    pub sporadic: usize,
+    /// Candidate periods (ms). Defaults are harmonic-ish multirate.
+    pub periods_ms: Vec<i64>,
+    /// Probability (‰) of a channel between each FP-ordered process pair.
+    pub channel_density_permille: u32,
+    /// WCET range (ms), sampled per process.
+    pub wcet_range_ms: (i64, i64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            periodic: 6,
+            sporadic: 2,
+            periods_ms: vec![100, 200, 400, 800],
+            channel_density_permille: 350,
+            wcet_range_ms: (1, 10),
+            seed: 0,
+        }
+    }
+}
+
+/// A generated workload: network, behaviors and WCET table.
+pub struct Workload {
+    /// The generated network.
+    pub net: Fppn,
+    /// Behavior factories.
+    pub bank: BehaviorBank,
+    /// Per-process WCETs.
+    pub wcet: WcetModel,
+}
+
+/// Generates a random, always-valid FPPN workload.
+///
+/// # Panics
+///
+/// Panics if `periodic == 0` or the period/WCET ranges are empty.
+pub fn random_workload(cfg: &WorkloadConfig) -> Workload {
+    assert!(cfg.periodic > 0, "need at least one periodic process");
+    assert!(!cfg.periods_ms.is_empty(), "need candidate periods");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let ms = TimeQ::from_ms;
+    let mut b = FppnBuilder::new();
+
+    // Periodic layer: FP follows the index order.
+    let mut periodic = Vec::with_capacity(cfg.periodic);
+    let mut periods = Vec::with_capacity(cfg.periodic);
+    for i in 0..cfg.periodic {
+        let t = cfg.periods_ms[rng.gen_range(0..cfg.periods_ms.len())];
+        periods.push(t);
+        let spec = ProcessSpec::new(format!("p{i}"), EventSpec::periodic(ms(t)));
+        periodic.push(b.process(spec));
+    }
+    // Channels between ordered pairs.
+    let mut in_channels: Vec<Vec<(ChannelId, ChannelKind)>> = vec![Vec::new(); cfg.periodic];
+    let mut out_channels: Vec<Vec<ChannelId>> = vec![Vec::new(); cfg.periodic];
+    for i in 0..cfg.periodic {
+        for j in (i + 1)..cfg.periodic {
+            if rng.gen_range(0..1000) < cfg.channel_density_permille {
+                let kind = if rng.gen_bool(0.5) {
+                    ChannelKind::Fifo
+                } else {
+                    ChannelKind::Blackboard
+                };
+                let ch = b.channel(format!("c{i}_{j}"), periodic[i], periodic[j], kind);
+                b.priority(periodic[i], periodic[j]);
+                out_channels[i].push(ch);
+                in_channels[j].push((ch, kind));
+            }
+        }
+    }
+
+    // Sporadic configurators.
+    let mut sporadic = Vec::with_capacity(cfg.sporadic);
+    for s in 0..cfg.sporadic {
+        let user_idx = rng.gen_range(0..cfg.periodic);
+        let user = periodic[user_idx];
+        let mult = rng.gen_range(1..=3);
+        let burst = rng.gen_range(1..=3u32);
+        let t_sp = periods[user_idx] * mult;
+        let spec = ProcessSpec::new(format!("s{s}"), EventSpec::sporadic(burst, ms(t_sp)));
+        let sp = b.process(spec);
+        let ch = b.channel(format!("cs{s}"), sp, user, ChannelKind::Blackboard);
+        if rng.gen_bool(0.5) {
+            b.priority(sp, user);
+        } else {
+            b.priority(user, sp);
+        }
+        in_channels[user_idx].push((ch, ChannelKind::Blackboard));
+        sporadic.push((sp, ch));
+        let salt = 7919 * (s as i64 + 1);
+        b.behavior(sp, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                ctx.write(ch, Value::Int(salt.wrapping_mul(ctx.k() as i64)))
+            })
+        });
+    }
+
+    // Behaviors: integer folds over everything read. All state flows into
+    // channel writes, which `Observables` logs completely, so every
+    // process is observable without dedicated output ports.
+    for i in 0..cfg.periodic {
+        let ins = in_channels[i].clone();
+        let outs = out_channels[i].clone();
+        let salt = 31 * (i as i64 + 1);
+        b.behavior(periodic[i], move || {
+            let ins = ins.clone();
+            let outs = outs.clone();
+            let mut acc: i64 = salt;
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                for &(ch, kind) in &ins {
+                    match kind {
+                        ChannelKind::Blackboard => {
+                            if let Some(Value::Int(x)) = ctx.read(ch) {
+                                acc = acc.wrapping_mul(31).wrapping_add(x);
+                            }
+                        }
+                        ChannelKind::Fifo => {
+                            while let Some(v) = ctx.read(ch) {
+                                if let Value::Int(x) = v {
+                                    acc = acc.wrapping_mul(31).wrapping_add(x);
+                                }
+                            }
+                        }
+                    }
+                }
+                acc = acc.wrapping_add(ctx.k() as i64);
+                for &ch in &outs {
+                    ctx.write(ch, Value::Int(acc));
+                }
+            })
+        });
+    }
+
+    let mut wcet = WcetModel::uniform(ms(cfg.wcet_range_ms.0.max(1)));
+    let (net, bank) = b.build().expect("generated workload is well-formed");
+    for pid in net.process_ids() {
+        let c = rng.gen_range(cfg.wcet_range_ms.0.max(1)..=cfg.wcet_range_ms.1.max(1));
+        wcet.set(pid, ms(c));
+    }
+    Workload { net, bank, wcet }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_core::{run_zero_delay, JobOrdering, Stimuli};
+    use fppn_taskgraph::derive_task_graph;
+
+    #[test]
+    fn workloads_build_and_derive_for_many_seeds() {
+        for seed in 0..30 {
+            let cfg = WorkloadConfig {
+                seed,
+                ..WorkloadConfig::default()
+            };
+            let w = random_workload(&cfg);
+            assert_eq!(w.net.process_count(), cfg.periodic + cfg.sporadic);
+            let derived = derive_task_graph(&w.net, &w.wcet)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(derived.graph.job_count() > 0);
+            assert!(derived.graph.topological_order().is_some());
+        }
+    }
+
+    #[test]
+    fn workloads_execute_deterministically() {
+        for seed in 0..10 {
+            let w = random_workload(&WorkloadConfig {
+                seed,
+                ..WorkloadConfig::default()
+            });
+            let horizon = TimeQ::from_ms(1600);
+            let mut b1 = w.bank.instantiate();
+            let r1 = run_zero_delay(&w.net, &mut b1, &Stimuli::new(), horizon, JobOrdering::MinRankFirst)
+                .unwrap();
+            let mut b2 = w.bank.instantiate();
+            let r2 = run_zero_delay(&w.net, &mut b2, &Stimuli::new(), horizon, JobOrdering::MaxRankFirst)
+                .unwrap();
+            assert_eq!(r1.observables.diff(&r2.observables), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let cfg = WorkloadConfig::default();
+        let a = random_workload(&cfg);
+        let b = random_workload(&cfg);
+        assert_eq!(a.net.process_count(), b.net.process_count());
+        assert_eq!(a.net.channels().len(), b.net.channels().len());
+        for pid in a.net.process_ids() {
+            assert_eq!(a.wcet.get(pid), b.wcet.get(pid));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablations over the design choices called out in DESIGN.md:
+//! the `SP` heuristic portfolio (which heuristics find feasible schedules,
+//! and how fast) and the cost of transitive reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fppn_apps::{fms_network, fms_wcet, random_workload, FmsVariant, WorkloadConfig};
+use fppn_sched::{list_schedule, Heuristic};
+use fppn_taskgraph::{derive_task_graph, derive_task_graph_unreduced};
+
+fn sp_heuristics(c: &mut Criterion) {
+    let (net, _, ids) = fms_network(FmsVariant::Reduced);
+    let derived = derive_task_graph(&net, &fms_wcet(&ids)).unwrap();
+    let mut g = c.benchmark_group("sp_heuristics_fms_2procs");
+    g.sample_size(10);
+    for h in Heuristic::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| {
+                let s = list_schedule(&derived.graph, 2, h);
+                s.check_feasible(&derived.graph).is_ok()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn transitive_reduction(c: &mut Criterion) {
+    let w = random_workload(&WorkloadConfig {
+        periodic: 12,
+        sporadic: 3,
+        seed: 5,
+        ..WorkloadConfig::default()
+    });
+    let mut g = c.benchmark_group("transitive_reduction");
+    g.sample_size(10);
+    g.bench_function("reduced_derivation", |b| {
+        b.iter(|| derive_task_graph(&w.net, &w.wcet).unwrap().graph.edge_count())
+    });
+    g.bench_function("unreduced_derivation", |b| {
+        b.iter(|| {
+            derive_task_graph_unreduced(&w.net, &w.wcet)
+                .unwrap()
+                .graph
+                .edge_count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(ablation, sp_heuristics, transitive_reduction);
+criterion_main!(ablation);

@@ -1,0 +1,146 @@
+//! Criterion benches, one group per paper figure: how fast the tool-chain
+//! regenerates each artifact (derivation, scheduling, simulation, TA
+//! translation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fppn_apps::{fft_network, fft_wcet, fig1_network, fig1_wcet, fms_network, fms_wcet, FmsVariant};
+use fppn_core::Stimuli;
+use fppn_sched::{list_schedule, Heuristic};
+use fppn_sim::{simulate, OverheadModel, SimConfig};
+use fppn_ta::{simulate_network, translate};
+use fppn_taskgraph::{derive_task_graph, load, AsapAlap};
+use fppn_time::TimeQ;
+
+fn fig1_example(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_example_network");
+    g.bench_function("build_and_validate", |b| {
+        b.iter(|| fig1_network().0.process_count())
+    });
+    g.finish();
+}
+
+fn fig3_derivation(c: &mut Criterion) {
+    let (net, _, _) = fig1_network();
+    let wcet = fig1_wcet();
+    let mut g = c.benchmark_group("fig3_task_graph");
+    g.bench_function("derive", |b| b.iter(|| derive_task_graph(&net, &wcet).unwrap()));
+    let derived = derive_task_graph(&net, &wcet).unwrap();
+    g.bench_function("asap_alap", |b| b.iter(|| AsapAlap::compute(&derived.graph)));
+    g.bench_function("load", |b| b.iter(|| load(&derived.graph)));
+    g.finish();
+}
+
+fn fig4_scheduling(c: &mut Criterion) {
+    let (net, _, _) = fig1_network();
+    let derived = derive_task_graph(&net, &fig1_wcet()).unwrap();
+    let mut g = c.benchmark_group("fig4_static_schedule");
+    g.bench_function("list_schedule_2procs", |b| {
+        b.iter(|| list_schedule(&derived.graph, 2, Heuristic::AlapEdf))
+    });
+    let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+    g.bench_function("check_feasible", |b| {
+        b.iter(|| schedule.check_feasible(&derived.graph).is_ok())
+    });
+    g.finish();
+}
+
+fn fig5_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fft_graph");
+    g.bench_function("build_network", |b| b.iter(|| fft_network().0.process_count()));
+    let (net, _, _) = fft_network();
+    let wcet = fft_wcet();
+    g.bench_function("derive", |b| b.iter(|| derive_task_graph(&net, &wcet).unwrap()));
+    g.finish();
+}
+
+fn fig6_simulation(c: &mut Criterion) {
+    let (net, bank, _) = fft_network();
+    let derived = derive_task_graph(&net, &fft_wcet()).unwrap();
+    let mut g = c.benchmark_group("fig6_fft_execution");
+    for procs in [1usize, 2] {
+        let schedule = list_schedule(&derived.graph, procs, Heuristic::AlapEdf);
+        g.bench_function(format!("simulate_10_frames_{procs}procs"), |b| {
+            b.iter(|| {
+                simulate(
+                    &net,
+                    &bank,
+                    &Stimuli::new(),
+                    &derived,
+                    &schedule,
+                    &SimConfig {
+                        frames: 10,
+                        overhead: OverheadModel::mppa_fft(),
+                        ..SimConfig::default()
+                    },
+                )
+                .unwrap()
+                .stats
+                .deadline_misses
+            })
+        });
+    }
+    // The paper's tool-chain: translate + simulate the TA network.
+    let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+    g.bench_function("ta_translate_and_simulate_3_frames", |b| {
+        b.iter_batched(
+            || translate(&net, &derived, &schedule, &Stimuli::new(), 3),
+            |t| {
+                simulate_network(
+                    &t.network,
+                    TimeQ::from_int(4) * derived.hyperperiod,
+                    t.step_bound(),
+                )
+                .events
+                .len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn fig7_fms(c: &mut Criterion) {
+    let (net, bank, ids) = fms_network(FmsVariant::Reduced);
+    let wcet = fms_wcet(&ids);
+    let mut g = c.benchmark_group("fig7_fms");
+    g.sample_size(10);
+    g.bench_function("derive_812_jobs", |b| {
+        b.iter(|| derive_task_graph(&net, &wcet).unwrap().graph.job_count())
+    });
+    let derived = derive_task_graph(&net, &wcet).unwrap();
+    g.bench_function("load", |b| b.iter(|| load(&derived.graph)));
+    g.bench_function("list_schedule_1proc", |b| {
+        b.iter(|| list_schedule(&derived.graph, 1, Heuristic::AlapEdf))
+    });
+    let schedule = list_schedule(&derived.graph, 1, Heuristic::AlapEdf);
+    g.bench_function("simulate_1_frame", |b| {
+        b.iter(|| {
+            simulate(
+                &net,
+                &bank,
+                &Stimuli::new(),
+                &derived,
+                &schedule,
+                &SimConfig {
+                    frames: 1,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
+            .stats
+            .executed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig1_example,
+    fig3_derivation,
+    fig4_scheduling,
+    fig5_fft,
+    fig6_simulation,
+    fig7_fms
+);
+criterion_main!(figures);

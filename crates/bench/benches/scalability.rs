@@ -1,0 +1,50 @@
+//! Scalability of the compile-time tool-chain vs hyperperiod and network
+//! size — the §V-B code-generation-cost motivation, measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fppn_apps::{fms_network, fms_wcet, random_workload, FmsVariant, WorkloadConfig};
+use fppn_sched::{list_schedule, Heuristic};
+use fppn_taskgraph::derive_task_graph;
+
+fn fms_hyperperiod_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fms_hyperperiod");
+    g.sample_size(10);
+    for (label, variant) in [("H40s", FmsVariant::Original), ("H10s", FmsVariant::Reduced)] {
+        let (net, _, ids) = fms_network(variant);
+        let wcet = fms_wcet(&ids);
+        g.bench_with_input(BenchmarkId::new("derive", label), &net, |b, net| {
+            b.iter(|| derive_task_graph(net, &wcet).unwrap().graph.job_count())
+        });
+        let derived = derive_task_graph(&net, &wcet).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("schedule_2procs", label),
+            &derived,
+            |b, d| b.iter(|| list_schedule(&d.graph, 2, Heuristic::AlapEdf)),
+        );
+    }
+    g.finish();
+}
+
+fn random_network_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("random_networks");
+    g.sample_size(10);
+    for &n in &[8usize, 16, 32] {
+        let w = random_workload(&WorkloadConfig {
+            periodic: n,
+            sporadic: n / 4,
+            seed: n as u64,
+            ..WorkloadConfig::default()
+        });
+        g.bench_with_input(BenchmarkId::new("derive", n), &w, |b, w| {
+            b.iter(|| derive_task_graph(&w.net, &w.wcet).unwrap().graph.job_count())
+        });
+        let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+        g.bench_with_input(BenchmarkId::new("schedule_4procs", n), &derived, |b, d| {
+            b.iter(|| list_schedule(&d.graph, 4, Heuristic::AlapEdf))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(scalability, fms_hyperperiod_sweep, random_network_sweep);
+criterion_main!(scalability);

@@ -1,0 +1,35 @@
+//! Prints the Fig. 1 example network: processes, rates, channels, FP.
+
+use fppn_apps::fig1_network;
+
+fn main() {
+    let (net, _, _) = fig1_network();
+    println!("Fig. 1 — Fixed Priority Process Network example\n");
+    println!("processes:");
+    for pid in net.process_ids() {
+        let p = net.process(pid);
+        let e = p.event();
+        println!(
+            "  {:<9} {} m={} T={} ms d={} ms",
+            p.name(),
+            e.kind(),
+            e.burst(),
+            e.period(),
+            e.deadline()
+        );
+    }
+    println!("\nchannels:");
+    for c in net.channels() {
+        println!(
+            "  {:<18} {} -> {}  [{}]",
+            c.name(),
+            net.process(c.writer()).name(),
+            net.process(c.reader()).name(),
+            c.kind()
+        );
+    }
+    println!("\nfunctional priorities (writer/reader relative priority):");
+    for (a, b) in net.priority_edges() {
+        println!("  {} -> {}", net.process(a).name(), net.process(b).name());
+    }
+}

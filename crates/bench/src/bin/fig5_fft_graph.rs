@@ -1,0 +1,25 @@
+//! Regenerates Fig. 5: the FFT application graph (14 processes) and its
+//! one-to-one task graph.
+
+use fppn_apps::{fft_network, fft_wcet};
+use fppn_bench::window_summary;
+use fppn_taskgraph::derive_task_graph;
+
+fn main() {
+    let (net, _, ids) = fft_network();
+    println!("Fig. 5 — FFT task graph\n");
+    println!("generator -> 3 stage columns x 4 nodes -> consumer:");
+    for col in &ids.stages {
+        let names: Vec<&str> = col.iter().map(|&p| net.process(p).name()).collect();
+        println!("  {}", names.join("  "));
+    }
+    let derived = derive_task_graph(&net, &fft_wcet()).expect("derivable");
+    println!(
+        "\nall T_p = d_p = 200 ms; jobs = {}, edges = {} (= {} channels: \
+         the task graph maps one-to-one to the process network)",
+        derived.graph.job_count(),
+        derived.graph.edge_count(),
+        net.channels().len()
+    );
+    println!("{}", window_summary(&derived));
+}

@@ -1,0 +1,95 @@
+//! One-shot paper-vs-measured report over every figure of the evaluation —
+//! the machine-checkable core of `EXPERIMENTS.md`.
+
+use fppn_apps::{fft_network, fft_wcet, fig1_network, fig1_wcet, fms_network, fms_wcet, FmsVariant};
+use fppn_bench::{render_report, ReportRow};
+use fppn_core::Stimuli;
+use fppn_sched::{find_feasible, list_schedule, Heuristic};
+use fppn_sim::{simulate, OverheadModel, SimConfig};
+use fppn_taskgraph::{derive_task_graph, load, necessary_condition};
+use fppn_time::TimeQ;
+
+fn row(q: &str, paper: &str, measured: String, matches: bool) -> ReportRow {
+    ReportRow {
+        quantity: q.into(),
+        paper: paper.into(),
+        measured,
+        matches,
+    }
+}
+
+fn main() {
+    // ---- Figs. 1/3/4 ----
+    let (net, _, ids) = fig1_network();
+    let d = derive_task_graph(&net, &fig1_wcet()).expect("derivable");
+    let i1 = d.graph.find(ids.input_a, 1).unwrap();
+    let n1 = d.graph.find(ids.norm_a, 1).unwrap();
+    let feasible2 = find_feasible(&d.graph, 2, &Heuristic::ALL).is_some();
+    let rows = vec![
+        row("hyperperiod", "200 ms", format!("{} ms", d.hyperperiod), d.hyperperiod == TimeQ::from_ms(200)),
+        row("jobs", "10", d.graph.job_count().to_string(), d.graph.job_count() == 10),
+        row(
+            "CoefB server",
+            "2 jobs, T' = 200 ms",
+            format!("{} jobs, T' = {} ms", d.graph.jobs().iter().filter(|j| j.is_server).count(), d.server(ids.coef_b).unwrap().period),
+            d.server(ids.coef_b).unwrap().period == TimeQ::from_ms(200),
+        ),
+        row(
+            "InputA[1]→NormA[1] redundant",
+            "removed",
+            format!("direct edge = {}", d.graph.has_edge(i1, n1)),
+            !d.graph.has_edge(i1, n1) && d.graph.is_reachable(i1, n1),
+        ),
+        row(
+            "Fig. 4 schedule",
+            "feasible on 2 procs",
+            format!("feasible = {feasible2}"),
+            feasible2,
+        ),
+        row(
+            "1 proc impossible",
+            "(implied: 250 ms work / 200 ms)",
+            format!("Prop. 3.1 rejects M=1: {}", necessary_condition(&d.graph, 1).is_err()),
+            necessary_condition(&d.graph, 1).is_err(),
+        ),
+    ];
+    print!("{}", render_report("Figs. 1/3/4 — example network", &rows));
+
+    // ---- Figs. 5/6 ----
+    let (net, bank, _) = fft_network();
+    let d = derive_task_graph(&net, &fft_wcet()).expect("derivable");
+    let l = load(&d.graph);
+    let overhead = OverheadModel::mppa_fft();
+    let ovl = (d.graph.total_work() + overhead.first_frame) / d.hyperperiod;
+    let run1 = simulate(&net, &bank, &Stimuli::new(), &d, &list_schedule(&d.graph, 1, Heuristic::AlapEdf), &SimConfig { frames: 20, overhead, ..SimConfig::default() }).unwrap();
+    let run2 = simulate(&net, &bank, &Stimuli::new(), &d, &list_schedule(&d.graph, 2, Heuristic::AlapEdf), &SimConfig { frames: 20, overhead, ..SimConfig::default() }).unwrap();
+    let rows = vec![
+        row("processes", "14", net.process_count().to_string(), net.process_count() == 14),
+        row("graph = network", "one-to-one", format!("{} jobs / {} edges vs {} channels", d.graph.job_count(), d.graph.edge_count(), net.channels().len()), d.graph.edge_count() == net.channels().len()),
+        row("load", "0.93", format!("{:.3}", l.load.to_f64()), l.load == TimeQ::new(93, 100)),
+        row("load w/ overhead", "≈ 1.2", format!("{:.3}", ovl.to_f64()), ovl > TimeQ::ONE),
+        row("overheads", "41 / 20 ms", format!("{} / {} ms (model input)", overhead.first_frame, overhead.steady_frame), true),
+        row("1 proc", "deadline misses", format!("{} misses / 20 frames", run1.stats.deadline_misses), run1.stats.deadline_misses > 0),
+        row("2 procs", "no misses", format!("{} misses / 20 frames", run2.stats.deadline_misses), run2.stats.deadline_misses == 0),
+    ];
+    print!("\n{}", render_report("Figs. 5/6 — FFT on simulated MPPA", &rows));
+
+    // ---- Fig. 7 / §V-B ----
+    let (net, bank, ids) = fms_network(FmsVariant::Reduced);
+    let (net40, _, ids40) = fms_network(FmsVariant::Original);
+    let d40 = derive_task_graph(&net40, &fms_wcet(&ids40)).expect("derivable");
+    let d = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
+    let l = load(&d.graph);
+    let unreduced = d.graph.edge_count() + d.reduced_edges;
+    let run = simulate(&net, &bank, &Stimuli::new(), &d, &list_schedule(&d.graph, 1, Heuristic::AlapEdf), &SimConfig { frames: 1, ..SimConfig::default() }).unwrap();
+    let rows = vec![
+        row("processes", "12", net.process_count().to_string(), net.process_count() == 12),
+        row("H original", "40 s", format!("{} s", (d40.hyperperiod / TimeQ::from_secs(1)).to_f64()), d40.hyperperiod == TimeQ::from_secs(40)),
+        row("H reduced", "10 s", format!("{} s", (d.hyperperiod / TimeQ::from_secs(1)).to_f64()), d.hyperperiod == TimeQ::from_secs(10)),
+        row("jobs", "812", d.graph.job_count().to_string(), d.graph.job_count() == 812),
+        row("edges", "1977", format!("{unreduced} unreduced / {} reduced", d.graph.edge_count()), (unreduced as i64 - 1977).abs() < 100),
+        row("load", "≈ 0.23", format!("{:.4}", l.load.to_f64()), (l.load.to_f64() - 0.23).abs() < 0.01),
+        row("1 proc misses", "none", run.stats.deadline_misses.to_string(), run.stats.deadline_misses == 0),
+    ];
+    print!("\n{}", render_report("Fig. 7 / §V-B — FMS", &rows));
+}

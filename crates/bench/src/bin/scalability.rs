@@ -1,0 +1,62 @@
+//! The §V-B scalability motivation: "we encountered a too high code
+//! generation overhead due to a long hyperperiod (40 s) (an online policy
+//! subroutine handling a few thousands jobs explicitly)". This harness
+//! sweeps the MagnDeclin period and random multirate networks, reporting
+//! derived-graph size and tool-chain wall time.
+
+use std::time::Instant;
+
+use fppn_apps::{fms_network, fms_wcet, random_workload, FmsVariant, WorkloadConfig};
+use fppn_sched::{list_schedule, Heuristic};
+use fppn_taskgraph::derive_task_graph;
+use fppn_time::TimeQ;
+
+fn measure(label: &str, net: &fppn_core::Fppn, wcet: &fppn_taskgraph::WcetModel) {
+    let t0 = Instant::now();
+    let derived = derive_task_graph(net, wcet).expect("derivable");
+    let t_derive = t0.elapsed();
+    let t1 = Instant::now();
+    let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+    let t_sched = t1.elapsed();
+    // The online policy table: one round per (processor, job).
+    let policy_rounds: usize = (0..schedule.processors())
+        .map(|m| schedule.processor_order(m).len())
+        .sum();
+    println!(
+        "{label:<28} H = {:>6} ms | {:>5} jobs {:>6} edges | derive {:>8.2?} schedule {:>8.2?} | policy table {:>5} rounds",
+        derived.hyperperiod.to_f64(),
+        derived.graph.job_count(),
+        derived.graph.edge_count(),
+        t_derive,
+        t_sched,
+        policy_rounds
+    );
+}
+
+fn main() {
+    println!("FMS hyperperiod sweep (the paper's 40 s -> 10 s reduction):");
+    for (label, variant) in [
+        ("FMS MagnDeclin 1600 ms", FmsVariant::Original),
+        ("FMS MagnDeclin 400 ms", FmsVariant::Reduced),
+    ] {
+        let (net, _, ids) = fms_network(variant);
+        measure(label, &net, &fms_wcet(&ids));
+    }
+
+    println!("\nrandom multirate networks (periods x processes sweep):");
+    for &periodic in &[5usize, 10, 20, 40] {
+        for &max_period in &[400i64, 1600, 6400] {
+            let cfg = WorkloadConfig {
+                periodic,
+                sporadic: periodic / 3,
+                periods_ms: vec![100, 200, max_period / 2, max_period],
+                seed: periodic as u64 * 1000 + max_period as u64,
+                ..WorkloadConfig::default()
+            };
+            let w = random_workload(&cfg);
+            let label = format!("random n={periodic} Tmax={max_period}");
+            measure(&label, &w.net, &w.wcet);
+        }
+    }
+    let _ = TimeQ::ZERO;
+}

@@ -1,0 +1,749 @@
+//! Interpreted process automata (Def. 2.2).
+//!
+//! A process is formally "a deterministic automaton
+//! `(ℓ_p0, L_p, X_p, X_p0, I_p, O_p, A_p, T_p)`" whose transitions carry a
+//! guard over the local variables and an action (assignments, channel
+//! reads, channel writes). A *job execution run* is a non-empty sequence of
+//! steps returning to the initial location.
+//!
+//! This module is a faithful interpreter for that definition: build an
+//! [`Automaton`] from locations, variables and guarded [`Transition`]s,
+//! then wrap it in an [`AutomatonBehavior`] and register it like any other
+//! behavior. The interpreter *checks determinism at run time*: if two
+//! transition guards are simultaneously enabled, execution stops with
+//! [`ExecError::AutomatonNondeterministic`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::ExecError;
+use crate::ids::{ChannelId, PortId};
+use crate::process::{Behavior, JobCtx};
+use crate::value::Value;
+
+/// Index of a location in an [`Automaton`].
+pub type LocId = usize;
+
+/// Side-effect-free expression over the automaton's local variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// The current value of a local variable.
+    Var(String),
+    /// The job index `k` of the current run, as an `Int`.
+    JobIndex,
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Value::Int(v))
+    }
+
+    /// Shorthand for a float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Const(Value::Float(v))
+    }
+
+    /// Shorthand for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Builds `lhs op rhs`.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Builds `op e`.
+    pub fn un(op: UnOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+    /// `true` iff the operand is not [`Value::Absent`] — the test on the
+    /// paper's non-availability indicator.
+    IsPresent,
+}
+
+/// Binary operators. Arithmetic on two `Int`s stays integral; any `Float`
+/// operand promotes the operation to floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division on two `Int`s).
+    Div,
+    /// Remainder (Ints only).
+    Rem,
+    /// Structural equality.
+    Eq,
+    /// Structural inequality.
+    Ne,
+    /// Less-than on numbers.
+    Lt,
+    /// Less-or-equal on numbers.
+    Le,
+    /// Greater-than on numbers.
+    Gt,
+    /// Greater-or-equal on numbers.
+    Ge,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Numeric minimum.
+    Min,
+    /// Numeric maximum.
+    Max,
+}
+
+/// One statement in a transition's action (`A_p`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x := e` — variable assignment.
+    Assign {
+        /// Assigned variable.
+        var: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `x?c` — read a channel into a variable ([`Value::Absent`] if empty).
+    ReadChannel {
+        /// Destination variable.
+        var: String,
+        /// Source channel.
+        channel: ChannelId,
+    },
+    /// `x!c` — write an expression's value to a channel.
+    WriteChannel {
+        /// Destination channel.
+        channel: ChannelId,
+        /// Value to write.
+        expr: Expr,
+    },
+    /// `x?[k]I` — read this job's external input sample into a variable.
+    ReadInput {
+        /// Destination variable.
+        var: String,
+        /// Source port.
+        port: PortId,
+    },
+    /// `x![k]O` — write this job's external output sample.
+    WriteOutput {
+        /// Destination port.
+        port: PortId,
+        /// Value to write.
+        expr: Expr,
+    },
+}
+
+/// A guarded transition `ℓ --[guard] / stmts--> ℓ'`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Source location.
+    pub from: LocId,
+    /// Guard over local variables; `None` means `true`.
+    pub guard: Option<Expr>,
+    /// Action statements, executed in order.
+    pub stmts: Vec<Stmt>,
+    /// Target location.
+    pub to: LocId,
+}
+
+/// A deterministic process automaton (Def. 2.2).
+///
+/// # Examples
+///
+/// A one-location automaton that echoes a channel to an output with a
+/// running sum:
+///
+/// ```
+/// use fppn_core::automaton::{Automaton, BinOp, Expr, Stmt};
+/// use fppn_core::{ChannelId, PortId, Value};
+///
+/// let a = Automaton::builder("sum")
+///     .location("l0")
+///     .variable("acc", Value::Int(0))
+///     .variable("x", Value::Absent)
+///     .transition(0, None, vec![
+///         Stmt::ReadChannel { var: "x".into(), channel: ChannelId::from_index(0) },
+///         Stmt::Assign {
+///             var: "acc".into(),
+///             expr: Expr::bin(BinOp::Add, Expr::var("acc"),
+///                             Expr::bin(BinOp::Max, Expr::var("x"), Expr::int(0))),
+///         },
+///         Stmt::WriteOutput { port: PortId::from_index(0), expr: Expr::var("acc") },
+///     ], 0)
+///     .build();
+/// assert_eq!(a.locations().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Automaton {
+    name: String,
+    locations: Vec<String>,
+    initial: LocId,
+    variables: Vec<(String, Value)>,
+    transitions: Vec<Transition>,
+    step_bound: usize,
+}
+
+impl Automaton {
+    /// Starts building an automaton; the first added location is initial.
+    pub fn builder(name: impl Into<String>) -> AutomatonBuilder {
+        AutomatonBuilder {
+            name: name.into(),
+            locations: Vec::new(),
+            variables: Vec::new(),
+            transitions: Vec::new(),
+            step_bound: 1_000_000,
+        }
+    }
+
+    /// The automaton name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Location names, indexed by [`LocId`].
+    pub fn locations(&self) -> &[String] {
+        &self.locations
+    }
+
+    /// The declared variables with their initial values (`X_p`, `X_p0`).
+    pub fn variables(&self) -> &[(String, Value)] {
+        &self.variables
+    }
+
+    /// The transition relation `T_p`.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+}
+
+/// Incremental constructor for [`Automaton`].
+#[derive(Debug)]
+pub struct AutomatonBuilder {
+    name: String,
+    locations: Vec<String>,
+    variables: Vec<(String, Value)>,
+    transitions: Vec<Transition>,
+    step_bound: usize,
+}
+
+impl AutomatonBuilder {
+    /// Adds a location and returns its id; the first one is initial.
+    pub fn location(mut self, name: impl Into<String>) -> Self {
+        self.locations.push(name.into());
+        self
+    }
+
+    /// Declares a local variable with its initial value.
+    pub fn variable(mut self, name: impl Into<String>, initial: Value) -> Self {
+        self.variables.push((name.into(), initial));
+        self
+    }
+
+    /// Adds a transition.
+    pub fn transition(
+        mut self,
+        from: LocId,
+        guard: Option<Expr>,
+        stmts: Vec<Stmt>,
+        to: LocId,
+    ) -> Self {
+        self.transitions.push(Transition {
+            from,
+            guard,
+            stmts,
+            to,
+        });
+        self
+    }
+
+    /// Overrides the livelock guard (default: 1e6 steps per job run).
+    pub fn step_bound(mut self, bound: usize) -> Self {
+        self.step_bound = bound;
+        self
+    }
+
+    /// Freezes the automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no location was declared or a transition references an
+    /// unknown location — these are construction-time programming errors.
+    pub fn build(self) -> Automaton {
+        assert!(
+            !self.locations.is_empty(),
+            "automaton {:?} needs at least one location",
+            self.name
+        );
+        for t in &self.transitions {
+            assert!(
+                t.from < self.locations.len() && t.to < self.locations.len(),
+                "automaton {:?}: transition references unknown location",
+                self.name
+            );
+        }
+        Automaton {
+            name: self.name,
+            locations: self.locations,
+            initial: 0,
+            variables: self.variables,
+            transitions: self.transitions,
+            step_bound: self.step_bound,
+        }
+    }
+}
+
+/// Run-time interpreter state for one automaton instance; implements
+/// [`Behavior`], so it plugs into any executor.
+pub struct AutomatonBehavior {
+    automaton: Arc<Automaton>,
+    location: LocId,
+    env: BTreeMap<String, Value>,
+}
+
+impl AutomatonBehavior {
+    /// Instantiates the automaton at its initial location and variable
+    /// values.
+    pub fn new(automaton: Arc<Automaton>) -> Self {
+        let env = automaton
+            .variables
+            .iter()
+            .map(|(n, v)| (n.clone(), v.clone()))
+            .collect();
+        AutomatonBehavior {
+            location: automaton.initial,
+            automaton,
+            env,
+        }
+    }
+
+    fn eval(&self, expr: &Expr, k: u64) -> Result<Value, ExecError> {
+        let fail = |detail: String| ExecError::Eval {
+            process: self.automaton.name.clone(),
+            detail,
+        };
+        Ok(match expr {
+            Expr::Const(v) => v.clone(),
+            Expr::JobIndex => Value::Int(k as i64),
+            Expr::Var(name) => self
+                .env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| fail(format!("unknown variable {name:?}")))?,
+            Expr::Unary(op, e) => {
+                let v = self.eval(e, k)?;
+                match op {
+                    UnOp::IsPresent => Value::Bool(v.is_present()),
+                    UnOp::Not => Value::Bool(
+                        !v.as_bool()
+                            .ok_or_else(|| fail(format!("not: expected bool, got {v}")))?,
+                    ),
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(x) => Value::Float(-x),
+                        other => return Err(fail(format!("neg: expected number, got {other}"))),
+                    },
+                }
+            }
+            Expr::Binary(op, l, r) => {
+                let lv = self.eval(l, k)?;
+                let rv = self.eval(r, k)?;
+                eval_binop(*op, lv, rv).map_err(fail)?
+            }
+        })
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, ctx: &mut JobCtx<'_>) -> Result<(), ExecError> {
+        match stmt {
+            Stmt::Assign { var, expr } => {
+                let v = self.eval(expr, ctx.k())?;
+                self.env.insert(var.clone(), v);
+            }
+            Stmt::ReadChannel { var, channel } => {
+                let v = ctx.read_value(*channel);
+                self.env.insert(var.clone(), v);
+            }
+            Stmt::WriteChannel { channel, expr } => {
+                let v = self.eval(expr, ctx.k())?;
+                ctx.write(*channel, v);
+            }
+            Stmt::ReadInput { var, port } => {
+                let v = ctx.read_input(*port).unwrap_or(Value::Absent);
+                self.env.insert(var.clone(), v);
+            }
+            Stmt::WriteOutput { port, expr } => {
+                let v = self.eval(expr, ctx.k())?;
+                ctx.write_output(*port, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// The current value of a local variable (for tests/inspection).
+    pub fn variable(&self, name: &str) -> Option<&Value> {
+        self.env.get(name)
+    }
+}
+
+fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, String> {
+    use BinOp::*;
+    // Comparison / equality first: structural.
+    match op {
+        Eq => return Ok(Value::Bool(l == r)),
+        Ne => return Ok(Value::Bool(l != r)),
+        And | Or => {
+            let (a, b) = match (l.as_bool(), r.as_bool()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(format!("{op:?}: expected booleans")),
+            };
+            return Ok(Value::Bool(if op == And { a && b } else { a || b }));
+        }
+        _ => {}
+    }
+    // Numeric ops: Int × Int stays integral, otherwise promote to float.
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let (a, b) = (*a, *b);
+            Ok(match op {
+                Add => Value::Int(a.wrapping_add(b)),
+                Sub => Value::Int(a.wrapping_sub(b)),
+                Mul => Value::Int(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err("integer division by zero".into());
+                    }
+                    Value::Int(a / b)
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err("integer remainder by zero".into());
+                    }
+                    Value::Int(a % b)
+                }
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                Gt => Value::Bool(a > b),
+                Ge => Value::Bool(a >= b),
+                Min => Value::Int(a.min(b)),
+                Max => Value::Int(a.max(b)),
+                Eq | Ne | And | Or => unreachable!("handled above"),
+            })
+        }
+        _ => {
+            let (a, b) = match (l.as_float(), r.as_float()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(format!("{op:?}: expected numbers, got {l} and {r}")),
+            };
+            Ok(match op {
+                Add => Value::Float(a + b),
+                Sub => Value::Float(a - b),
+                Mul => Value::Float(a * b),
+                Div => Value::Float(a / b),
+                Rem => return Err("remainder on floats is not defined".into()),
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                Gt => Value::Bool(a > b),
+                Ge => Value::Bool(a >= b),
+                Min => Value::Float(a.min(b)),
+                Max => Value::Float(a.max(b)),
+                Eq | Ne | And | Or => unreachable!("handled above"),
+            })
+        }
+    }
+}
+
+impl Behavior for AutomatonBehavior {
+    fn on_job(&mut self, ctx: &mut JobCtx<'_>) -> Result<(), ExecError> {
+        let a = Arc::clone(&self.automaton);
+        let mut steps = 0usize;
+        loop {
+            // Select the unique enabled transition from the current location.
+            let mut chosen: Option<&Transition> = None;
+            for t in a.transitions.iter().filter(|t| t.from == self.location) {
+                let enabled = match &t.guard {
+                    None => true,
+                    Some(g) => self
+                        .eval(g, ctx.k())?
+                        .as_bool()
+                        .ok_or_else(|| ExecError::Eval {
+                            process: a.name.clone(),
+                            detail: "guard did not evaluate to a boolean".into(),
+                        })?,
+                };
+                if enabled {
+                    if chosen.is_some() {
+                        return Err(ExecError::AutomatonNondeterministic {
+                            process: a.name.clone(),
+                            location: a.locations[self.location].clone(),
+                        });
+                    }
+                    chosen = Some(t);
+                }
+            }
+            let t = match chosen {
+                Some(t) => t,
+                None => {
+                    // No transition enabled: legal only back at the initial
+                    // location after at least one step (job run complete).
+                    return if self.location == a.initial && steps > 0 {
+                        Ok(())
+                    } else {
+                        Err(ExecError::AutomatonStuck {
+                            process: a.name.clone(),
+                            location: a.locations[self.location].clone(),
+                        })
+                    };
+                }
+            };
+            for stmt in &t.stmts {
+                self.exec_stmt(stmt, ctx)?;
+            }
+            self.location = t.to;
+            steps += 1;
+            if steps >= a.step_bound {
+                return Err(ExecError::AutomatonDiverged {
+                    process: a.name.clone(),
+                    bound: a.step_bound,
+                });
+            }
+            // A job execution run "brings it back to its initial location".
+            if self.location == a.initial {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelKind;
+    use crate::event::EventSpec;
+    use crate::exec::{ExecState, Stimuli};
+    use crate::network::FppnBuilder;
+    use crate::process::ProcessSpec;
+    use fppn_time::TimeQ;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    /// An automaton with two locations: read, then conditionally write.
+    fn filter_automaton(input: ChannelId, output: ChannelId) -> Automaton {
+        Automaton::builder("filter")
+            .location("idle")
+            .location("got")
+            .variable("x", Value::Absent)
+            .transition(
+                0,
+                None,
+                vec![Stmt::ReadChannel {
+                    var: "x".into(),
+                    channel: input,
+                }],
+                1,
+            )
+            .transition(
+                1,
+                Some(Expr::un(UnOp::IsPresent, Expr::var("x"))),
+                vec![Stmt::WriteChannel {
+                    channel: output,
+                    expr: Expr::bin(BinOp::Mul, Expr::var("x"), Expr::int(2)),
+                }],
+                0,
+            )
+            .transition(
+                1,
+                Some(Expr::un(UnOp::Not, Expr::un(UnOp::IsPresent, Expr::var("x")))),
+                vec![],
+                0,
+            )
+            .build()
+    }
+
+    fn harness() -> (crate::Fppn, crate::network::BehaviorBank, ChannelId, ChannelId) {
+        let mut b = FppnBuilder::new();
+        let src = b.process(ProcessSpec::new("src", EventSpec::periodic(ms(100))));
+        let flt = b.process(ProcessSpec::new("flt", EventSpec::periodic(ms(100))));
+        let snk = b.process(ProcessSpec::new("snk", EventSpec::periodic(ms(100))));
+        let c_in = b.channel("in", src, flt, ChannelKind::Fifo);
+        let c_out = b.channel("out", flt, snk, ChannelKind::Fifo);
+        b.priority(src, flt);
+        b.priority(flt, snk);
+        let automaton = Arc::new(filter_automaton(c_in, c_out));
+        b.behavior(flt, move || {
+            Box::new(AutomatonBehavior::new(Arc::clone(&automaton)))
+        });
+        b.behavior(src, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(c_in, Value::Int(ctx.k() as i64)))
+        });
+        let (net, bank) = b.build().unwrap();
+        (net, bank, c_in, c_out)
+    }
+
+    #[test]
+    fn automaton_runs_job_and_returns_to_initial() {
+        let (net, bank, _c_in, c_out) = harness();
+        let mut behaviors = bank.instantiate();
+        let mut st = ExecState::new(&net, Stimuli::new());
+        let src = net.process_by_name("src").unwrap();
+        let flt = net.process_by_name("flt").unwrap();
+        st.run_next_job(&mut behaviors, src, ms(0)).unwrap();
+        st.run_next_job(&mut behaviors, flt, ms(0)).unwrap();
+        st.run_next_job(&mut behaviors, flt, ms(100)).unwrap(); // empty read
+        st.run_next_job(&mut behaviors, src, ms(100)).unwrap();
+        st.run_next_job(&mut behaviors, flt, ms(200)).unwrap();
+        let obs = st.observables();
+        // Filter doubled samples 1 and 2; the empty read wrote nothing.
+        assert_eq!(
+            obs.channels[c_out.index()],
+            vec![Value::Int(2), Value::Int(4)]
+        );
+    }
+
+    #[test]
+    fn nondeterministic_automaton_is_reported() {
+        let a = Automaton::builder("bad")
+            .location("l0")
+            .location("l1")
+            .transition(0, None, vec![], 1)
+            .transition(0, None, vec![], 1)
+            .transition(1, None, vec![], 0)
+            .build();
+        let mut b = FppnBuilder::new();
+        let p = b.process(ProcessSpec::new("p", EventSpec::periodic(ms(1))));
+        let arc = Arc::new(a);
+        b.behavior(p, move || Box::new(AutomatonBehavior::new(Arc::clone(&arc))));
+        let (net, bank) = b.build().unwrap();
+        let mut behaviors = bank.instantiate();
+        let mut st = ExecState::new(&net, Stimuli::new());
+        let err = st.run_next_job(&mut behaviors, p, ms(0)).unwrap_err();
+        assert!(matches!(err, ExecError::AutomatonNondeterministic { .. }));
+    }
+
+    #[test]
+    fn stuck_automaton_is_reported() {
+        let a = Automaton::builder("stuck")
+            .location("l0")
+            .location("dead")
+            .transition(0, None, vec![], 1)
+            .build();
+        let mut b = FppnBuilder::new();
+        let p = b.process(ProcessSpec::new("p", EventSpec::periodic(ms(1))));
+        let arc = Arc::new(a);
+        b.behavior(p, move || Box::new(AutomatonBehavior::new(Arc::clone(&arc))));
+        let (net, bank) = b.build().unwrap();
+        let mut behaviors = bank.instantiate();
+        let mut st = ExecState::new(&net, Stimuli::new());
+        let err = st.run_next_job(&mut behaviors, p, ms(0)).unwrap_err();
+        assert!(matches!(err, ExecError::AutomatonStuck { .. }));
+    }
+
+    #[test]
+    fn diverging_automaton_is_bounded() {
+        let a = Automaton::builder("spin")
+            .location("l0")
+            .location("l1")
+            .location("l2")
+            .transition(0, None, vec![], 1)
+            .transition(1, None, vec![], 2)
+            .transition(2, None, vec![], 1) // 1 <-> 2 forever
+            .step_bound(100)
+            .build();
+        let mut b = FppnBuilder::new();
+        let p = b.process(ProcessSpec::new("p", EventSpec::periodic(ms(1))));
+        let arc = Arc::new(a);
+        b.behavior(p, move || Box::new(AutomatonBehavior::new(Arc::clone(&arc))));
+        let (net, bank) = b.build().unwrap();
+        let mut behaviors = bank.instantiate();
+        let mut st = ExecState::new(&net, Stimuli::new());
+        let err = st.run_next_job(&mut behaviors, p, ms(0)).unwrap_err();
+        assert!(matches!(err, ExecError::AutomatonDiverged { bound: 100, .. }));
+    }
+
+    #[test]
+    fn expression_evaluation() {
+        let a = Arc::new(
+            Automaton::builder("calc")
+                .location("l0")
+                .variable("acc", Value::Int(0))
+                .transition(
+                    0,
+                    None,
+                    vec![Stmt::Assign {
+                        var: "acc".into(),
+                        expr: Expr::bin(
+                            BinOp::Add,
+                            Expr::var("acc"),
+                            Expr::bin(BinOp::Mul, Expr::JobIndex, Expr::int(10)),
+                        ),
+                    }],
+                    0,
+                )
+                .build(),
+        );
+        let mut b = FppnBuilder::new();
+        let p = b.process(ProcessSpec::new("p", EventSpec::periodic(ms(1))));
+        let (_net, _) = b.build().unwrap();
+        let mut beh = AutomatonBehavior::new(a);
+        let mut backend = NullAccess;
+        let mut ctx = JobCtx::new(&mut backend, p, 1, ms(0));
+        beh.on_job(&mut ctx).unwrap();
+        let mut ctx = JobCtx::new(&mut backend, p, 2, ms(1));
+        beh.on_job(&mut ctx).unwrap();
+        assert_eq!(beh.variable("acc"), Some(&Value::Int(30)));
+    }
+
+    /// Minimal DataAccess stub for driving behaviors directly.
+    struct NullAccess;
+    impl crate::process::DataAccess for NullAccess {
+        fn read_channel(&mut self, _: crate::ProcessId, _: ChannelId) -> Option<Value> {
+            None
+        }
+        fn write_channel(&mut self, _: crate::ProcessId, _: ChannelId, _: Value) {}
+        fn read_external(&mut self, _: crate::ProcessId, _: PortId, _: u64) -> Option<Value> {
+            None
+        }
+        fn write_external(&mut self, _: crate::ProcessId, _: PortId, _: u64, _: Value) {}
+    }
+
+    #[test]
+    fn binop_type_errors() {
+        assert!(eval_binop(BinOp::Add, Value::Str("a".into()), Value::Int(1)).is_err());
+        assert!(eval_binop(BinOp::Div, Value::Int(1), Value::Int(0)).is_err());
+        assert!(eval_binop(BinOp::Rem, Value::Float(1.0), Value::Float(2.0)).is_err());
+        assert!(eval_binop(BinOp::And, Value::Int(1), Value::Bool(true)).is_err());
+        assert_eq!(
+            eval_binop(BinOp::Add, Value::Int(1), Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Eq, Value::Absent, Value::Absent).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Max, Value::Int(3), Value::Int(5)).unwrap(),
+            Value::Int(5)
+        );
+    }
+}

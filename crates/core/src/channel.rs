@@ -1,0 +1,275 @@
+//! Channel types and their read/write semantics (§II-A).
+//!
+//! The paper defines two default channel types: the **FIFO**, with queue
+//! semantics, and the **blackboard**, which "remembers the last written
+//! value, and … can be read multiple times". Reading from an empty FIFO or
+//! a non-initialized blackboard returns the non-availability indicator,
+//! here [`Value::Absent`] (surfaced as `None` through the Rust API).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+use crate::ids::ProcessId;
+use crate::value::Value;
+
+/// The type of an internal or external channel (`CT_c` in Def. 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelKind {
+    /// Queue semantics: writes append, reads pop the oldest sample; a read
+    /// from an empty queue yields the non-availability indicator.
+    #[default]
+    Fifo,
+    /// Shared-variable semantics: a write overwrites, reads return the last
+    /// written value any number of times; reading before any write yields
+    /// the non-availability indicator.
+    Blackboard,
+}
+
+impl fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelKind::Fifo => write!(f, "fifo"),
+            ChannelKind::Blackboard => write!(f, "blackboard"),
+        }
+    }
+}
+
+/// Static description of an internal channel: a `(writer, reader)` pair with
+/// a type, an optional initial value, and an optional FIFO capacity bound.
+///
+/// Def. 2.1 treats `c ∈ C` as "a channel (state variable) and at the same
+/// time a pair of writer and reader". Multi-writer or multi-reader exchange
+/// is modeled with several channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSpec {
+    name: String,
+    writer: ProcessId,
+    reader: ProcessId,
+    kind: ChannelKind,
+    initial: Option<Value>,
+    capacity: Option<NonZeroUsize>,
+}
+
+impl ChannelSpec {
+    /// Creates a channel description.
+    pub fn new(
+        name: impl Into<String>,
+        writer: ProcessId,
+        reader: ProcessId,
+        kind: ChannelKind,
+    ) -> Self {
+        ChannelSpec {
+            name: name.into(),
+            writer,
+            reader,
+            kind,
+            initial: None,
+            capacity: None,
+        }
+    }
+
+    /// Sets an initial value (the paper: "each variable initialized at
+    /// start"; an uninitialized channel starts absent/empty).
+    #[must_use]
+    pub fn with_initial(mut self, value: Value) -> Self {
+        self.initial = Some(value);
+        self
+    }
+
+    /// Bounds the FIFO capacity. Ignored for blackboards.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: NonZeroUsize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// The channel name (for diagnostics and Gantt/report rendering).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unique writing process.
+    pub fn writer(&self) -> ProcessId {
+        self.writer
+    }
+
+    /// The unique reading process.
+    pub fn reader(&self) -> ProcessId {
+        self.reader
+    }
+
+    /// The channel type.
+    pub fn kind(&self) -> ChannelKind {
+        self.kind
+    }
+
+    /// The initial value, if configured.
+    pub fn initial(&self) -> Option<&Value> {
+        self.initial.as_ref()
+    }
+
+    /// The FIFO capacity bound, if configured.
+    pub fn capacity(&self) -> Option<NonZeroUsize> {
+        self.capacity
+    }
+
+    /// Whether this channel connects a process to itself (state feedback).
+    pub fn is_self_loop(&self) -> bool {
+        self.writer == self.reader
+    }
+}
+
+/// Mutable run-time state of one channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelState {
+    /// FIFO contents, oldest first.
+    Fifo {
+        /// Queued samples.
+        queue: VecDeque<Value>,
+        /// Capacity bound copied from the spec.
+        capacity: Option<NonZeroUsize>,
+    },
+    /// Blackboard contents.
+    Blackboard {
+        /// Last written value, if any.
+        current: Option<Value>,
+    },
+}
+
+impl ChannelState {
+    /// Creates the initial state for a channel spec.
+    pub fn new(spec: &ChannelSpec) -> Self {
+        match spec.kind() {
+            ChannelKind::Fifo => ChannelState::Fifo {
+                queue: spec.initial.iter().cloned().collect(),
+                capacity: spec.capacity,
+            },
+            ChannelKind::Blackboard => ChannelState::Blackboard {
+                current: spec.initial.clone(),
+            },
+        }
+    }
+
+    /// Performs a read action (`x?c`). Returns `None` (the non-availability
+    /// indicator) on an empty FIFO or uninitialized blackboard.
+    pub fn read(&mut self) -> Option<Value> {
+        match self {
+            ChannelState::Fifo { queue, .. } => queue.pop_front(),
+            ChannelState::Blackboard { current } => current.clone(),
+        }
+    }
+
+    /// Performs a write action (`x!c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is a bounded FIFO that is full: FPPN processes
+    /// never block on data, so exceeding a declared bound is a modeling
+    /// error (the unbounded default never panics).
+    pub fn write(&mut self, value: Value) {
+        match self {
+            ChannelState::Fifo { queue, capacity } => {
+                if let Some(cap) = capacity {
+                    assert!(
+                        queue.len() < cap.get(),
+                        "write to full FIFO (capacity {cap}): FPPN writes are non-blocking"
+                    );
+                }
+                queue.push_back(value);
+            }
+            ChannelState::Blackboard { current } => *current = Some(value),
+        }
+    }
+
+    /// The number of samples a read could currently observe (queue length,
+    /// or 1 for an initialized blackboard).
+    pub fn len(&self) -> usize {
+        match self {
+            ChannelState::Fifo { queue, .. } => queue.len(),
+            ChannelState::Blackboard { current } => usize::from(current.is_some()),
+        }
+    }
+
+    /// Whether a read would return the non-availability indicator.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::from_index(i)
+    }
+
+    #[test]
+    fn fifo_orders_samples() {
+        let spec = ChannelSpec::new("c", pid(0), pid(1), ChannelKind::Fifo);
+        let mut st = ChannelState::new(&spec);
+        assert_eq!(st.read(), None);
+        st.write(Value::Int(1));
+        st.write(Value::Int(2));
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.read(), Some(Value::Int(1)));
+        assert_eq!(st.read(), Some(Value::Int(2)));
+        assert_eq!(st.read(), None);
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn blackboard_keeps_last_value() {
+        let spec = ChannelSpec::new("b", pid(0), pid(1), ChannelKind::Blackboard);
+        let mut st = ChannelState::new(&spec);
+        assert_eq!(st.read(), None);
+        st.write(Value::Int(10));
+        st.write(Value::Int(20));
+        assert_eq!(st.read(), Some(Value::Int(20)));
+        // Multiple reads observe the same value.
+        assert_eq!(st.read(), Some(Value::Int(20)));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn initial_values() {
+        let f = ChannelSpec::new("c", pid(0), pid(1), ChannelKind::Fifo)
+            .with_initial(Value::Int(5));
+        let mut st = ChannelState::new(&f);
+        assert_eq!(st.read(), Some(Value::Int(5)));
+        assert_eq!(st.read(), None);
+
+        let b = ChannelSpec::new("b", pid(0), pid(1), ChannelKind::Blackboard)
+            .with_initial(Value::Int(9));
+        let mut st = ChannelState::new(&b);
+        assert_eq!(st.read(), Some(Value::Int(9)));
+        assert_eq!(st.read(), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn bounded_fifo_accepts_up_to_capacity() {
+        let spec = ChannelSpec::new("c", pid(0), pid(1), ChannelKind::Fifo)
+            .with_capacity(NonZeroUsize::new(2).unwrap());
+        let mut st = ChannelState::new(&spec);
+        st.write(Value::Int(1));
+        st.write(Value::Int(2));
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full FIFO")]
+    fn bounded_fifo_overflow_panics() {
+        let spec = ChannelSpec::new("c", pid(0), pid(1), ChannelKind::Fifo)
+            .with_capacity(NonZeroUsize::new(1).unwrap());
+        let mut st = ChannelState::new(&spec);
+        st.write(Value::Int(1));
+        st.write(Value::Int(2));
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        let spec = ChannelSpec::new("loop", pid(2), pid(2), ChannelKind::Blackboard);
+        assert!(spec.is_self_loop());
+    }
+}

@@ -1,0 +1,204 @@
+//! Error types for network construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected while building or validating an FPPN network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A process name is used twice (names must be unique for reporting).
+    DuplicateProcessName {
+        /// The offending name.
+        name: String,
+    },
+    /// An event generator has invalid parameters.
+    InvalidEvent {
+        /// The owning process name.
+        process: String,
+        /// Which constraint failed.
+        reason: String,
+    },
+    /// The functional-priority graph `(P, FP)` has a cycle; Def. 2.1
+    /// requires it to be a DAG.
+    PriorityCycle {
+        /// Process names on one detected cycle, in order.
+        cycle: Vec<String>,
+    },
+    /// Two distinct processes share a channel but are not related by a
+    /// functional-priority edge (Def. 2.1: `(p1,p2) ∈ C ⇒ p1→p2 ∨ p2→p1`).
+    MissingPriority {
+        /// The channel name.
+        channel: String,
+        /// Writer process name.
+        writer: String,
+        /// Reader process name.
+        reader: String,
+    },
+    /// Both `(p1, p2)` and `(p2, p1)` are in FP, which would be a 2-cycle.
+    ContradictoryPriority {
+        /// First process name.
+        a: String,
+        /// Second process name.
+        b: String,
+    },
+    /// A functional-priority self-loop `p → p` was requested.
+    SelfPriority {
+        /// The process name.
+        process: String,
+    },
+    /// A sporadic arrival trace violates its `(m, T)` constraint.
+    SporadicViolation {
+        /// The owning process name.
+        process: String,
+        /// Which window overflowed.
+        reason: String,
+    },
+    /// An id referenced a process that does not exist in this network.
+    UnknownProcess {
+        /// The dangling index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::DuplicateProcessName { name } => {
+                write!(f, "duplicate process name {name:?}")
+            }
+            NetworkError::InvalidEvent { process, reason } => {
+                write!(f, "invalid event generator for process {process:?}: {reason}")
+            }
+            NetworkError::PriorityCycle { cycle } => {
+                write!(f, "functional priority graph has a cycle: {}", cycle.join(" -> "))
+            }
+            NetworkError::MissingPriority {
+                channel,
+                writer,
+                reader,
+            } => write!(
+                f,
+                "channel {channel:?} connects {writer:?} and {reader:?} \
+                 but no functional priority relates them"
+            ),
+            NetworkError::ContradictoryPriority { a, b } => {
+                write!(f, "both {a:?} -> {b:?} and {b:?} -> {a:?} are in FP")
+            }
+            NetworkError::SelfPriority { process } => {
+                write!(f, "functional priority self-loop on process {process:?}")
+            }
+            NetworkError::SporadicViolation { process, reason } => {
+                write!(f, "sporadic trace for process {process:?} violates (m, T): {reason}")
+            }
+            NetworkError::UnknownProcess { index } => {
+                write!(f, "unknown process index {index}")
+            }
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// Errors raised while executing behaviors (interpreter faults, access
+/// violations surfaced as values rather than panics where recoverable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A behavior accessed a channel it is not an endpoint of.
+    AccessViolation {
+        /// The executing process name.
+        process: String,
+        /// What was attempted.
+        detail: String,
+    },
+    /// An interpreted automaton got stuck: no transition enabled outside
+    /// the initial location.
+    AutomatonStuck {
+        /// The executing process name.
+        process: String,
+        /// Location where it is stuck.
+        location: String,
+    },
+    /// An interpreted automaton is non-deterministic: several transitions
+    /// enabled at once (Def. 2.2 requires a deterministic automaton).
+    AutomatonNondeterministic {
+        /// The executing process name.
+        process: String,
+        /// Location with multiple enabled transitions.
+        location: String,
+    },
+    /// An automaton exceeded the step bound within a single job run
+    /// (livelock guard).
+    AutomatonDiverged {
+        /// The executing process name.
+        process: String,
+        /// The configured step bound.
+        bound: usize,
+    },
+    /// Expression evaluation failed (type error, unknown variable, …).
+    Eval {
+        /// The executing process name.
+        process: String,
+        /// Diagnostic message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::AccessViolation { process, detail } => {
+                write!(f, "process {process:?}: channel access violation: {detail}")
+            }
+            ExecError::AutomatonStuck { process, location } => {
+                write!(f, "process {process:?}: automaton stuck in location {location:?}")
+            }
+            ExecError::AutomatonNondeterministic { process, location } => write!(
+                f,
+                "process {process:?}: multiple transitions enabled in location {location:?} \
+                 (automata must be deterministic)"
+            ),
+            ExecError::AutomatonDiverged { process, bound } => {
+                write!(f, "process {process:?}: exceeded {bound} steps in one job run")
+            }
+            ExecError::Eval { process, detail } => {
+                write!(f, "process {process:?}: evaluation error: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetworkError::MissingPriority {
+            channel: "c1".into(),
+            writer: "A".into(),
+            reader: "B".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("c1") && s.contains('A') && s.contains('B'));
+
+        let e = ExecError::AutomatonNondeterministic {
+            process: "p".into(),
+            location: "l0".into(),
+        };
+        assert!(e.to_string().contains("deterministic"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(NetworkError::UnknownProcess { index: 3 });
+        takes_err(ExecError::AutomatonDiverged {
+            process: "p".into(),
+            bound: 10,
+        });
+    }
+}

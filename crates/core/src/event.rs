@@ -1,0 +1,353 @@
+//! Event generators: multi-periodic and sporadic invocation sources (§II-A).
+//!
+//! An event generator is characterized by a burst size `m_e`, a period
+//! `T_e` and a relative deadline `d_e`. A *multi-periodic* generator emits
+//! bursts of `m_e` simultaneous events at times `0, T_e, 2T_e, …`; a
+//! *sporadic* generator emits at most `m_e` events in any half-closed
+//! interval of length `T_e`.
+
+use std::fmt;
+
+use fppn_time::TimeQ;
+
+use crate::error::NetworkError;
+
+/// Whether an event generator is time-triggered or event-triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Bursts of `m` invocations at `phase, phase+T, phase+2T, …`.
+    Periodic,
+    /// At most `m` invocations in any half-closed window of length `T`;
+    /// concrete arrival times come from a [`SporadicTrace`].
+    Sporadic,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Periodic => write!(f, "periodic"),
+            EventKind::Sporadic => write!(f, "sporadic"),
+        }
+    }
+}
+
+/// Static description of an event generator (`e` with `m_e`, `T_e`, `d_e`).
+///
+/// # Examples
+///
+/// ```
+/// use fppn_core::{EventKind, EventSpec};
+/// use fppn_time::TimeQ;
+///
+/// // CoefB from Fig. 1: sporadic, 2 events per 700 ms, implicit deadline.
+/// let coef_b = EventSpec::sporadic(2, TimeQ::from_ms(700));
+/// assert_eq!(coef_b.kind(), EventKind::Sporadic);
+/// assert_eq!(coef_b.deadline(), TimeQ::from_ms(700));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EventSpec {
+    kind: EventKind,
+    burst: u32,
+    period: TimeQ,
+    deadline: TimeQ,
+    phase: TimeQ,
+}
+
+impl EventSpec {
+    /// A periodic generator with burst size 1 and implicit deadline
+    /// (`d = T`), the common case in the paper's applications.
+    pub fn periodic(period: TimeQ) -> Self {
+        Self::multi_periodic(1, period)
+    }
+
+    /// A multi-periodic generator with burst size `m` and implicit deadline.
+    pub fn multi_periodic(burst: u32, period: TimeQ) -> Self {
+        EventSpec {
+            kind: EventKind::Periodic,
+            burst,
+            period,
+            deadline: period,
+            phase: TimeQ::ZERO,
+        }
+    }
+
+    /// A sporadic generator: at most `burst` events per half-closed window
+    /// of length `period`, with implicit deadline.
+    pub fn sporadic(burst: u32, period: TimeQ) -> Self {
+        EventSpec {
+            kind: EventKind::Sporadic,
+            burst,
+            period,
+            deadline: period,
+            phase: TimeQ::ZERO,
+        }
+    }
+
+    /// Overrides the relative deadline `d_e` (constrained or arbitrary).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: TimeQ) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Offsets the first burst of a periodic generator (an extension; the
+    /// paper's generators all start at time 0). Ignored for sporadics.
+    #[must_use]
+    pub fn with_phase(mut self, phase: TimeQ) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Validates the parameters: `m ≥ 1`, `T > 0`, `d > 0`, `phase ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidEvent`] describing the first violated
+    /// constraint.
+    pub fn validate(&self, context: &str) -> Result<(), NetworkError> {
+        let fail = |what: &str| {
+            Err(NetworkError::InvalidEvent {
+                process: context.to_owned(),
+                reason: what.to_owned(),
+            })
+        };
+        if self.burst == 0 {
+            return fail("burst size m must be at least 1");
+        }
+        if !self.period.is_positive() {
+            return fail("period T must be strictly positive");
+        }
+        if !self.deadline.is_positive() {
+            return fail("deadline d must be strictly positive");
+        }
+        if self.phase.is_negative() {
+            return fail("phase must be non-negative");
+        }
+        Ok(())
+    }
+
+    /// The generator kind.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// The burst size `m_e`.
+    pub fn burst(&self) -> u32 {
+        self.burst
+    }
+
+    /// The period (periodic) or minimal window (sporadic) `T_e`.
+    pub fn period(&self) -> TimeQ {
+        self.period
+    }
+
+    /// The relative deadline `d_e`.
+    pub fn deadline(&self) -> TimeQ {
+        self.deadline
+    }
+
+    /// The release offset of the first periodic burst.
+    pub fn phase(&self) -> TimeQ {
+        self.phase
+    }
+
+    /// Whether the generator is sporadic.
+    pub fn is_sporadic(&self) -> bool {
+        self.kind == EventKind::Sporadic
+    }
+
+    /// Invocation timestamps of a periodic generator in `[0, horizon)`,
+    /// with each burst expanded to `m` entries.
+    ///
+    /// Returns an empty vector for sporadic generators (their arrivals come
+    /// from a [`SporadicTrace`]).
+    pub fn periodic_invocations(&self, horizon: TimeQ) -> Vec<TimeQ> {
+        let mut out = Vec::new();
+        if self.kind != EventKind::Periodic {
+            return out;
+        }
+        let mut t = self.phase;
+        while t < horizon {
+            for _ in 0..self.burst {
+                out.push(t);
+            }
+            t += self.period;
+        }
+        out
+    }
+}
+
+/// A concrete arrival-time sequence for one sporadic generator.
+///
+/// The trace is non-decreasing and must satisfy the sporadic constraint: at
+/// most `m` arrivals in any half-closed interval of length `T` — checked by
+/// [`SporadicTrace::validate_against`]. Simultaneous arrivals are allowed
+/// (they model a burst) as long as the window constraint holds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SporadicTrace {
+    arrivals: Vec<TimeQ>,
+}
+
+impl SporadicTrace {
+    /// An empty trace: the sporadic event never fires.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trace from arrival timestamps, sorting them.
+    pub fn new(mut arrivals: Vec<TimeQ>) -> Self {
+        arrivals.sort();
+        SporadicTrace { arrivals }
+    }
+
+    /// The arrival timestamps, non-decreasing.
+    pub fn arrivals(&self) -> &[TimeQ] {
+        &self.arrivals
+    }
+
+    /// The number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the event never fires in this trace.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Checks the trace against a sporadic generator's `(m, T)` constraint
+    /// and non-negativity of the timestamps.
+    ///
+    /// The paper's constraint is "at most `m_e` events can occur in any
+    /// half-closed interval of length `T_e`"; equivalently, arrivals `i` and
+    /// `i + m` must be at least `T` apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::SporadicViolation`] naming the first window
+    /// that overflows.
+    pub fn validate_against(&self, spec: &EventSpec, context: &str) -> Result<(), NetworkError> {
+        let m = spec.burst() as usize;
+        if let Some(first) = self.arrivals.first() {
+            if first.is_negative() {
+                return Err(NetworkError::SporadicViolation {
+                    process: context.to_owned(),
+                    reason: format!("arrival at negative time {first}"),
+                });
+            }
+        }
+        for w in self.arrivals.windows(m + 1) {
+            let (a, b) = (w[0], w[m]);
+            // m+1 arrivals inside a half-closed window of length T exist
+            // iff b - a < T.
+            if b - a < spec.period() {
+                return Err(NetworkError::SporadicViolation {
+                    process: context.to_owned(),
+                    reason: format!(
+                        "{} arrivals within window [{a}, {b}] shorter than T = {}",
+                        m + 1,
+                        spec.period()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The arrivals that fall in `[from, to)`.
+    pub fn arrivals_in(&self, from: TimeQ, to: TimeQ) -> &[TimeQ] {
+        let lo = self.arrivals.partition_point(|t| *t < from);
+        let hi = self.arrivals.partition_point(|t| *t < to);
+        &self.arrivals[lo..hi]
+    }
+}
+
+impl FromIterator<TimeQ> for SporadicTrace {
+    fn from_iter<I: IntoIterator<Item = TimeQ>>(iter: I) -> Self {
+        SporadicTrace::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    #[test]
+    fn periodic_invocations_expand_bursts() {
+        let e = EventSpec::multi_periodic(2, ms(100));
+        assert_eq!(
+            e.periodic_invocations(ms(250)),
+            vec![ms(0), ms(0), ms(100), ms(100), ms(200), ms(200)]
+        );
+        // Horizon is half-open.
+        assert_eq!(e.periodic_invocations(ms(200)).len(), 4);
+    }
+
+    #[test]
+    fn phase_shifts_first_burst() {
+        let e = EventSpec::periodic(ms(100)).with_phase(ms(30));
+        assert_eq!(e.periodic_invocations(ms(250)), vec![ms(30), ms(130), ms(230)]);
+    }
+
+    #[test]
+    fn sporadic_has_no_periodic_invocations() {
+        let e = EventSpec::sporadic(2, ms(700));
+        assert!(e.periodic_invocations(ms(10_000)).is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(EventSpec::periodic(ms(0)).validate("p").is_err());
+        assert!(EventSpec::multi_periodic(0, ms(10)).validate("p").is_err());
+        assert!(EventSpec::periodic(ms(10))
+            .with_deadline(ms(0))
+            .validate("p")
+            .is_err());
+        assert!(EventSpec::periodic(ms(10))
+            .with_phase(ms(-1))
+            .validate("p")
+            .is_err());
+        assert!(EventSpec::sporadic(2, ms(700)).validate("p").is_ok());
+    }
+
+    #[test]
+    fn implicit_deadline_equals_period() {
+        assert_eq!(EventSpec::periodic(ms(250)).deadline(), ms(250));
+        assert_eq!(
+            EventSpec::periodic(ms(250)).with_deadline(ms(100)).deadline(),
+            ms(100)
+        );
+    }
+
+    #[test]
+    fn sporadic_trace_window_constraint() {
+        let spec = EventSpec::sporadic(2, ms(700));
+        // 2 arrivals 1 ms apart: fine (m = 2).
+        let t = SporadicTrace::new(vec![ms(0), ms(1)]);
+        assert!(t.validate_against(&spec, "p").is_ok());
+        // 3 arrivals within 700 ms: violation.
+        let t = SporadicTrace::new(vec![ms(0), ms(1), ms(699)]);
+        assert!(t.validate_against(&spec, "p").is_err());
+        // Third arrival exactly T after the first: allowed (half-closed).
+        let t = SporadicTrace::new(vec![ms(0), ms(1), ms(700)]);
+        assert!(t.validate_against(&spec, "p").is_ok());
+        // Negative arrival: rejected.
+        let t = SporadicTrace::new(vec![ms(-5)]);
+        assert!(t.validate_against(&spec, "p").is_err());
+    }
+
+    #[test]
+    fn trace_is_sorted_and_sliceable() {
+        let t: SporadicTrace = [ms(300), ms(100), ms(200)].into_iter().collect();
+        assert_eq!(t.arrivals(), &[ms(100), ms(200), ms(300)]);
+        assert_eq!(t.arrivals_in(ms(100), ms(300)), &[ms(100), ms(200)]);
+        assert_eq!(t.arrivals_in(ms(301), ms(400)), &[] as &[TimeQ]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(SporadicTrace::empty().is_empty());
+    }
+}

@@ -1,0 +1,427 @@
+//! Sequential execution state: channel stores, stimuli and job running.
+//!
+//! [`ExecState`] is the shared substrate under the zero-delay reference
+//! executor ([`crate::semantics`]) and the discrete-event simulator in
+//! `fppn-sim`: both decide *when* and *in which order* jobs run, then call
+//! [`ExecState::run_job`] to perform the data effects.
+
+use std::collections::BTreeMap;
+
+use fppn_time::TimeQ;
+
+use crate::channel::ChannelState;
+use crate::error::{ExecError, NetworkError};
+use crate::event::SporadicTrace;
+use crate::ids::{ChannelId, PortId, ProcessId};
+use crate::network::Fppn;
+use crate::process::{BoxedBehavior, DataAccess, JobCtx};
+use crate::trace::{Action, JobRun, Observables, Trace};
+use crate::value::Value;
+
+/// External stimuli for one execution: input-stream samples per external
+/// input port and arrival traces per sporadic process.
+///
+/// Prop. 2.1 states that the outputs are a function of exactly this data
+/// (plus the network itself), so `Stimuli` is the complete input of every
+/// execution backend.
+#[derive(Debug, Clone, Default)]
+pub struct Stimuli {
+    inputs: BTreeMap<(ProcessId, PortId), Vec<Value>>,
+    arrivals: BTreeMap<ProcessId, SporadicTrace>,
+}
+
+impl Stimuli {
+    /// No inputs, no sporadic arrivals.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Supplies the sample stream of an external input port; the `k`-th job
+    /// of the process reads sample `k` (1-based).
+    pub fn input(&mut self, pid: ProcessId, port: PortId, samples: Vec<Value>) -> &mut Self {
+        self.inputs.insert((pid, port), samples);
+        self
+    }
+
+    /// Supplies the arrival trace of a sporadic process.
+    pub fn arrivals(&mut self, pid: ProcessId, trace: SporadicTrace) -> &mut Self {
+        self.arrivals.insert(pid, trace);
+        self
+    }
+
+    /// Sample `[k]` of an input port, if the stream is long enough.
+    pub fn input_sample(&self, pid: ProcessId, port: PortId, k: u64) -> Option<Value> {
+        self.inputs
+            .get(&(pid, port))
+            .and_then(|s| s.get((k - 1) as usize))
+            .cloned()
+    }
+
+    /// The arrival trace registered for a sporadic process (empty trace if
+    /// none was registered).
+    pub fn arrival_trace(&self, pid: ProcessId) -> SporadicTrace {
+        self.arrivals.get(&pid).cloned().unwrap_or_default()
+    }
+
+    /// Validates the stimuli against a network: arrival traces only for
+    /// sporadic processes and each trace within its `(m, T)` constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::SporadicViolation`] on the first offending
+    /// trace.
+    pub fn validate(&self, net: &Fppn) -> Result<(), NetworkError> {
+        for (&pid, trace) in &self.arrivals {
+            if pid.index() >= net.process_count() {
+                return Err(NetworkError::UnknownProcess { index: pid.index() });
+            }
+            let spec = net.process(pid);
+            if !spec.event().is_sporadic() {
+                return Err(NetworkError::SporadicViolation {
+                    process: spec.name().to_owned(),
+                    reason: "arrival trace given for a non-sporadic process".to_owned(),
+                });
+            }
+            trace.validate_against(spec.event(), spec.name())?;
+        }
+        Ok(())
+    }
+}
+
+/// Sequential data store + job runner for one execution of a network.
+///
+/// Holds every channel's state, the external-output logs, per-channel write
+/// logs (the observables), per-process job counters and (optionally) a full
+/// action [`Trace`].
+pub struct ExecState<'n> {
+    net: &'n Fppn,
+    stimuli: Stimuli,
+    channels: Vec<ChannelState>,
+    channel_log: Vec<Vec<Value>>,
+    outputs: BTreeMap<(ProcessId, PortId), Vec<(u64, Value)>>,
+    job_counts: Vec<u64>,
+    trace: Option<Trace>,
+    current_actions: Vec<Action>,
+}
+
+impl<'n> ExecState<'n> {
+    /// Creates a fresh execution state (all channels at their initial
+    /// values, all job counters at zero). Trace recording is off; enable it
+    /// with [`ExecState::record_trace`].
+    pub fn new(net: &'n Fppn, stimuli: Stimuli) -> Self {
+        ExecState {
+            channels: net.channels().iter().map(ChannelState::new).collect(),
+            channel_log: vec![Vec::new(); net.channels().len()],
+            outputs: BTreeMap::new(),
+            job_counts: vec![0; net.process_count()],
+            trace: None,
+            current_actions: Vec::new(),
+            stimuli,
+            net,
+        }
+    }
+
+    /// Enables full action-trace recording.
+    #[must_use]
+    pub fn record_trace(mut self) -> Self {
+        self.trace = Some(Trace::new());
+        self
+    }
+
+    /// The network being executed.
+    pub fn network(&self) -> &'n Fppn {
+        self.net
+    }
+
+    /// The number of jobs of `pid` executed so far.
+    pub fn job_count(&self, pid: ProcessId) -> u64 {
+        self.job_counts[pid.index()]
+    }
+
+    /// Runs the next job of `pid` (incrementing its job counter) at
+    /// timestamp `now`, using `behaviors[pid]`.
+    ///
+    /// Returns the 1-based job index `k` that was executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates behavior failures (automaton violations).
+    pub fn run_next_job(
+        &mut self,
+        behaviors: &mut [BoxedBehavior],
+        pid: ProcessId,
+        now: TimeQ,
+    ) -> Result<u64, ExecError> {
+        let k = self.job_counts[pid.index()] + 1;
+        self.run_job(behaviors, pid, k, now)?;
+        Ok(k)
+    }
+
+    /// Runs job `p[k]` at timestamp `now`.
+    ///
+    /// `k` must be exactly one past the number of jobs of `pid` already
+    /// executed: the model's same-process precedence means jobs of one
+    /// process execute in invocation order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates behavior failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of order — that is a scheduling-logic bug in
+    /// the caller, not a recoverable condition.
+    pub fn run_job(
+        &mut self,
+        behaviors: &mut [BoxedBehavior],
+        pid: ProcessId,
+        k: u64,
+        now: TimeQ,
+    ) -> Result<(), ExecError> {
+        let expected = self.job_counts[pid.index()] + 1;
+        assert_eq!(
+            k, expected,
+            "job {}[{k}] executed out of order (expected k = {expected})",
+            self.net.process(pid).name()
+        );
+        self.job_counts[pid.index()] = k;
+        self.current_actions.clear();
+        let result = {
+            let mut ctx_backend = AccessGuard { state: self };
+            let mut ctx = JobCtx::new(&mut ctx_backend, pid, k, now);
+            behaviors[pid.index()].on_job(&mut ctx)
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.push(JobRun {
+                process: pid,
+                k,
+                invoked_at: now,
+                actions: std::mem::take(&mut self.current_actions),
+            });
+        }
+        result
+    }
+
+    /// The per-channel write logs and external-output logs.
+    pub fn observables(&self) -> Observables {
+        Observables {
+            channels: self.channel_log.clone(),
+            outputs: self
+                .outputs
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// The recorded action trace, if recording was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Current state of one channel (for inspection/tests).
+    pub fn channel_state(&self, ch: ChannelId) -> &ChannelState {
+        &self.channels[ch.index()]
+    }
+}
+
+/// Adapter implementing [`DataAccess`] with endpoint-ownership checks.
+struct AccessGuard<'a, 'n> {
+    state: &'a mut ExecState<'n>,
+}
+
+impl DataAccess for AccessGuard<'_, '_> {
+    fn read_channel(&mut self, pid: ProcessId, ch: ChannelId) -> Option<Value> {
+        let spec = self.state.net.channel(ch);
+        assert!(
+            spec.reader() == pid,
+            "process {} read from channel {:?} whose reader is {}",
+            self.state.net.process(pid).name(),
+            spec.name(),
+            self.state.net.process(spec.reader()).name()
+        );
+        let v = self.state.channels[ch.index()].read();
+        self.state.current_actions.push(Action::Read {
+            channel: ch,
+            value: v.clone(),
+        });
+        v
+    }
+
+    fn write_channel(&mut self, pid: ProcessId, ch: ChannelId, value: Value) {
+        let spec = self.state.net.channel(ch);
+        assert!(
+            spec.writer() == pid,
+            "process {} wrote to channel {:?} whose writer is {}",
+            self.state.net.process(pid).name(),
+            spec.name(),
+            self.state.net.process(spec.writer()).name()
+        );
+        self.state.channels[ch.index()].write(value.clone());
+        self.state.channel_log[ch.index()].push(value.clone());
+        self.state
+            .current_actions
+            .push(Action::Write { channel: ch, value });
+    }
+
+    fn read_external(&mut self, pid: ProcessId, port: PortId, k: u64) -> Option<Value> {
+        assert!(
+            port.index() < self.state.net.process(pid).input_ports().len(),
+            "process {} read from undeclared input {port}",
+            self.state.net.process(pid).name()
+        );
+        let v = self.state.stimuli.input_sample(pid, port, k);
+        self.state.current_actions.push(Action::ReadInput {
+            port,
+            k,
+            value: v.clone(),
+        });
+        v
+    }
+
+    fn write_external(&mut self, pid: ProcessId, port: PortId, k: u64, value: Value) {
+        assert!(
+            port.index() < self.state.net.process(pid).output_ports().len(),
+            "process {} wrote to undeclared output {port}",
+            self.state.net.process(pid).name()
+        );
+        self.state
+            .outputs
+            .entry((pid, port))
+            .or_default()
+            .push((k, value.clone()));
+        self.state
+            .current_actions
+            .push(Action::WriteOutput { port, k, value });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelKind;
+    use crate::event::EventSpec;
+    use crate::network::FppnBuilder;
+    use crate::process::ProcessSpec;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    /// src writes k², dst reads and forwards to its external output.
+    fn pipeline() -> (Fppn, crate::network::BehaviorBank, ChannelId) {
+        let mut b = FppnBuilder::new();
+        let src = b.process(ProcessSpec::new("src", EventSpec::periodic(ms(100))));
+        let dst =
+            b.process(ProcessSpec::new("dst", EventSpec::periodic(ms(100))).with_output("out"));
+        let ch = b.channel("c", src, dst, ChannelKind::Fifo);
+        b.priority(src, dst);
+        b.behavior(src, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let k = ctx.k() as i64;
+                ctx.write(ch, Value::Int(k * k));
+            })
+        });
+        b.behavior(dst, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let v = ctx.read_value(ch);
+                ctx.write_output(PortId::from_index(0), v);
+            })
+        });
+        let (net, bank) = b.build().unwrap();
+        (net, bank, ch)
+    }
+
+    #[test]
+    fn run_jobs_and_observe() {
+        let (net, bank, ch) = pipeline();
+        let mut behaviors = bank.instantiate();
+        let mut st = ExecState::new(&net, Stimuli::new()).record_trace();
+        let src = net.process_by_name("src").unwrap();
+        let dst = net.process_by_name("dst").unwrap();
+        st.run_next_job(&mut behaviors, src, ms(0)).unwrap();
+        st.run_next_job(&mut behaviors, dst, ms(0)).unwrap();
+        st.run_next_job(&mut behaviors, src, ms(100)).unwrap();
+        st.run_next_job(&mut behaviors, dst, ms(100)).unwrap();
+        let obs = st.observables();
+        assert_eq!(obs.channels[ch.index()], vec![Value::Int(1), Value::Int(4)]);
+        assert_eq!(
+            obs.outputs[0].1,
+            vec![(1, Value::Int(1)), (2, Value::Int(4))]
+        );
+        assert_eq!(st.trace().unwrap().len(), 4);
+        assert_eq!(st.job_count(src), 2);
+    }
+
+    #[test]
+    fn dst_sees_absent_when_src_did_not_run() {
+        let (net, bank, _ch) = pipeline();
+        let mut behaviors = bank.instantiate();
+        let mut st = ExecState::new(&net, Stimuli::new());
+        let dst = net.process_by_name("dst").unwrap();
+        st.run_next_job(&mut behaviors, dst, ms(0)).unwrap();
+        let obs = st.observables();
+        assert_eq!(obs.outputs[0].1, vec![(1, Value::Absent)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_job_panics() {
+        let (net, bank, _) = pipeline();
+        let mut behaviors = bank.instantiate();
+        let mut st = ExecState::new(&net, Stimuli::new());
+        let src = net.process_by_name("src").unwrap();
+        st.run_job(&mut behaviors, src, 2, ms(0)).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "whose writer is")]
+    fn foreign_write_panics() {
+        let mut b = FppnBuilder::new();
+        let a = b.process(ProcessSpec::new("a", EventSpec::periodic(ms(1))));
+        let c = b.process(ProcessSpec::new("c", EventSpec::periodic(ms(1))));
+        let ch = b.channel("x", a, c, ChannelKind::Fifo);
+        b.priority(a, c);
+        // `c` is the reader but tries to write.
+        b.behavior(c, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch, Value::Unit))
+        });
+        let (net, bank) = b.build().unwrap();
+        let mut behaviors = bank.instantiate();
+        let mut st = ExecState::new(&net, Stimuli::new());
+        let _ = st.run_next_job(&mut behaviors, c, ms(0));
+    }
+
+    #[test]
+    fn stimuli_validation() {
+        let mut b = FppnBuilder::new();
+        let u = b.process(ProcessSpec::new("u", EventSpec::periodic(ms(200))));
+        let s = b.process(ProcessSpec::new("s", EventSpec::sporadic(1, ms(500))));
+        b.channel("c", s, u, ChannelKind::Blackboard);
+        b.priority(s, u);
+        let (net, _) = b.build().unwrap();
+
+        let mut ok = Stimuli::new();
+        ok.arrivals(s, SporadicTrace::new(vec![ms(0), ms(500)]));
+        assert!(ok.validate(&net).is_ok());
+
+        let mut too_dense = Stimuli::new();
+        too_dense.arrivals(s, SporadicTrace::new(vec![ms(0), ms(499)]));
+        assert!(too_dense.validate(&net).is_err());
+
+        let mut wrong_kind = Stimuli::new();
+        wrong_kind.arrivals(u, SporadicTrace::new(vec![ms(0)]));
+        assert!(wrong_kind.validate(&net).is_err());
+    }
+
+    #[test]
+    fn input_samples_are_one_based() {
+        let mut st = Stimuli::new();
+        let pid = ProcessId::from_index(0);
+        let port = PortId::from_index(0);
+        st.input(pid, port, vec![Value::Int(10), Value::Int(20)]);
+        assert_eq!(st.input_sample(pid, port, 1), Some(Value::Int(10)));
+        assert_eq!(st.input_sample(pid, port, 2), Some(Value::Int(20)));
+        assert_eq!(st.input_sample(pid, port, 3), None);
+    }
+}

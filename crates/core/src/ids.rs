@@ -1,0 +1,98 @@
+//! Typed indices for processes, channels and external ports.
+
+use std::fmt;
+
+/// Identifies a process within one [`Fppn`](crate::Fppn) network.
+///
+/// Process ids are dense indices assigned in creation order by the
+/// [`FppnBuilder`](crate::FppnBuilder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    /// The dense index of this process.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ProcessId` from a dense index.
+    ///
+    /// Prefer keeping ids returned by the builder; this constructor exists
+    /// for iteration helpers and (de)serialization.
+    pub const fn from_index(index: usize) -> Self {
+        ProcessId(index as u32)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies an internal channel within one [`Fppn`](crate::Fppn) network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ChannelId {
+    /// The dense index of this channel.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ChannelId` from a dense index.
+    pub const fn from_index(index: usize) -> Self {
+        ChannelId(index as u32)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Identifies an external input or output port of a process.
+///
+/// Ports are indexed per process, in declaration order (`0, 1, …`). The
+/// paper partitions the external channels `I` and `O` among the event
+/// generators (`I_e`, `O_e`); here each process declares its own port lists,
+/// which realizes that partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub(crate) u32);
+
+impl PortId {
+    /// The per-process dense index of this port.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `PortId` from a per-process index.
+    pub const fn from_index(index: usize) -> Self {
+        PortId(index as u32)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(ProcessId::from_index(3).to_string(), "P3");
+        assert_eq!(ChannelId::from_index(1).to_string(), "C1");
+        assert_eq!(PortId::from_index(0).to_string(), "port0");
+        assert_eq!(ProcessId::from_index(9).index(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(ProcessId::from_index(1) < ProcessId::from_index(2));
+    }
+}

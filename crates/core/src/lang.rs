@@ -1,0 +1,705 @@
+//! A textual language for FPPN networks.
+//!
+//! §V of the paper: "In the context of the CERTAINTY EU project an
+//! FPPN-related programming language was defined. For that language we
+//! developed scheduling and code generation tools…". This module is that
+//! frontend: a small declarative language describing processes, event
+//! generators, channels, initial values and functional priorities, parsed
+//! into an [`FppnBuilder`]. Behaviors are attached programmatically by
+//! process name (or come from interpreted automata).
+//!
+//! # Syntax
+//!
+//! ```text
+//! network example {
+//!     process InputA  periodic(T = 200ms) { input sample; }
+//!     process FilterA periodic(T = 100ms, d = 100ms);
+//!     process CoefB   sporadic(m = 2, T = 700ms);
+//!     process OutputB periodic(T = 100ms) { output out2; }
+//!
+//!     channel fifo       c1   : InputA -> FilterA;
+//!     channel blackboard coef : CoefB  -> FilterB init 1;
+//!
+//!     priority InputA -> FilterA;
+//!     priority CoefB  -> FilterB;
+//! }
+//! ```
+//!
+//! Times accept `ms`, `s`, `us` suffixes and exact fractions (`93/7ms`);
+//! bare numbers are milliseconds. Generator parameters: `T` (period,
+//! required), `m` (burst, default 1), `d` (deadline, default `T`),
+//! `phase` (periodic only, default 0).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use fppn_time::TimeQ;
+
+use crate::channel::{ChannelKind, ChannelSpec};
+use crate::event::EventSpec;
+use crate::ids::{ChannelId, ProcessId};
+use crate::network::{BehaviorBank, Fppn, FppnBuilder};
+use crate::process::{BoxedBehavior, ProcessSpec};
+use crate::value::Value;
+use crate::NetworkError;
+
+/// A parsed network: the underlying builder plus name→id maps, so
+/// behaviors can be attached by name before building.
+pub struct ParsedNetwork {
+    builder: FppnBuilder,
+    name: String,
+    processes: BTreeMap<String, ProcessId>,
+    channels: BTreeMap<String, ChannelId>,
+}
+
+impl fmt::Debug for ParsedNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParsedNetwork")
+            .field("name", &self.name)
+            .field("processes", &self.processes.len())
+            .field("channels", &self.channels.len())
+            .finish()
+    }
+}
+
+impl ParsedNetwork {
+    /// The declared network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The process id declared under `name`.
+    pub fn process(&self, name: &str) -> Option<ProcessId> {
+        self.processes.get(name).copied()
+    }
+
+    /// The channel id declared under `name`.
+    pub fn channel(&self, name: &str) -> Option<ChannelId> {
+        self.channels.get(name).copied()
+    }
+
+    /// All declared process names in declaration order.
+    pub fn process_names(&self) -> impl Iterator<Item = &str> {
+        // BTreeMap iterates alphabetically; reconstruct declaration order
+        // from the dense ids.
+        let mut v: Vec<(&String, &ProcessId)> = self.processes.iter().collect();
+        v.sort_by_key(|(_, id)| **id);
+        v.into_iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Attaches a behavior factory to a declared process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] if no process has that name.
+    pub fn behavior(
+        &mut self,
+        process: &str,
+        factory: impl Fn() -> BoxedBehavior + Send + Sync + 'static,
+    ) -> Result<&mut Self, ParseError> {
+        let pid = self.process(process).ok_or_else(|| ParseError {
+            line: 0,
+            message: format!("no process named {process:?}"),
+        })?;
+        self.builder.behavior(pid, factory);
+        Ok(self)
+    }
+
+    /// Validates and freezes the network (see [`FppnBuilder::build`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetworkError`] from validation.
+    pub fn build(self) -> Result<(Fppn, BehaviorBank), NetworkError> {
+        self.builder.build()
+    }
+}
+
+/// A parse error with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token (0 = not location-specific).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(i128),
+    Float(f64),
+    Punct(char),
+    Arrow,
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+}
+
+fn tokenize(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        out.push(SpannedTok {
+                            tok: Tok::Arrow,
+                            line,
+                        });
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let n = read_number(&mut chars, line)?;
+                        out.push(SpannedTok {
+                            tok: match n {
+                                Tok::Number(v) => Tok::Number(-v),
+                                Tok::Float(v) => Tok::Float(-v),
+                                t => t,
+                            },
+                            line,
+                        });
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            line,
+                            message: "expected '->' or a number after '-'".into(),
+                        })
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let tok = read_number(&mut chars, line)?;
+                out.push(SpannedTok { tok, line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            '{' | '}' | '(' | ')' | ';' | ':' | ',' | '=' | '/' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn read_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line: usize,
+) -> Result<Tok, ParseError> {
+    let mut text = String::new();
+    let mut is_float = false;
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            text.push(c);
+            chars.next();
+        } else if c == '.' && !is_float {
+            is_float = true;
+            text.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Tok::Float)
+            .map_err(|_| ParseError {
+                line,
+                message: format!("invalid number {text:?}"),
+            })
+    } else {
+        text.parse::<i128>()
+            .map(Tok::Number)
+            .map_err(|_| ParseError {
+                line,
+                message: format!("invalid number {text:?}"),
+            })
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.err(format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let id = self.expect_ident()?;
+        if id == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw:?}, found {id:?}")))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `<int>[/<int>][ms|s|us]` — bare numbers are milliseconds.
+    fn time(&mut self) -> Result<TimeQ, ParseError> {
+        let num = match self.next() {
+            Some(Tok::Number(n)) => n,
+            other => return Err(self.err(format!("expected a time, found {other:?}"))),
+        };
+        let mut value = TimeQ::from_int_i128(num);
+        if self.eat_punct('/') {
+            match self.next() {
+                Some(Tok::Number(d)) if d != 0 => {
+                    value = TimeQ::new(num, d);
+                }
+                other => return Err(self.err(format!("expected a denominator, found {other:?}"))),
+            }
+        }
+        if let Some(Tok::Ident(unit)) = self.peek() {
+            let scale = match unit.as_str() {
+                "ms" => Some(TimeQ::ONE),
+                "s" => Some(TimeQ::from_int(1000)),
+                "us" => Some(TimeQ::new(1, 1000)),
+                _ => None,
+            };
+            if let Some(scale) = scale {
+                self.pos += 1;
+                value = value * scale;
+            }
+        }
+        Ok(value)
+    }
+}
+
+/// Parses the FPPN language into a [`ParsedNetwork`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending source line.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     network pair {
+///         process src periodic(T = 100ms);
+///         process dst periodic(T = 200ms, d = 150ms);
+///         channel fifo c : src -> dst;
+///         priority src -> dst;
+///     }
+/// "#;
+/// let parsed = fppn_core::lang::parse_network(src)?;
+/// let (net, _bank) = parsed.build()?;
+/// assert_eq!(net.process_count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_network(src: &str) -> Result<ParsedNetwork, ParseError> {
+    let mut p = Parser {
+        toks: tokenize(src)?,
+        pos: 0,
+    };
+    p.expect_keyword("network")?;
+    let name = p.expect_ident()?;
+    p.expect_punct('{')?;
+
+    let mut builder = FppnBuilder::new();
+    let mut processes: BTreeMap<String, ProcessId> = BTreeMap::new();
+    let mut channels: BTreeMap<String, ChannelId> = BTreeMap::new();
+
+    loop {
+        match p.peek() {
+            Some(Tok::Punct('}')) => {
+                p.pos += 1;
+                break;
+            }
+            Some(Tok::Ident(kw)) => match kw.as_str() {
+                "process" => {
+                    let (pname, spec) = parse_process(&mut p)?;
+                    if processes.contains_key(&pname) {
+                        return Err(p.err(format!("duplicate process {pname:?}")));
+                    }
+                    let id = builder.process(spec);
+                    processes.insert(pname, id);
+                }
+                "channel" => {
+                    let (cname, spec) = parse_channel(&mut p, &processes)?;
+                    if channels.contains_key(&cname) {
+                        return Err(p.err(format!("duplicate channel {cname:?}")));
+                    }
+                    let id = builder.channel_spec(spec);
+                    channels.insert(cname, id);
+                }
+                "priority" => {
+                    p.pos += 1;
+                    let hi = p.expect_ident()?;
+                    match p.next() {
+                        Some(Tok::Arrow) => {}
+                        other => return Err(p.err(format!("expected '->', found {other:?}"))),
+                    }
+                    let lo = p.expect_ident()?;
+                    p.expect_punct(';')?;
+                    let hi_id = *processes
+                        .get(&hi)
+                        .ok_or_else(|| p.err(format!("unknown process {hi:?}")))?;
+                    let lo_id = *processes
+                        .get(&lo)
+                        .ok_or_else(|| p.err(format!("unknown process {lo:?}")))?;
+                    builder.priority(hi_id, lo_id);
+                }
+                other => return Err(p.err(format!("unexpected keyword {other:?}"))),
+            },
+            other => return Err(p.err(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    Ok(ParsedNetwork {
+        builder,
+        name,
+        processes,
+        channels,
+    })
+}
+
+/// `process <name> periodic|sporadic(<params>) [ { input a; output b; } ] ;`
+fn parse_process(p: &mut Parser) -> Result<(String, ProcessSpec), ParseError> {
+    p.expect_keyword("process")?;
+    let name = p.expect_ident()?;
+    let kind = p.expect_ident()?;
+    p.expect_punct('(')?;
+    let mut period: Option<TimeQ> = None;
+    let mut burst: u32 = 1;
+    let mut deadline: Option<TimeQ> = None;
+    let mut phase: Option<TimeQ> = None;
+    loop {
+        if p.eat_punct(')') {
+            break;
+        }
+        let key = p.expect_ident()?;
+        p.expect_punct('=')?;
+        match key.as_str() {
+            "T" => period = Some(p.time()?),
+            "d" => deadline = Some(p.time()?),
+            "phase" => phase = Some(p.time()?),
+            "m" => match p.next() {
+                Some(Tok::Number(n)) if n > 0 => burst = n as u32,
+                other => return Err(p.err(format!("expected a positive burst, found {other:?}"))),
+            },
+            other => return Err(p.err(format!("unknown generator parameter {other:?}"))),
+        }
+        let _ = p.eat_punct(',');
+    }
+    let period = period.ok_or_else(|| p.err(format!("process {name:?} needs T = <period>")))?;
+    let mut event = match kind.as_str() {
+        "periodic" => EventSpec::multi_periodic(burst, period),
+        "sporadic" => EventSpec::sporadic(burst, period),
+        other => return Err(p.err(format!("expected 'periodic' or 'sporadic', found {other:?}"))),
+    };
+    if let Some(d) = deadline {
+        event = event.with_deadline(d);
+    }
+    if let Some(ph) = phase {
+        event = event.with_phase(ph);
+    }
+    let mut spec = ProcessSpec::new(name.clone(), event);
+    // Optional port block.
+    if p.eat_punct('{') {
+        loop {
+            if p.eat_punct('}') {
+                break;
+            }
+            let dir = p.expect_ident()?;
+            let port = p.expect_ident()?;
+            p.expect_punct(';')?;
+            spec = match dir.as_str() {
+                "input" => spec.with_input(port),
+                "output" => spec.with_output(port),
+                other => return Err(p.err(format!("expected 'input' or 'output', found {other:?}"))),
+            };
+        }
+    } else {
+        p.expect_punct(';')?;
+        return Ok((name, spec));
+    }
+    let _ = p.eat_punct(';');
+    Ok((name, spec))
+}
+
+/// `channel fifo|blackboard <name> : <writer> -> <reader> [init <value>] ;`
+fn parse_channel(
+    p: &mut Parser,
+    processes: &BTreeMap<String, ProcessId>,
+) -> Result<(String, ChannelSpec), ParseError> {
+    p.expect_keyword("channel")?;
+    let kind = match p.expect_ident()?.as_str() {
+        "fifo" => ChannelKind::Fifo,
+        "blackboard" => ChannelKind::Blackboard,
+        other => {
+            return Err(p.err(format!("expected 'fifo' or 'blackboard', found {other:?}")))
+        }
+    };
+    let name = p.expect_ident()?;
+    p.expect_punct(':')?;
+    let writer = p.expect_ident()?;
+    match p.next() {
+        Some(Tok::Arrow) => {}
+        other => return Err(p.err(format!("expected '->', found {other:?}"))),
+    }
+    let reader = p.expect_ident()?;
+    let writer_id = *processes
+        .get(&writer)
+        .ok_or_else(|| p.err(format!("unknown process {writer:?}")))?;
+    let reader_id = *processes
+        .get(&reader)
+        .ok_or_else(|| p.err(format!("unknown process {reader:?}")))?;
+    let mut spec = ChannelSpec::new(name.clone(), writer_id, reader_id, kind);
+    if let Some(Tok::Ident(kw)) = p.peek() {
+        if kw == "init" {
+            p.pos += 1;
+            let value = match p.next() {
+                Some(Tok::Number(n)) => Value::Int(n as i64),
+                Some(Tok::Float(f)) => Value::Float(f),
+                other => return Err(p.err(format!("expected an init value, found {other:?}"))),
+            };
+            spec = spec.with_initial(value);
+        }
+    }
+    p.expect_punct(';')?;
+    Ok((name, spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::JobCtx;
+
+    const FIG1_SRC: &str = r#"
+        # The running example of the paper, in the FPPN language.
+        network fig1 {
+            process InputA  periodic(T = 200ms) { input sample; }
+            process FilterB periodic(T = 200ms);
+            process FilterA periodic(T = 100ms);
+            process OutputA periodic(T = 200ms) { output out1; }
+            process NormA   periodic(T = 200ms);
+            process CoefB   sporadic(m = 2, T = 700ms);
+            process OutputB periodic(T = 100ms) { output out2; }
+
+            channel fifo       c_in_a    : InputA  -> FilterA;
+            channel fifo       c_in_b    : InputA  -> FilterB;
+            channel fifo       c_a_norm  : FilterA -> NormA;
+            channel blackboard c_feedback: NormA   -> FilterA init 0.5;
+            channel fifo       c_norm_out: NormA   -> OutputA;
+            channel blackboard c_coef    : CoefB   -> FilterB init 1.0;
+            channel blackboard c_b_out   : FilterB -> OutputB;
+
+            priority InputA  -> FilterA;
+            priority InputA  -> FilterB;
+            priority InputA  -> NormA;
+            priority FilterA -> NormA;
+            priority NormA   -> OutputA;
+            priority CoefB   -> FilterB;
+            priority FilterB -> OutputB;
+        }
+    "#;
+
+    #[test]
+    fn parses_the_fig1_network() {
+        let parsed = parse_network(FIG1_SRC).unwrap();
+        assert_eq!(parsed.name(), "fig1");
+        assert_eq!(parsed.process_names().count(), 7);
+        let (net, _) = parsed.build().unwrap();
+        assert_eq!(net.process_count(), 7);
+        assert_eq!(net.channels().len(), 7);
+        let coef = net.process_by_name("CoefB").unwrap();
+        assert_eq!(net.process(coef).event().kind(), EventKind::Sporadic);
+        assert_eq!(net.process(coef).event().burst(), 2);
+        assert_eq!(net.process(coef).event().period(), TimeQ::from_ms(700));
+        assert_eq!(net.user_of(coef), Some(net.process_by_name("FilterB").unwrap()));
+        // Initial value survived.
+        let fb = net.channel_by_name("c_feedback").unwrap();
+        assert_eq!(net.channel(fb).initial(), Some(&Value::Float(0.5)));
+    }
+
+    #[test]
+    fn behaviors_attach_by_name() {
+        let mut parsed = parse_network(
+            "network t { process a periodic(T = 10ms); process b periodic(T = 10ms); \
+             channel fifo c : a -> b; priority a -> b; }",
+        )
+        .unwrap();
+        let ch = parsed.channel("c").unwrap();
+        parsed
+            .behavior("a", move || {
+                Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch, Value::Int(ctx.k() as i64)))
+            })
+            .unwrap();
+        assert!(parsed.behavior("zzz", || Box::new(|_: &mut JobCtx<'_>| {})).is_err());
+        let (net, bank) = parsed.build().unwrap();
+        let mut behaviors = bank.instantiate();
+        let run = crate::run_zero_delay(
+            &net,
+            &mut behaviors,
+            &crate::Stimuli::new(),
+            TimeQ::from_ms(30),
+            crate::JobOrdering::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            run.observables.channels[0],
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn time_units_and_fractions() {
+        let parsed = parse_network(
+            "network t { process a periodic(T = 2s, d = 93/7ms, phase = 500us); }",
+        )
+        .unwrap();
+        let (net, _) = parsed.build().unwrap();
+        let e = net.process(ProcessId::from_index(0)).event().clone();
+        assert_eq!(e.period(), TimeQ::from_secs(2));
+        assert_eq!(e.deadline(), TimeQ::new(93, 7));
+        assert_eq!(e.phase(), TimeQ::new(1, 2));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "network t {\n  process a periodic(T = 10ms);\n  chanel oops;\n}";
+        let err = parse_network(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn unknown_process_in_channel_is_rejected() {
+        let err = parse_network(
+            "network t { process a periodic(T = 1ms); channel fifo c : a -> ghost; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("ghost"));
+    }
+
+    #[test]
+    fn validation_still_applies_after_parsing() {
+        // A channel without priority: parsing succeeds, build rejects.
+        let parsed = parse_network(
+            "network t { process a periodic(T = 1ms); process b periodic(T = 1ms); \
+             channel fifo c : a -> b; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            parsed.build(),
+            Err(NetworkError::MissingPriority { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_negative_numbers() {
+        let parsed = parse_network(
+            "# header\nnetwork t { process a periodic(T = 5ms); \
+             channel blackboard c : a -> a init -3; }",
+        )
+        .unwrap();
+        let (net, _) = parsed.build().unwrap();
+        let c = net.channel_by_name("c").unwrap();
+        assert_eq!(net.channel(c).initial(), Some(&Value::Int(-3)));
+    }
+}

@@ -1,0 +1,610 @@
+//! The FPPN network: processes, channels and the functional-priority DAG
+//! (Def. 2.1), with static validation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fppn_time::{hyperperiod, TimeQ};
+
+use crate::channel::{ChannelKind, ChannelSpec};
+use crate::error::NetworkError;
+use crate::event::EventKind;
+use crate::ids::{ChannelId, ProcessId};
+use crate::process::{BehaviorFactory, BoxedBehavior, ProcessSpec};
+
+/// A validated Fixed-Priority Process Network.
+///
+/// `Fppn` is the static model only — process specs, channel specs and the
+/// functional-priority relation. Behaviors are kept separately in a
+/// [`BehaviorBank`] so that the same network can be analyzed (task-graph
+/// derivation, scheduling) without executable code and executed repeatedly
+/// from fresh state.
+///
+/// Construct through [`FppnBuilder`]; [`FppnBuilder::build`] performs the
+/// Def. 2.1 well-formedness checks:
+///
+/// * the functional-priority graph `(P, FP)` is acyclic;
+/// * every channel between two *distinct* processes has its endpoints
+///   related by a direct FP edge (`(p1,p2) ∈ C ⇒ p1→p2 ∨ p2→p1`);
+///   self-loop channels are exempt because jobs of one process are already
+///   totally ordered by the semantics;
+/// * event-generator parameters are sane (`m ≥ 1`, `T > 0`, `d > 0`).
+#[derive(Debug)]
+pub struct Fppn {
+    processes: Vec<ProcessSpec>,
+    channels: Vec<ChannelSpec>,
+    fp_edges: BTreeSet<(u32, u32)>,
+    /// Rank of each process in a fixed linearization of the FP DAG; used to
+    /// order simultaneous invocations deterministically.
+    topo_rank: Vec<u32>,
+}
+
+impl Fppn {
+    /// The process descriptions, indexed by [`ProcessId`].
+    pub fn processes(&self) -> &[ProcessSpec] {
+        &self.processes
+    }
+
+    /// The channel descriptions, indexed by [`ChannelId`].
+    pub fn channels(&self) -> &[ChannelSpec] {
+        &self.channels
+    }
+
+    /// The number of processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The spec of one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` does not belong to this network.
+    pub fn process(&self, pid: ProcessId) -> &ProcessSpec {
+        &self.processes[pid.index()]
+    }
+
+    /// The spec of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` does not belong to this network.
+    pub fn channel(&self, ch: ChannelId) -> &ChannelSpec {
+        &self.channels[ch.index()]
+    }
+
+    /// Iterates over `(id, spec)` pairs for all processes.
+    pub fn process_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.processes.len()).map(ProcessId::from_index)
+    }
+
+    /// Looks up a process by name.
+    pub fn process_by_name(&self, name: &str) -> Option<ProcessId> {
+        self.processes
+            .iter()
+            .position(|p| p.name() == name)
+            .map(ProcessId::from_index)
+    }
+
+    /// Looks up a channel by name.
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name() == name)
+            .map(ChannelId::from_index)
+    }
+
+    /// Whether `(a, b) ∈ FP`, i.e. `a → b` (a has functional priority
+    /// over b).
+    pub fn has_priority(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.fp_edges.contains(&(a.0, b.0))
+    }
+
+    /// The paper's `p_a ⋈ p_b`: the two processes are related by FP in
+    /// either direction.
+    pub fn related(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.has_priority(a, b) || self.has_priority(b, a)
+    }
+
+    /// All FP edges `(higher, lower)`.
+    pub fn priority_edges(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.fp_edges
+            .iter()
+            .map(|&(a, b)| (ProcessId(a), ProcessId(b)))
+    }
+
+    /// The rank of `pid` in the fixed FP linearization used to order
+    /// simultaneous invocations: if `a → b` then
+    /// `topo_rank(a) < topo_rank(b)`.
+    pub fn topo_rank(&self, pid: ProcessId) -> u32 {
+        self.topo_rank[pid.index()]
+    }
+
+    /// Channels for which `pid` is the reader.
+    pub fn inputs_of(&self, pid: ProcessId) -> impl Iterator<Item = ChannelId> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.reader() == pid)
+            .map(|(i, _)| ChannelId::from_index(i))
+    }
+
+    /// Channels for which `pid` is the writer.
+    pub fn outputs_of(&self, pid: ProcessId) -> impl Iterator<Item = ChannelId> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.writer() == pid)
+            .map(|(i, _)| ChannelId::from_index(i))
+    }
+
+    /// The distinct processes connected to `pid` by at least one channel
+    /// (excluding `pid` itself).
+    pub fn channel_neighbors(&self, pid: ProcessId) -> Vec<ProcessId> {
+        let mut out = BTreeSet::new();
+        for c in &self.channels {
+            if c.writer() == pid && c.reader() != pid {
+                out.insert(c.reader());
+            }
+            if c.reader() == pid && c.writer() != pid {
+                out.insert(c.writer());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// For a sporadic process, its *user* `u(p)` in the schedulable
+    /// subclass of §III-A: the unique periodic process it shares a channel
+    /// with. Returns `None` if `pid` is not sporadic, has no channel
+    /// neighbor, more than one, or a sporadic one.
+    pub fn user_of(&self, pid: ProcessId) -> Option<ProcessId> {
+        if self.process(pid).event().kind() != EventKind::Sporadic {
+            return None;
+        }
+        match self.channel_neighbors(pid).as_slice() {
+            [u] if self.process(*u).event().kind() == EventKind::Periodic => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The hyperperiod of the network after the sporadic→server transform:
+    /// lcm of all periodic periods and of the user periods standing in for
+    /// sporadic processes. Returns `None` if the network is empty or some
+    /// sporadic process has no valid user.
+    pub fn server_hyperperiod(&self) -> Option<TimeQ> {
+        let mut periods = Vec::with_capacity(self.processes.len());
+        for pid in self.process_ids() {
+            let ev = self.process(pid).event();
+            match ev.kind() {
+                EventKind::Periodic => periods.push(ev.period()),
+                EventKind::Sporadic => {
+                    let user = self.user_of(pid)?;
+                    periods.push(self.process(user).event().period());
+                }
+            }
+        }
+        hyperperiod(periods)
+    }
+}
+
+/// Incremental constructor for [`Fppn`] networks (and their behaviors).
+///
+/// # Examples
+///
+/// ```
+/// use fppn_core::{ChannelKind, EventSpec, FppnBuilder, ProcessSpec, Value};
+/// use fppn_time::TimeQ;
+///
+/// # fn main() -> Result<(), fppn_core::NetworkError> {
+/// let mut b = FppnBuilder::new();
+/// let src = b.process(ProcessSpec::new("src", EventSpec::periodic(TimeQ::from_ms(100))));
+/// let dst = b.process(ProcessSpec::new("dst", EventSpec::periodic(TimeQ::from_ms(100))));
+/// let ch = b.channel("c", src, dst, ChannelKind::Fifo);
+/// b.priority(src, dst); // required: src and dst share a channel
+/// b.behavior(src, move || Box::new(move |ctx: &mut fppn_core::JobCtx<'_>| {
+///     ctx.write(ch, Value::Int(ctx.k() as i64));
+/// }));
+/// let (net, _bank) = b.build()?;
+/// assert_eq!(net.process_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct FppnBuilder {
+    processes: Vec<ProcessSpec>,
+    channels: Vec<ChannelSpec>,
+    fp_edges: BTreeSet<(u32, u32)>,
+    factories: BTreeMap<u32, BehaviorFactory>,
+}
+
+impl FppnBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a process and returns its id.
+    pub fn process(&mut self, spec: ProcessSpec) -> ProcessId {
+        let id = ProcessId(self.processes.len() as u32);
+        self.processes.push(spec);
+        id
+    }
+
+    /// Adds an internal channel from `writer` to `reader`.
+    pub fn channel(
+        &mut self,
+        name: impl Into<String>,
+        writer: ProcessId,
+        reader: ProcessId,
+        kind: ChannelKind,
+    ) -> ChannelId {
+        self.channel_spec(ChannelSpec::new(name, writer, reader, kind))
+    }
+
+    /// Adds a fully-configured channel spec (initial value, capacity).
+    pub fn channel_spec(&mut self, spec: ChannelSpec) -> ChannelId {
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(spec);
+        id
+    }
+
+    /// Declares the functional priority `higher → lower`.
+    pub fn priority(&mut self, higher: ProcessId, lower: ProcessId) -> &mut Self {
+        self.fp_edges.insert((higher.0, lower.0));
+        self
+    }
+
+    /// Registers the behavior factory of a process. Executors instantiate a
+    /// fresh behavior per run, so repeated runs start from identical state.
+    pub fn behavior(
+        &mut self,
+        pid: ProcessId,
+        factory: impl Fn() -> BoxedBehavior + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.factories.insert(pid.0, Box::new(factory));
+        self
+    }
+
+    /// Validates and freezes the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetworkError`] found: duplicate names, invalid
+    /// generator parameters, FP self-loops/2-cycles/cycles, or channels
+    /// whose endpoints are unrelated by FP.
+    pub fn build(self) -> Result<(Fppn, BehaviorBank), NetworkError> {
+        let n = self.processes.len();
+        // Unique names.
+        let mut seen = BTreeSet::new();
+        for p in &self.processes {
+            if !seen.insert(p.name()) {
+                return Err(NetworkError::DuplicateProcessName {
+                    name: p.name().to_owned(),
+                });
+            }
+        }
+        // Generator parameters.
+        for p in &self.processes {
+            p.event().validate(p.name())?;
+        }
+        // Channel endpoints exist (ids are constructed by us, but specs can
+        // be built manually via `channel_spec`).
+        for c in &self.channels {
+            for end in [c.writer(), c.reader()] {
+                if end.index() >= n {
+                    return Err(NetworkError::UnknownProcess { index: end.index() });
+                }
+            }
+        }
+        // FP sanity: endpoints exist, no self-loops, no 2-cycles.
+        for &(a, b) in &self.fp_edges {
+            if a as usize >= n || b as usize >= n {
+                return Err(NetworkError::UnknownProcess {
+                    index: a.max(b) as usize,
+                });
+            }
+            if a == b {
+                return Err(NetworkError::SelfPriority {
+                    process: self.processes[a as usize].name().to_owned(),
+                });
+            }
+            if self.fp_edges.contains(&(b, a)) {
+                return Err(NetworkError::ContradictoryPriority {
+                    a: self.processes[a as usize].name().to_owned(),
+                    b: self.processes[b as usize].name().to_owned(),
+                });
+            }
+        }
+        // Channel coverage: distinct endpoints must be FP-related.
+        for c in &self.channels {
+            if c.is_self_loop() {
+                continue;
+            }
+            let (w, r) = (c.writer().0, c.reader().0);
+            if !self.fp_edges.contains(&(w, r)) && !self.fp_edges.contains(&(r, w)) {
+                return Err(NetworkError::MissingPriority {
+                    channel: c.name().to_owned(),
+                    writer: self.processes[w as usize].name().to_owned(),
+                    reader: self.processes[r as usize].name().to_owned(),
+                });
+            }
+        }
+        // Acyclicity + fixed linearization (Kahn, smallest id first so the
+        // rank assignment is reproducible).
+        let topo_rank = topological_ranks(n, &self.fp_edges).ok_or_else(|| {
+            NetworkError::PriorityCycle {
+                cycle: find_cycle(n, &self.fp_edges)
+                    .into_iter()
+                    .map(|i| self.processes[i].name().to_owned())
+                    .collect(),
+            }
+        })?;
+
+        let net = Fppn {
+            processes: self.processes,
+            channels: self.channels,
+            fp_edges: self.fp_edges,
+            topo_rank,
+        };
+        let bank = BehaviorBank {
+            factories: into_factory_vec(self.factories, n),
+        };
+        Ok((net, bank))
+    }
+}
+
+fn into_factory_vec(
+    mut map: BTreeMap<u32, BehaviorFactory>,
+    n: usize,
+) -> Vec<Option<BehaviorFactory>> {
+    (0..n as u32).map(|i| map.remove(&i)).collect()
+}
+
+/// Kahn's algorithm; returns per-node ranks or `None` on a cycle.
+fn topological_ranks(n: usize, edges: &BTreeSet<(u32, u32)>) -> Option<Vec<u32>> {
+    let mut indegree = vec![0usize; n];
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        indegree[b as usize] += 1;
+        succ[a as usize].push(b);
+    }
+    // BTreeSet as a priority queue keyed by node id => deterministic order.
+    let mut ready: BTreeSet<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+    let mut rank = vec![0u32; n];
+    let mut next_rank = 0u32;
+    while let Some(&node) = ready.iter().next() {
+        ready.remove(&node);
+        rank[node as usize] = next_rank;
+        next_rank += 1;
+        for &s in &succ[node as usize] {
+            indegree[s as usize] -= 1;
+            if indegree[s as usize] == 0 {
+                ready.insert(s);
+            }
+        }
+    }
+    (next_rank as usize == n).then_some(rank)
+}
+
+/// Finds one cycle in the FP graph (for the error message).
+fn find_cycle(n: usize, edges: &BTreeSet<(u32, u32)>) -> Vec<usize> {
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        succ[a as usize].push(b as usize);
+    }
+    // Iterative DFS with colors: 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color[start] = 1;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if *idx < succ[node].len() {
+                let next = succ[node][*idx];
+                *idx += 1;
+                match color[next] {
+                    0 => {
+                        color[next] = 1;
+                        parent[next] = node;
+                        stack.push((next, 0));
+                    }
+                    1 => {
+                        // Reconstruct node -> ... -> next -> node.
+                        let mut cycle = vec![next];
+                        let mut cur = node;
+                        while cur != next {
+                            cycle.push(cur);
+                            cur = parent[cur];
+                        }
+                        cycle.reverse();
+                        return cycle;
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Behavior factories for all processes of a network, in process-id order.
+pub struct BehaviorBank {
+    factories: Vec<Option<BehaviorFactory>>,
+}
+
+impl BehaviorBank {
+    /// Instantiates a fresh behavior per process. Processes without a
+    /// registered behavior get a no-op (useful for pure timing analysis).
+    pub fn instantiate(&self) -> Vec<BoxedBehavior> {
+        self.factories
+            .iter()
+            .map(|f| match f {
+                Some(f) => f(),
+                None => Box::new(|_: &mut crate::JobCtx<'_>| {}) as BoxedBehavior,
+            })
+            .collect()
+    }
+
+    /// Whether a behavior was registered for `pid`.
+    pub fn has_behavior(&self, pid: ProcessId) -> bool {
+        self.factories
+            .get(pid.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
+    }
+}
+
+impl std::fmt::Debug for BehaviorBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BehaviorBank")
+            .field("processes", &self.factories.len())
+            .field(
+                "with_behavior",
+                &self.factories.iter().filter(|x| x.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventSpec;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    fn two_process_builder() -> (FppnBuilder, ProcessId, ProcessId) {
+        let mut b = FppnBuilder::new();
+        let a = b.process(ProcessSpec::new("a", EventSpec::periodic(ms(100))));
+        let c = b.process(ProcessSpec::new("c", EventSpec::periodic(ms(200))));
+        (b, a, c)
+    }
+
+    #[test]
+    fn build_minimal_network() {
+        let (mut b, a, c) = two_process_builder();
+        b.channel("ch", a, c, ChannelKind::Fifo);
+        b.priority(a, c);
+        let (net, _) = b.build().unwrap();
+        assert!(net.has_priority(a, c));
+        assert!(!net.has_priority(c, a));
+        assert!(net.related(a, c));
+        assert!(net.topo_rank(a) < net.topo_rank(c));
+        assert_eq!(net.process_by_name("c"), Some(c));
+        assert_eq!(net.channel_by_name("ch"), Some(ChannelId::from_index(0)));
+    }
+
+    #[test]
+    fn channel_without_priority_is_rejected() {
+        let (mut b, a, c) = two_process_builder();
+        b.channel("ch", a, c, ChannelKind::Fifo);
+        match b.build() {
+            Err(NetworkError::MissingPriority { channel, .. }) => assert_eq!(channel, "ch"),
+            other => panic!("expected MissingPriority, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_channel_needs_no_priority() {
+        let mut b = FppnBuilder::new();
+        let a = b.process(ProcessSpec::new("a", EventSpec::periodic(ms(100))));
+        b.channel("state", a, a, ChannelKind::Blackboard);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn priority_cycle_is_rejected() {
+        let mut b = FppnBuilder::new();
+        let a = b.process(ProcessSpec::new("a", EventSpec::periodic(ms(1))));
+        let c = b.process(ProcessSpec::new("c", EventSpec::periodic(ms(1))));
+        let d = b.process(ProcessSpec::new("d", EventSpec::periodic(ms(1))));
+        b.priority(a, c);
+        b.priority(c, d);
+        b.priority(d, a);
+        match b.build() {
+            Err(NetworkError::PriorityCycle { cycle }) => {
+                assert_eq!(cycle.len(), 3);
+            }
+            other => panic!("expected PriorityCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_priority_is_rejected() {
+        let (mut b, a, c) = two_process_builder();
+        b.priority(a, c);
+        b.priority(c, a);
+        assert!(matches!(
+            b.build(),
+            Err(NetworkError::ContradictoryPriority { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = FppnBuilder::new();
+        b.process(ProcessSpec::new("p", EventSpec::periodic(ms(1))));
+        b.process(ProcessSpec::new("p", EventSpec::periodic(ms(1))));
+        assert!(matches!(
+            b.build(),
+            Err(NetworkError::DuplicateProcessName { .. })
+        ));
+    }
+
+    #[test]
+    fn user_of_sporadic() {
+        let mut b = FppnBuilder::new();
+        let user = b.process(ProcessSpec::new("user", EventSpec::periodic(ms(200))));
+        let cfg = b.process(ProcessSpec::new("cfg", EventSpec::sporadic(2, ms(700))));
+        b.channel("c", cfg, user, ChannelKind::Blackboard);
+        b.priority(cfg, user);
+        let (net, _) = b.build().unwrap();
+        assert_eq!(net.user_of(cfg), Some(user));
+        assert_eq!(net.user_of(user), None);
+        assert_eq!(net.server_hyperperiod(), Some(ms(200)));
+    }
+
+    #[test]
+    fn sporadic_without_unique_user_has_none() {
+        let mut b = FppnBuilder::new();
+        let u1 = b.process(ProcessSpec::new("u1", EventSpec::periodic(ms(100))));
+        let u2 = b.process(ProcessSpec::new("u2", EventSpec::periodic(ms(100))));
+        let cfg = b.process(ProcessSpec::new("cfg", EventSpec::sporadic(1, ms(500))));
+        b.channel("c1", cfg, u1, ChannelKind::Blackboard);
+        b.channel("c2", cfg, u2, ChannelKind::Blackboard);
+        b.priority(cfg, u1);
+        b.priority(cfg, u2);
+        let (net, _) = b.build().unwrap();
+        assert_eq!(net.user_of(cfg), None);
+        assert_eq!(net.server_hyperperiod(), None);
+    }
+
+    #[test]
+    fn neighbors_and_port_queries() {
+        let (mut b, a, c) = two_process_builder();
+        let ch = b.channel("ch", a, c, ChannelKind::Fifo);
+        b.priority(a, c);
+        let (net, _) = b.build().unwrap();
+        assert_eq!(net.channel_neighbors(a), vec![c]);
+        assert_eq!(net.outputs_of(a).collect::<Vec<_>>(), vec![ch]);
+        assert_eq!(net.inputs_of(c).collect::<Vec<_>>(), vec![ch]);
+        assert_eq!(net.inputs_of(a).count(), 0);
+    }
+
+    #[test]
+    fn behavior_bank_defaults_to_noop() {
+        let (mut b, a, _) = two_process_builder();
+        b.behavior(a, || Box::new(|_: &mut crate::JobCtx<'_>| {}));
+        let (_, bank) = b.build().unwrap();
+        assert!(bank.has_behavior(ProcessId::from_index(0)));
+        assert!(!bank.has_behavior(ProcessId::from_index(1)));
+        assert_eq!(bank.instantiate().len(), 2);
+    }
+}

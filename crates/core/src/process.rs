@@ -1,0 +1,299 @@
+//! Processes, job behaviors and the job execution context.
+//!
+//! Def. 2.2 associates each process with a deterministic automaton whose
+//! job execution run is "a non-empty sequence of automaton steps that
+//! brings it back to its initial location (as a subroutine)". This module
+//! provides the runtime face of that definition: a [`Behavior`] is invoked
+//! once per job and performs reads, writes and local computation through a
+//! [`JobCtx`]. Behaviors can be written as plain Rust closures/structs or
+//! interpreted from a formal automaton (see [`crate::automaton`]).
+
+use fppn_time::TimeQ;
+
+use crate::event::EventSpec;
+use crate::ids::{ChannelId, PortId, ProcessId};
+use crate::value::Value;
+
+/// Static description of a process: a name, its event generator, and its
+/// external port lists (`I_e`, `O_e` in Def. 2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessSpec {
+    name: String,
+    event: EventSpec,
+    input_ports: Vec<String>,
+    output_ports: Vec<String>,
+}
+
+impl ProcessSpec {
+    /// Creates a process description with no external ports.
+    pub fn new(name: impl Into<String>, event: EventSpec) -> Self {
+        ProcessSpec {
+            name: name.into(),
+            event,
+            input_ports: Vec::new(),
+            output_ports: Vec::new(),
+        }
+    }
+
+    /// Declares an external input channel read by this process; sample `[k]`
+    /// is consumed by the `k`-th job.
+    #[must_use]
+    pub fn with_input(mut self, port_name: impl Into<String>) -> Self {
+        self.input_ports.push(port_name.into());
+        self
+    }
+
+    /// Declares an external output channel written by this process; sample
+    /// `[k]` is produced by the `k`-th job.
+    #[must_use]
+    pub fn with_output(mut self, port_name: impl Into<String>) -> Self {
+        self.output_ports.push(port_name.into());
+        self
+    }
+
+    /// The unique process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The event generator driving this process.
+    pub fn event(&self) -> &EventSpec {
+        &self.event
+    }
+
+    /// Names of the external input ports, in port-id order.
+    pub fn input_ports(&self) -> &[String] {
+        &self.input_ports
+    }
+
+    /// Names of the external output ports, in port-id order.
+    pub fn output_ports(&self) -> &[String] {
+        &self.output_ports
+    }
+}
+
+/// The functional body of a process, invoked once per job.
+///
+/// Implementations must be deterministic: the actions taken may depend only
+/// on internal state and on the values observed through the context. Any
+/// hidden input (wall-clock time, RNG without a fixed seed, thread id)
+/// breaks Prop. 2.1 and will be caught by the determinism test-suite.
+///
+/// The trait is object-safe; executors store `Box<dyn Behavior>`.
+///
+/// Plain closures `FnMut(&mut JobCtx<'_>)` implement `Behavior` via a
+/// blanket impl (they cannot fail; interpreted automata return
+/// [`ExecError`](crate::error::ExecError) on model violations).
+pub trait Behavior: Send {
+    /// Executes one job run: the `ctx.k()`-th job of this process.
+    ///
+    /// # Errors
+    ///
+    /// Implementations that interpret formal models return
+    /// [`ExecError`](crate::error::ExecError) on violations such as
+    /// non-deterministic automata; executors abort the run and surface the
+    /// error.
+    fn on_job(&mut self, ctx: &mut JobCtx<'_>) -> Result<(), crate::error::ExecError>;
+}
+
+impl<F> Behavior for F
+where
+    F: FnMut(&mut JobCtx<'_>) + Send,
+{
+    fn on_job(&mut self, ctx: &mut JobCtx<'_>) -> Result<(), crate::error::ExecError> {
+        self(ctx);
+        Ok(())
+    }
+}
+
+/// A boxed process behavior.
+pub type BoxedBehavior = Box<dyn Behavior>;
+
+/// A factory producing fresh behavior instances, so the same application can
+/// be executed repeatedly (zero-delay reference, simulator, threaded
+/// runtime) from identical initial state.
+pub type BehaviorFactory = Box<dyn Fn() -> BoxedBehavior + Send + Sync>;
+
+/// Storage backend for channel and external-port data, mediating every
+/// read/write action of a job.
+///
+/// Two implementations exist in the workspace: the sequential
+/// [`ExecState`](crate::exec::ExecState) used by the zero-delay semantics
+/// and the discrete-event simulator, and the lock-based concurrent store of
+/// `fppn-runtime`.
+pub trait DataAccess {
+    /// Reads (`x?c`) from channel `ch` on behalf of process `pid`.
+    fn read_channel(&mut self, pid: ProcessId, ch: ChannelId) -> Option<Value>;
+    /// Writes (`x!c`) to channel `ch` on behalf of process `pid`.
+    fn write_channel(&mut self, pid: ProcessId, ch: ChannelId, value: Value);
+    /// Reads external input sample `[k]` from `port` of process `pid`.
+    fn read_external(&mut self, pid: ProcessId, port: PortId, k: u64) -> Option<Value>;
+    /// Writes external output sample `[k]` to `port` of process `pid`.
+    fn write_external(&mut self, pid: ProcessId, port: PortId, k: u64, value: Value);
+}
+
+/// Execution context handed to a [`Behavior`] for one job run.
+///
+/// The context identifies the job (`process`, `k`, invocation time) and
+/// mediates all channel and external I/O through a [`DataAccess`] backend,
+/// which enforces the endpoint ownership rules of the model.
+pub struct JobCtx<'a> {
+    access: &'a mut dyn DataAccess,
+    process: ProcessId,
+    k: u64,
+    invocation: TimeQ,
+}
+
+impl<'a> JobCtx<'a> {
+    /// Creates a context for the `k`-th job of `process`, invoked at
+    /// `invocation`.
+    pub fn new(
+        access: &'a mut dyn DataAccess,
+        process: ProcessId,
+        k: u64,
+        invocation: TimeQ,
+    ) -> Self {
+        JobCtx {
+            access,
+            process,
+            k,
+            invocation,
+        }
+    }
+
+    /// The process this job belongs to.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// The 1-based invocation count of this job (`k` in `p[k]`).
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The invocation timestamp of this job.
+    pub fn invocation_time(&self) -> TimeQ {
+        self.invocation
+    }
+
+    /// Reads from an internal channel; `None` is the model's
+    /// non-availability indicator (empty FIFO / blank blackboard).
+    ///
+    /// # Panics
+    ///
+    /// The backend panics if this process is not the reader of `ch`.
+    pub fn read(&mut self, ch: ChannelId) -> Option<Value> {
+        self.access.read_channel(self.process, ch)
+    }
+
+    /// Like [`JobCtx::read`], but maps absence to [`Value::Absent`].
+    pub fn read_value(&mut self, ch: ChannelId) -> Value {
+        self.read(ch).unwrap_or(Value::Absent)
+    }
+
+    /// Writes to an internal channel.
+    ///
+    /// # Panics
+    ///
+    /// The backend panics if this process is not the writer of `ch`.
+    pub fn write(&mut self, ch: ChannelId, value: impl Into<Value>) {
+        self.access.write_channel(self.process, ch, value.into());
+    }
+
+    /// Reads this job's sample `[k]` from the external input `port`
+    /// (the `x?[k]I_e` action). `None` if the input stream is exhausted.
+    pub fn read_input(&mut self, port: PortId) -> Option<Value> {
+        self.access.read_external(self.process, port, self.k)
+    }
+
+    /// Writes this job's sample `[k]` to the external output `port`
+    /// (the `x![k]O_e` action).
+    pub fn write_output(&mut self, port: PortId, value: impl Into<Value>) {
+        self.access
+            .write_external(self.process, port, self.k, value.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A toy backend recording every access, for exercising JobCtx.
+    #[derive(Default)]
+    struct Recorder {
+        channel: BTreeMap<u32, Vec<Value>>,
+        outputs: Vec<(u64, Value)>,
+        input: Vec<Value>,
+    }
+
+    impl DataAccess for Recorder {
+        fn read_channel(&mut self, _pid: ProcessId, ch: ChannelId) -> Option<Value> {
+            self.channel
+                .get_mut(&(ch.index() as u32))
+                .and_then(|v| v.pop())
+        }
+        fn write_channel(&mut self, _pid: ProcessId, ch: ChannelId, value: Value) {
+            self.channel
+                .entry(ch.index() as u32)
+                .or_default()
+                .push(value);
+        }
+        fn read_external(&mut self, _pid: ProcessId, _port: PortId, k: u64) -> Option<Value> {
+            self.input.get((k - 1) as usize).cloned()
+        }
+        fn write_external(&mut self, _pid: ProcessId, _port: PortId, k: u64, value: Value) {
+            self.outputs.push((k, value));
+        }
+    }
+
+    #[test]
+    fn closure_behaviors_implement_trait() {
+        let mut doubler = |ctx: &mut JobCtx<'_>| {
+            if let Some(Value::Int(v)) = ctx.read_input(PortId::from_index(0)) {
+                ctx.write_output(PortId::from_index(0), Value::Int(2 * v));
+            }
+        };
+        let mut backend = Recorder {
+            input: vec![Value::Int(21)],
+            ..Recorder::default()
+        };
+        let mut ctx = JobCtx::new(&mut backend, ProcessId::from_index(0), 1, TimeQ::ZERO);
+        Behavior::on_job(&mut doubler, &mut ctx).unwrap();
+        assert_eq!(backend.outputs, vec![(1, Value::Int(42))]);
+    }
+
+    #[test]
+    fn ctx_exposes_job_identity() {
+        let mut backend = Recorder::default();
+        let ctx = JobCtx::new(
+            &mut backend,
+            ProcessId::from_index(3),
+            7,
+            TimeQ::from_ms(400),
+        );
+        assert_eq!(ctx.process(), ProcessId::from_index(3));
+        assert_eq!(ctx.k(), 7);
+        assert_eq!(ctx.invocation_time(), TimeQ::from_ms(400));
+    }
+
+    #[test]
+    fn read_value_maps_absence() {
+        let mut backend = Recorder::default();
+        let mut ctx = JobCtx::new(&mut backend, ProcessId::from_index(0), 1, TimeQ::ZERO);
+        assert_eq!(ctx.read_value(ChannelId::from_index(0)), Value::Absent);
+        ctx.write(ChannelId::from_index(0), 5i64);
+        assert_eq!(ctx.read_value(ChannelId::from_index(0)), Value::Int(5));
+    }
+
+    #[test]
+    fn spec_ports_are_ordered() {
+        let spec = ProcessSpec::new("p", EventSpec::periodic(TimeQ::from_ms(10)))
+            .with_input("in0")
+            .with_input("in1")
+            .with_output("out0");
+        assert_eq!(spec.input_ports(), &["in0".to_owned(), "in1".to_owned()]);
+        assert_eq!(spec.output_ports(), &["out0".to_owned()]);
+        assert_eq!(spec.name(), "p");
+    }
+}

@@ -1,0 +1,414 @@
+//! The zero-delay semantics of FPPN (§II-B).
+//!
+//! Given the sequence `(t1, P¹), (t2, P²), …` of invocation timestamps and
+//! invoked-process multisets, the zero-delay execution trace is
+//! `w(t1) ∘ α1 ∘ w(t2) ∘ α2 …`, where each `αi` concatenates the job runs
+//! of the processes in `Pⁱ` *in an order such that if `p1 → p2` then the
+//! jobs of `p1` execute before the jobs of `p2`*.
+//!
+//! The order of FP-**unrelated** processes within one timestamp is left open
+//! by the paper — determinism (Prop. 2.1) holds because unrelated processes
+//! share no channels. [`JobOrdering`] exposes that freedom so the test-suite
+//! can *verify* Prop. 2.1 by executing with different linearizations and
+//! comparing observables.
+
+use std::collections::BTreeMap;
+
+use fppn_time::TimeQ;
+
+use crate::error::{ExecError, NetworkError};
+use crate::exec::{ExecState, Stimuli};
+use crate::ids::ProcessId;
+use crate::network::Fppn;
+use crate::process::BoxedBehavior;
+use crate::trace::{Observables, Trace};
+
+/// One job invocation: process `p`, invocation count `k`, timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invocation {
+    /// Invocation timestamp.
+    pub time: TimeQ,
+    /// Invoked process.
+    pub process: ProcessId,
+    /// 1-based invocation count (`k` in `p[k]`).
+    pub k: u64,
+}
+
+/// Which linear extension of the FP DAG orders simultaneous invocations.
+///
+/// Both variants respect every FP edge; they differ only on unrelated
+/// processes. Executing under both and comparing observables is a direct
+/// test of Prop. 2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobOrdering {
+    /// Kahn's algorithm popping the smallest ready process id first
+    /// (the workspace-wide canonical order).
+    #[default]
+    MinRankFirst,
+    /// Kahn's algorithm popping the largest ready process id first —
+    /// a different, equally valid linearization.
+    MaxRankFirst,
+}
+
+/// Computes per-process ranks for the chosen linear extension of FP.
+pub fn linearization_ranks(net: &Fppn, ordering: JobOrdering) -> Vec<u32> {
+    let n = net.process_count();
+    let mut indegree = vec![0usize; n];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, b) in net.priority_edges() {
+        indegree[b.index()] += 1;
+        succ[a.index()].push(b.index());
+    }
+    let mut ready: std::collections::BTreeSet<usize> = (0..n)
+        .filter(|&i| indegree[i] == 0)
+        .collect();
+    let mut rank = vec![0u32; n];
+    let mut next = 0u32;
+    while !ready.is_empty() {
+        let node = match ordering {
+            JobOrdering::MinRankFirst => *ready.iter().next().expect("non-empty"),
+            JobOrdering::MaxRankFirst => *ready.iter().next_back().expect("non-empty"),
+        };
+        ready.remove(&node);
+        rank[node] = next;
+        next += 1;
+        for &s in &succ[node] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                ready.insert(s);
+            }
+        }
+    }
+    debug_assert_eq!(next as usize, n, "network FP graph must be acyclic");
+    rank
+}
+
+/// Groups every invocation in `[0, horizon)` by timestamp.
+///
+/// Periodic processes are invoked at `phase, phase+T, …` with `m` jobs per
+/// burst; sporadic ones at the times of their [`Stimuli`] arrival trace.
+/// Within one process, `k` counts invocations in time order.
+pub fn invocations_by_time(
+    net: &Fppn,
+    stimuli: &Stimuli,
+    horizon: TimeQ,
+) -> BTreeMap<TimeQ, Vec<Invocation>> {
+    let mut by_time: BTreeMap<TimeQ, Vec<Invocation>> = BTreeMap::new();
+    for pid in net.process_ids() {
+        let ev = net.process(pid).event();
+        let times: Vec<TimeQ> = if ev.is_sporadic() {
+            stimuli
+                .arrival_trace(pid)
+                .arrivals_in(TimeQ::ZERO, horizon)
+                .to_vec()
+        } else {
+            ev.periodic_invocations(horizon)
+        };
+        for (i, t) in times.into_iter().enumerate() {
+            by_time.entry(t).or_default().push(Invocation {
+                time: t,
+                process: pid,
+                k: i as u64 + 1,
+            });
+        }
+    }
+    by_time
+}
+
+/// The result of a zero-delay execution.
+#[derive(Debug)]
+pub struct ZeroDelayRun {
+    /// Per-channel and per-output observable value sequences (Prop. 2.1).
+    pub observables: Observables,
+    /// Full action trace (always recorded by the reference executor).
+    pub trace: Trace,
+    /// Every executed invocation, in execution order.
+    pub executed: Vec<Invocation>,
+}
+
+/// Errors from the zero-delay executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemanticsError {
+    /// The stimuli are inconsistent with the network.
+    Network(NetworkError),
+    /// A behavior failed during execution.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SemanticsError::Network(e) => write!(f, "invalid stimuli: {e}"),
+            SemanticsError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SemanticsError::Network(e) => Some(e),
+            SemanticsError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetworkError> for SemanticsError {
+    fn from(e: NetworkError) -> Self {
+        SemanticsError::Network(e)
+    }
+}
+
+impl From<ExecError> for SemanticsError {
+    fn from(e: ExecError) -> Self {
+        SemanticsError::Exec(e)
+    }
+}
+
+/// Executes the network under the zero-delay semantics over `[0, horizon)`.
+///
+/// This is the *reference* executor: every other backend (discrete-event
+/// simulator, threaded runtime, timed-automata simulation) must produce the
+/// same [`Observables`] for the same network and stimuli.
+///
+/// # Errors
+///
+/// Returns [`SemanticsError::Network`] if the stimuli violate a sporadic
+/// constraint and [`SemanticsError::Exec`] if a behavior fails.
+///
+/// # Examples
+///
+/// ```
+/// use fppn_core::{run_zero_delay, ChannelKind, EventSpec, FppnBuilder, JobOrdering,
+///                 ProcessSpec, Stimuli, Value};
+/// use fppn_time::TimeQ;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = FppnBuilder::new();
+/// let src = b.process(ProcessSpec::new("src", EventSpec::periodic(TimeQ::from_ms(100))));
+/// let dst = b.process(ProcessSpec::new("dst", EventSpec::periodic(TimeQ::from_ms(100))));
+/// let ch = b.channel("c", src, dst, ChannelKind::Fifo);
+/// b.priority(src, dst);
+/// b.behavior(src, move || Box::new(move |ctx: &mut fppn_core::JobCtx<'_>| {
+///     ctx.write(ch, Value::Int(ctx.k() as i64));
+/// }));
+/// let (net, bank) = b.build()?;
+/// let mut behaviors = bank.instantiate();
+/// let run = run_zero_delay(&net, &mut behaviors, &Stimuli::new(),
+///                          TimeQ::from_ms(300), JobOrdering::default())?;
+/// assert_eq!(run.observables.channels[0],
+///            vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_zero_delay(
+    net: &Fppn,
+    behaviors: &mut [BoxedBehavior],
+    stimuli: &Stimuli,
+    horizon: TimeQ,
+    ordering: JobOrdering,
+) -> Result<ZeroDelayRun, SemanticsError> {
+    stimuli.validate(net)?;
+    let ranks = linearization_ranks(net, ordering);
+    let by_time = invocations_by_time(net, stimuli, horizon);
+
+    let mut state = ExecState::new(net, stimuli.clone()).record_trace();
+    let mut executed = Vec::new();
+    for (_t, mut group) in by_time {
+        // Order the multiset Pⁱ: FP-linearization rank, then k.
+        group.sort_by_key(|inv| (ranks[inv.process.index()], inv.k));
+        for inv in group {
+            state.run_job(behaviors, inv.process, inv.k, inv.time)?;
+            executed.push(inv);
+        }
+    }
+    Ok(ZeroDelayRun {
+        observables: state.observables(),
+        trace: state.trace().cloned().unwrap_or_default(),
+        executed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelKind;
+    use crate::event::{EventSpec, SporadicTrace};
+    use crate::process::{JobCtx, ProcessSpec};
+    use crate::value::Value;
+    use crate::FppnBuilder;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    /// Two producers (unrelated to each other) feeding one consumer that
+    /// concatenates whatever is available; exercises ordering freedom.
+    fn diamond() -> (Fppn, crate::network::BehaviorBank) {
+        let mut b = FppnBuilder::new();
+        let p1 = b.process(ProcessSpec::new("p1", EventSpec::periodic(ms(100))));
+        let p2 = b.process(ProcessSpec::new("p2", EventSpec::periodic(ms(100))));
+        let c = b.process(ProcessSpec::new("cons", EventSpec::periodic(ms(100))).with_output("o"));
+        let ch1 = b.channel("c1", p1, c, ChannelKind::Fifo);
+        let ch2 = b.channel("c2", p2, c, ChannelKind::Fifo);
+        b.priority(p1, c);
+        b.priority(p2, c);
+        b.behavior(p1, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch1, Value::Int(10 + ctx.k() as i64)))
+        });
+        b.behavior(p2, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch2, Value::Int(20 + ctx.k() as i64)))
+        });
+        b.behavior(c, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let a = ctx.read_value(ch1);
+                let b = ctx.read_value(ch2);
+                ctx.write_output(crate::PortId::from_index(0), Value::List(vec![a, b]));
+            })
+        });
+        let (net, bank) = b.build().unwrap();
+        (net, bank)
+    }
+
+    #[test]
+    fn priority_order_is_respected() {
+        let (net, bank) = diamond();
+        let mut behaviors = bank.instantiate();
+        let run = run_zero_delay(
+            &net,
+            &mut behaviors,
+            &Stimuli::new(),
+            ms(200),
+            JobOrdering::MinRankFirst,
+        )
+        .unwrap();
+        // Consumer runs last at each timestamp, so it always sees data.
+        let out = &run.observables.outputs[0].1;
+        assert_eq!(
+            out[0].1,
+            Value::List(vec![Value::Int(11), Value::Int(21)])
+        );
+        assert_eq!(
+            out[1].1,
+            Value::List(vec![Value::Int(12), Value::Int(22)])
+        );
+        assert_eq!(run.executed.len(), 6);
+        // p1[1], p2[1] precede cons[1] in the executed order.
+        let pos = |name: &str, k: u64| {
+            let pid = net.process_by_name(name).unwrap();
+            run.executed
+                .iter()
+                .position(|i| i.process == pid && i.k == k)
+                .unwrap()
+        };
+        assert!(pos("p1", 1) < pos("cons", 1));
+        assert!(pos("p2", 1) < pos("cons", 1));
+    }
+
+    #[test]
+    fn prop_2_1_observables_independent_of_linearization() {
+        let (net, bank) = diamond();
+        let mut b1 = bank.instantiate();
+        let r1 = run_zero_delay(&net, &mut b1, &Stimuli::new(), ms(500), JobOrdering::MinRankFirst)
+            .unwrap();
+        let mut b2 = bank.instantiate();
+        let r2 = run_zero_delay(&net, &mut b2, &Stimuli::new(), ms(500), JobOrdering::MaxRankFirst)
+            .unwrap();
+        assert_eq!(r1.observables.diff(&r2.observables), None);
+        // But the executed orders do differ (p1 vs p2 swap).
+        assert_ne!(r1.executed, r2.executed);
+    }
+
+    #[test]
+    fn sporadic_invocations_follow_trace() {
+        let mut b = FppnBuilder::new();
+        let u = b.process(ProcessSpec::new("user", EventSpec::periodic(ms(200))).with_output("o"));
+        let s = b.process(ProcessSpec::new("cfg", EventSpec::sporadic(2, ms(700))));
+        let ch = b.channel("c", s, u, ChannelKind::Blackboard);
+        b.priority(s, u);
+        b.behavior(s, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch, Value::Int(100 * ctx.k() as i64)))
+        });
+        b.behavior(u, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let v = ctx.read_value(ch);
+                ctx.write_output(crate::PortId::from_index(0), v);
+            })
+        });
+        let (net, bank) = b.build().unwrap();
+        let mut stimuli = Stimuli::new();
+        stimuli.arrivals(s, SporadicTrace::new(vec![ms(50), ms(400)]));
+        let mut behaviors = bank.instantiate();
+        let run =
+            run_zero_delay(&net, &mut behaviors, &stimuli, ms(600), JobOrdering::default())
+                .unwrap();
+        // user jobs at 0, 200, 400: see Absent, 100 (cfg@50), 200 (cfg@400,
+        // which has priority and runs first at t=400).
+        let out = &run.observables.outputs[0].1;
+        assert_eq!(out[0].1, Value::Absent);
+        assert_eq!(out[1].1, Value::Int(100));
+        assert_eq!(out[2].1, Value::Int(200));
+    }
+
+    #[test]
+    fn equal_time_priority_decides_read_vs_write() {
+        // Reader has priority over writer => at equal timestamps the reader
+        // runs first and observes the *previous* value: still deterministic.
+        let mut b = FppnBuilder::new();
+        let w = b.process(ProcessSpec::new("w", EventSpec::periodic(ms(100))));
+        let r = b.process(ProcessSpec::new("r", EventSpec::periodic(ms(100))).with_output("o"));
+        let ch = b.channel("c", w, r, ChannelKind::Blackboard);
+        b.priority(r, w); // reader first!
+        b.behavior(w, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch, Value::Int(ctx.k() as i64)))
+        });
+        b.behavior(r, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let v = ctx.read_value(ch);
+                ctx.write_output(crate::PortId::from_index(0), v);
+            })
+        });
+        let (net, bank) = b.build().unwrap();
+        let mut behaviors = bank.instantiate();
+        let run = run_zero_delay(
+            &net,
+            &mut behaviors,
+            &Stimuli::new(),
+            ms(300),
+            JobOrdering::default(),
+        )
+        .unwrap();
+        let out = &run.observables.outputs[0].1;
+        assert_eq!(out[0].1, Value::Absent); // before w[1]
+        assert_eq!(out[1].1, Value::Int(1)); // w[1]'s value
+        assert_eq!(out[2].1, Value::Int(2));
+    }
+
+    #[test]
+    fn invocation_plan_counts_bursts() {
+        let mut b = FppnBuilder::new();
+        let p = b.process(ProcessSpec::new("p", EventSpec::multi_periodic(2, ms(100))));
+        let (net, _) = b.build().unwrap();
+        let plan = invocations_by_time(&net, &Stimuli::new(), ms(200));
+        assert_eq!(plan[&ms(0)].len(), 2);
+        assert_eq!(plan[&ms(100)].len(), 2);
+        assert_eq!(plan[&ms(100)][0].k, 3);
+        assert_eq!(plan[&ms(100)][1].k, 4);
+        let _ = p;
+    }
+
+    #[test]
+    fn invalid_stimuli_rejected() {
+        let mut b = FppnBuilder::new();
+        let u = b.process(ProcessSpec::new("u", EventSpec::periodic(ms(200))));
+        let s = b.process(ProcessSpec::new("s", EventSpec::sporadic(1, ms(1000))));
+        b.channel("c", s, u, ChannelKind::Blackboard);
+        b.priority(s, u);
+        let (net, bank) = b.build().unwrap();
+        let mut stimuli = Stimuli::new();
+        stimuli.arrivals(s, SporadicTrace::new(vec![ms(0), ms(10)]));
+        let mut behaviors = bank.instantiate();
+        let err = run_zero_delay(&net, &mut behaviors, &stimuli, ms(2000), JobOrdering::default());
+        assert!(matches!(err, Err(SemanticsError::Network(_))));
+    }
+}

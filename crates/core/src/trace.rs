@@ -1,0 +1,234 @@
+//! Execution traces and observable outputs (Prop. 2.1).
+//!
+//! A trace is the sequence `w(t1) ∘ α1 ∘ w(t2) ∘ α2 …` of §II-A: waits
+//! interleaved with job execution runs, each run being a sequence of
+//! zero-delay actions. The *observables* — per-channel write sequences and
+//! per-external-output sample sequences — are what Prop. 2.1 declares to be
+//! a function of input data and event timestamps; equality of observables
+//! across execution platforms is this workspace's determinism criterion.
+
+use std::fmt;
+
+use fppn_time::TimeQ;
+
+use crate::ids::{ChannelId, PortId, ProcessId};
+use crate::value::Value;
+
+/// One zero-delay action inside a job execution run (`Act` in §II-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// `x?c`: read from an internal channel (`None` = non-availability).
+    Read {
+        /// Channel read from.
+        channel: ChannelId,
+        /// Observed value, if present.
+        value: Option<Value>,
+    },
+    /// `x!c`: write to an internal channel.
+    Write {
+        /// Channel written to.
+        channel: ChannelId,
+        /// Written value.
+        value: Value,
+    },
+    /// `x?[k]I`: read sample `k` from an external input port.
+    ReadInput {
+        /// Port read from.
+        port: PortId,
+        /// Sample index (1-based job count).
+        k: u64,
+        /// Observed value, if the stream provided one.
+        value: Option<Value>,
+    },
+    /// `x![k]O`: write sample `k` to an external output port.
+    WriteOutput {
+        /// Port written to.
+        port: PortId,
+        /// Sample index (1-based job count).
+        k: u64,
+        /// Written value.
+        value: Value,
+    },
+}
+
+/// One job execution run: the actions of the `k`-th job of a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRun {
+    /// The process the job belongs to.
+    pub process: ProcessId,
+    /// The 1-based invocation count.
+    pub k: u64,
+    /// The invocation timestamp (zero-delay: also the execution time).
+    pub invoked_at: TimeQ,
+    /// Actions performed, in order.
+    pub actions: Vec<Action>,
+}
+
+/// A full execution trace: job runs in execution order, with their
+/// timestamps (the `w(t)` waits are implicit in `invoked_at`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    runs: Vec<JobRun>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a job run.
+    pub fn push(&mut self, run: JobRun) {
+        self.runs.push(run);
+    }
+
+    /// The recorded job runs, in execution order.
+    pub fn runs(&self) -> &[JobRun] {
+        &self.runs
+    }
+
+    /// The number of recorded job runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no jobs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Job runs of one process, in execution order.
+    pub fn runs_of(&self, pid: ProcessId) -> impl Iterator<Item = &JobRun> + '_ {
+        self.runs.iter().filter(move |r| r.process == pid)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut last_time: Option<TimeQ> = None;
+        for run in &self.runs {
+            if last_time != Some(run.invoked_at) {
+                writeln!(f, "w({})", run.invoked_at)?;
+                last_time = Some(run.invoked_at);
+            }
+            writeln!(f, "  {}[{}]: {} actions", run.process, run.k, run.actions.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// The observable result of an execution: per-channel written-value
+/// sequences and per-output-port sample sequences.
+///
+/// Two executions of the same FPPN with the same stimuli must produce equal
+/// `Observables`, whatever the platform, schedule or execution times
+/// (Prop. 2.1 / Prop. 4.1). Note that observables deliberately exclude
+/// *when* values were produced — the real-time semantics only preserves
+/// order, not timing; timeliness is checked separately against deadlines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Observables {
+    /// `channels[c]` = sequence of values written to channel `c`.
+    pub channels: Vec<Vec<Value>>,
+    /// `outputs[(p, port)]` = sequence of `(k, value)` samples written to
+    /// that external output, in write order. Keyed sparsely and sorted so
+    /// comparison is canonical.
+    pub outputs: Vec<((ProcessId, PortId), Vec<(u64, Value)>)>,
+}
+
+impl Observables {
+    /// A human-oriented diff of two observables; `None` when equal.
+    ///
+    /// Used by the determinism test-suite to print actionable failures
+    /// rather than a bare `assert_eq` dump.
+    pub fn diff(&self, other: &Observables) -> Option<String> {
+        if self == other {
+            return None;
+        }
+        let mut out = String::new();
+        for (i, (a, b)) in self.channels.iter().zip(&other.channels).enumerate() {
+            if a != b {
+                let first = a.iter().zip(b).position(|(x, y)| x != y);
+                out.push_str(&format!(
+                    "channel C{i}: {} vs {} writes, first divergence at {:?}\n",
+                    a.len(),
+                    b.len(),
+                    first
+                ));
+            }
+        }
+        if self.channels.len() != other.channels.len() {
+            out.push_str("different channel counts\n");
+        }
+        for ((ka, va), (kb, vb)) in self.outputs.iter().zip(&other.outputs) {
+            if ka != kb || va != vb {
+                out.push_str(&format!("output {ka:?} differs from {kb:?}\n"));
+            }
+        }
+        if self.outputs.len() != other.outputs.len() {
+            out.push_str("different output port counts\n");
+        }
+        if out.is_empty() {
+            out.push_str("observables differ (structural)\n");
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(pid: usize, k: u64, at: i64) -> JobRun {
+        JobRun {
+            process: ProcessId::from_index(pid),
+            k,
+            invoked_at: TimeQ::from_ms(at),
+            actions: vec![Action::Write {
+                channel: ChannelId::from_index(0),
+                value: Value::Int(k as i64),
+            }],
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_runs() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(run(0, 1, 0));
+        t.push(run(1, 1, 0));
+        t.push(run(0, 2, 100));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.runs_of(ProcessId::from_index(0)).count(), 2);
+        let display = t.to_string();
+        assert!(display.contains("w(0)"));
+        assert!(display.contains("w(100)"));
+    }
+
+    #[test]
+    fn observables_diff_pinpoints_channel() {
+        let a = Observables {
+            channels: vec![vec![Value::Int(1), Value::Int(2)]],
+            outputs: vec![],
+        };
+        let mut b = a.clone();
+        assert_eq!(a.diff(&b), None);
+        b.channels[0][1] = Value::Int(3);
+        let d = a.diff(&b).unwrap();
+        assert!(d.contains("channel C0"));
+        assert!(d.contains("Some(1)"));
+    }
+
+    #[test]
+    fn observables_diff_detects_output_mismatch() {
+        let key = (ProcessId::from_index(0), PortId::from_index(0));
+        let a = Observables {
+            channels: vec![],
+            outputs: vec![(key, vec![(1, Value::Int(1))])],
+        };
+        let b = Observables {
+            channels: vec![],
+            outputs: vec![(key, vec![(1, Value::Int(2))])],
+        };
+        assert!(a.diff(&b).is_some());
+    }
+}

@@ -1,0 +1,273 @@
+//! Data values carried by FPPN channels.
+
+use std::fmt;
+
+use fppn_time::TimeQ;
+
+/// A dynamically-typed data sample exchanged over FPPN channels.
+///
+/// The FPPN model (Def. 2.1) parameterizes each channel with an alphabet
+/// `Σ_c`; this enum is the union alphabet used by the interpreter and all
+/// bundled applications. [`Value::Absent`] is the paper's "indicator of
+/// non-availability of data" returned when reading an empty FIFO or an
+/// uninitialized blackboard.
+///
+/// Equality is structural and **total** (floats compare by bit pattern), so
+/// traces of values can be compared exactly when checking deterministic
+/// execution (Prop. 2.1).
+///
+/// # Examples
+///
+/// ```
+/// use fppn_core::Value;
+///
+/// let v = Value::List(vec![Value::Int(1), Value::Float(0.5)]);
+/// assert_eq!(v, v.clone());
+/// assert!(Value::Absent.is_absent());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// Non-availability indicator: empty FIFO or uninitialized blackboard.
+    #[default]
+    Absent,
+    /// A pure token with no payload.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit IEEE float (equality compares bit patterns).
+    Float(f64),
+    /// An exact rational, typically a timestamp echoed through the dataflow.
+    Time(TimeQ),
+    /// A UTF-8 string.
+    Str(String),
+    /// An ordered list of values (used e.g. for complex numbers and vectors).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a complex number as a two-element list `[re, im]`.
+    pub fn complex(re: f64, im: f64) -> Value {
+        Value::List(vec![Value::Float(re), Value::Float(im)])
+    }
+
+    /// Whether this is the non-availability indicator.
+    pub const fn is_absent(&self) -> bool {
+        matches!(self, Value::Absent)
+    }
+
+    /// Whether a data sample is present (anything but [`Value::Absent`]).
+    pub const fn is_present(&self) -> bool {
+        !self.is_absent()
+    }
+
+    /// The integer payload, if this value is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64`, if this value is numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this value is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The list payload, if this value is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `[re, im]` pair if this value was built by [`Value::complex`].
+    pub fn as_complex(&self) -> Option<(f64, f64)> {
+        match self.as_list()? {
+            [re, im] => Some((re.as_float()?, im.as_float()?)),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Absent, Absent) | (Unit, Unit) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
+            (Time(a), Time(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (List(a), List(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Absent | Value::Unit => {}
+            Value::Bool(v) => v.hash(state),
+            Value::Int(v) => v.hash(state),
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Time(v) => v.hash(state),
+            Value::Str(v) => v.hash(state),
+            Value::List(v) => v.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Absent => write!(f, "⊥"),
+            Value::Unit => write!(f, "()"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Time(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::List(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<TimeQ> for Value {
+    fn from(v: TimeQ) -> Self {
+        Value::Time(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn float_equality_is_bitwise() {
+        assert_eq!(Value::Float(0.5), Value::Float(0.5));
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn presence() {
+        assert!(Value::Absent.is_absent());
+        assert!(Value::Unit.is_present());
+        assert!(Value::Int(0).is_present());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::complex(1.0, -2.0).as_complex(), Some((1.0, -2.0)));
+        assert_eq!(Value::Int(1).as_complex(), None);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        let a = Value::List(vec![Value::Int(1), Value::Float(2.0)]);
+        let b = Value::List(vec![Value::Int(1), Value::Float(2.0)]);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(TimeQ::from_ms(5)), Value::Time(TimeQ::from_ms(5)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Absent.to_string(), "⊥");
+        assert_eq!(Value::complex(1.0, 2.0).to_string(), "[1, 2]");
+        assert_eq!(Value::Str("a".into()).to_string(), "\"a\"");
+    }
+}

@@ -1,0 +1,23 @@
+//! # fppn-runtime — a multi-threaded shared-memory FPPN runtime
+//!
+//! The paper's tooling includes "a runtime environment for shared-memory
+//! multiprocessors … deployed to Linux multi-thread as well as MPPA
+//! many-core platforms" (§V). This crate is that runtime for the Linux
+//! side: one worker thread per processor of the static schedule, executing
+//! its rounds in static order with condition-variable synchronization for
+//! invocations and precedences, over a lock-based concurrent channel store.
+//!
+//! Where `fppn-sim` *computes* the policy timeline deterministically, this
+//! crate *races* it on real threads: the OS decides interleavings, and the
+//! FPPN synchronization protocol must still deliver bit-identical
+//! observables — which the test-suite asserts across repetitions,
+//! processor counts and pacing modes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runtime;
+mod store;
+
+pub use runtime::{run_threaded, RuntimeConfig, RuntimeError, RuntimeRun};
+pub use store::{ConcurrentStore, StoreAccess};

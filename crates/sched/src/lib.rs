@@ -1,0 +1,42 @@
+//! # fppn-sched — compile-time static scheduling (§III-B)
+//!
+//! Non-preemptive, non-pipelined list scheduling of FPPN task graphs onto
+//! `M` identical processors. The compile-time algorithm fixes a processor
+//! mapping `µ_i` and start time `s_i` per job (a *periodic frame* repeated
+//! every hyperperiod); the online policy of `fppn-sim`/`fppn-runtime` then
+//! executes each processor's jobs in start-time order, synchronizing on
+//! invocations and cross-processor predecessors instead of trusting the
+//! static start times (robustness against WCET error, §IV).
+//!
+//! # Examples
+//!
+//! ```
+//! use fppn_core::ProcessId;
+//! use fppn_sched::{find_feasible, list_schedule, Heuristic};
+//! use fppn_taskgraph::{Job, TaskGraph};
+//! use fppn_time::TimeQ;
+//!
+//! let ms = TimeQ::from_ms;
+//! let job = |a: i64, c: i64| Job {
+//!     process: ProcessId::from_index(0), k: 1, arrival: ms(a),
+//!     deadline: ms(200), wcet: ms(c), is_server: false,
+//! };
+//! let g = TaskGraph::new(vec![job(0, 80), job(0, 80), job(100, 80)], ms(200));
+//! let (schedule, used) = find_feasible(&g, 2, &Heuristic::ALL).expect("feasible on 2 procs");
+//! assert!(schedule.check_feasible(&g).is_ok());
+//! assert_eq!(schedule.processors(), 2);
+//! let _ = used;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod list;
+mod optimize;
+mod priority;
+mod schedule;
+
+pub use list::{list_schedule, list_schedule_with_ranks};
+pub use optimize::{find_feasible, min_processors};
+pub use priority::{b_levels, Heuristic};
+pub use schedule::{FeasibilityViolation, Placement, StaticSchedule};

@@ -1,0 +1,272 @@
+//! Non-preemptive list scheduling on `M` identical processors (§III-B).
+//!
+//! "For a given SP, list scheduling consists of a simple simulation of the
+//! fixed-priority policy using the updated definition of ready jobs": a job
+//! is *ready* at time `t` if it has arrived (`A_i ≤ t`), has not run, and
+//! all its task-graph predecessors have completed (`∀j ∈ Pred(i): e_j ≤ t`).
+
+use fppn_taskgraph::{JobId, TaskGraph};
+use fppn_time::TimeQ;
+
+use crate::priority::Heuristic;
+use crate::schedule::{Placement, StaticSchedule};
+
+/// Runs list scheduling with the given `SP` heuristic.
+///
+/// The produced schedule always satisfies the arrival, precedence and
+/// mutual-exclusion constraints of Def. 3.2 *by construction*; deadlines
+/// may be missed if the heuristic is unlucky or the graph is infeasible —
+/// check with [`StaticSchedule::check_feasible`].
+///
+/// # Panics
+///
+/// Panics if `processors == 0` or the graph is cyclic.
+pub fn list_schedule(graph: &TaskGraph, processors: usize, heuristic: Heuristic) -> StaticSchedule {
+    assert!(processors > 0, "need at least one processor");
+    let ranks = heuristic.ranks(graph);
+    list_schedule_with_ranks(graph, processors, &ranks)
+}
+
+/// List scheduling with an explicit `SP` rank per job (lower = higher
+/// priority). Exposed for custom/ablation heuristics.
+///
+/// # Panics
+///
+/// Panics if `processors == 0`, `ranks.len() != job_count`, or the graph is
+/// cyclic.
+pub fn list_schedule_with_ranks(
+    graph: &TaskGraph,
+    processors: usize,
+    ranks: &[usize],
+) -> StaticSchedule {
+    assert!(processors > 0, "need at least one processor");
+    assert_eq!(ranks.len(), graph.job_count(), "one rank per job required");
+    // Cycle check up front so we fail fast with a clear message.
+    let _ = graph
+        .topological_order()
+        .expect("list scheduling requires an acyclic task graph");
+
+    let n = graph.job_count();
+    let mut start = vec![TimeQ::ZERO; n];
+    let mut completion: Vec<Option<TimeQ>> = vec![None; n];
+    let mut mapping = vec![0usize; n];
+    let mut remaining_preds: Vec<usize> =
+        (0..n).map(|i| graph.predecessors(JobId::from_index(i)).count()).collect();
+    let mut proc_free = vec![TimeQ::ZERO; processors];
+    let mut scheduled = 0usize;
+    let mut t = TimeQ::ZERO;
+
+    while scheduled < n {
+        // Ready jobs at time t, best (lowest) rank first.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            let mut best: Option<JobId> = None;
+            for i in 0..n {
+                let id = JobId::from_index(i);
+                if completion[i].is_some() {
+                    continue;
+                }
+                let job = graph.job(id);
+                if job.arrival > t || remaining_preds[i] > 0 {
+                    continue;
+                }
+                // All predecessors must have *completed by* t.
+                let preds_done = graph
+                    .predecessors(id)
+                    .all(|p| completion[p.index()].expect("counted") <= t);
+                if !preds_done {
+                    continue;
+                }
+                if best.map_or(true, |b| ranks[i] < ranks[b.index()]) {
+                    best = Some(id);
+                }
+            }
+            // Earliest-free processor that is free at t.
+            let proc = (0..processors)
+                .filter(|&m| proc_free[m] <= t)
+                .min_by_key(|&m| (proc_free[m], m));
+            if let (Some(id), Some(m)) = (best, proc) {
+                let i = id.index();
+                start[i] = t;
+                let e = t + graph.job(id).wcet;
+                completion[i] = Some(e);
+                mapping[i] = m;
+                proc_free[m] = e;
+                for s in graph.successors(id) {
+                    remaining_preds[s.index()] -= 1;
+                }
+                scheduled += 1;
+                progressed = true;
+            }
+        }
+        if scheduled == n {
+            break;
+        }
+        // Advance t to the next event: an arrival, a completion enabling a
+        // successor, or a processor becoming free.
+        let mut next: Option<TimeQ> = None;
+        let mut consider = |cand: TimeQ| {
+            if cand > t {
+                next = Some(match next {
+                    None => cand,
+                    Some(cur) => cur.min(cand),
+                });
+            }
+        };
+        for i in 0..n {
+            if completion[i].is_none() {
+                consider(graph.job(JobId::from_index(i)).arrival);
+            }
+        }
+        for c in completion.iter().flatten() {
+            consider(*c);
+        }
+        for f in &proc_free {
+            consider(*f);
+        }
+        t = next.expect("scheduler stalled: no future event but jobs remain");
+    }
+
+    let placements = (0..n)
+        .map(|i| Placement {
+            job: JobId::from_index(i),
+            processor: mapping[i],
+            start: start[i],
+        })
+        .collect();
+    StaticSchedule::new(placements, processors, graph.hyperperiod())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FeasibilityViolation;
+    use fppn_core::ProcessId;
+    use fppn_taskgraph::Job;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    fn job(a: i64, d: i64, c: i64) -> Job {
+        Job {
+            process: ProcessId::from_index(0),
+            k: 1,
+            arrival: ms(a),
+            deadline: ms(d),
+            wcet: ms(c),
+            is_server: false,
+        }
+    }
+
+    fn jid(i: usize) -> JobId {
+        JobId::from_index(i)
+    }
+
+    #[test]
+    fn single_processor_serializes() {
+        let g = TaskGraph::new(vec![job(0, 100, 10); 3], ms(100));
+        let s = list_schedule(&g, 1, Heuristic::AlapEdf);
+        assert!(s.check_feasible(&g).is_ok());
+        assert_eq!(s.makespan(&g), ms(30));
+        assert_eq!(s.processor_order(0).len(), 3);
+    }
+
+    #[test]
+    fn two_processors_parallelize_independent_jobs() {
+        let g = TaskGraph::new(vec![job(0, 100, 10); 2], ms(100));
+        let s = list_schedule(&g, 2, Heuristic::AlapEdf);
+        assert_eq!(s.makespan(&g), ms(10));
+        assert_ne!(
+            s.placement(jid(0)).processor,
+            s.placement(jid(1)).processor
+        );
+    }
+
+    #[test]
+    fn precedence_forces_serialization_across_processors() {
+        let mut g = TaskGraph::new(vec![job(0, 100, 10), job(0, 100, 10)], ms(100));
+        g.add_edge(jid(0), jid(1));
+        let s = list_schedule(&g, 2, Heuristic::AlapEdf);
+        assert!(s.check_feasible(&g).is_ok());
+        assert!(s.placement(jid(1)).start >= ms(10));
+    }
+
+    #[test]
+    fn arrivals_delay_start() {
+        let g = TaskGraph::new(vec![job(50, 100, 10)], ms(100));
+        let s = list_schedule(&g, 1, Heuristic::AlapEdf);
+        assert_eq!(s.placement(jid(0)).start, ms(50));
+    }
+
+    #[test]
+    fn sp_rank_breaks_contention() {
+        // Two jobs, one processor: tighter-deadline job must go first
+        // under ALAP-EDF.
+        let g = TaskGraph::new(vec![job(0, 100, 10), job(0, 20, 10)], ms(100));
+        let s = list_schedule(&g, 1, Heuristic::AlapEdf);
+        assert_eq!(s.placement(jid(1)).start, ms(0));
+        assert_eq!(s.placement(jid(0)).start, ms(10));
+        assert!(s.check_feasible(&g).is_ok());
+    }
+
+    #[test]
+    fn infeasible_graph_still_yields_structurally_valid_schedule() {
+        // One processor, two tight jobs: a deadline will be missed, but
+        // arrival/precedence/mutex still hold.
+        let g = TaskGraph::new(vec![job(0, 10, 10), job(0, 10, 10)], ms(10));
+        let s = list_schedule(&g, 1, Heuristic::AlapEdf);
+        let violations = s.check_feasible(&g).unwrap_err();
+        assert!(violations
+            .iter()
+            .all(|v| matches!(v, FeasibilityViolation::DeadlineMissed { .. })));
+    }
+
+    #[test]
+    fn non_greedy_gap_for_future_arrival() {
+        // Processor idles until the only job arrives.
+        let g = TaskGraph::new(vec![job(30, 100, 10), job(0, 100, 10)], ms(100));
+        let s = list_schedule(&g, 1, Heuristic::Asap);
+        assert_eq!(s.placement(jid(1)).start, ms(0));
+        assert_eq!(s.placement(jid(0)).start, ms(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_panics() {
+        let g = TaskGraph::new(vec![job(0, 10, 1)], ms(10));
+        let _ = list_schedule(&g, 0, Heuristic::AlapEdf);
+    }
+
+    #[test]
+    fn all_heuristics_produce_structurally_valid_schedules() {
+        let mut g = TaskGraph::new(
+            vec![
+                job(0, 200, 25),
+                job(0, 100, 25),
+                job(0, 200, 25),
+                job(100, 200, 25),
+                job(0, 200, 25),
+            ],
+            ms(200),
+        );
+        g.add_edge(jid(0), jid(1));
+        g.add_edge(jid(0), jid(2));
+        g.add_edge(jid(2), jid(4));
+        g.add_edge(jid(1), jid(3));
+        for h in Heuristic::ALL {
+            for m in 1..=3 {
+                let s = list_schedule(&g, m, h);
+                match s.check_feasible(&g) {
+                    Ok(()) => {}
+                    Err(vs) => assert!(
+                        vs.iter()
+                            .all(|v| matches!(v, FeasibilityViolation::DeadlineMissed { .. })),
+                        "{h} on {m} procs produced structural violations: {vs:?}"
+                    ),
+                }
+            }
+        }
+    }
+}

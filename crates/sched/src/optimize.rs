@@ -1,0 +1,104 @@
+//! Heuristic portfolios: find a feasible schedule, minimize processors.
+
+use fppn_taskgraph::{necessary_condition, TaskGraph};
+
+use crate::list::list_schedule;
+use crate::priority::Heuristic;
+use crate::schedule::StaticSchedule;
+
+/// Tries `SP` heuristics in order and returns the first feasible schedule
+/// (all Def. 3.2 constraints, including deadlines), with the heuristic that
+/// produced it.
+///
+/// Returns `None` if no heuristic in the portfolio yields a feasible
+/// schedule on `processors` processors.
+pub fn find_feasible(
+    graph: &TaskGraph,
+    processors: usize,
+    portfolio: &[Heuristic],
+) -> Option<(StaticSchedule, Heuristic)> {
+    for &h in portfolio {
+        let s = list_schedule(graph, processors, h);
+        if s.check_feasible(graph).is_ok() {
+            return Some((s, h));
+        }
+    }
+    None
+}
+
+/// Smallest processor count `M ∈ [lower bound, max_processors]` for which
+/// the portfolio finds a feasible schedule, together with that schedule.
+///
+/// The search starts at Prop. 3.1's load bound `⌈Load⌉` (no schedule can
+/// exist below it) and walks upward.
+pub fn min_processors(
+    graph: &TaskGraph,
+    portfolio: &[Heuristic],
+    max_processors: usize,
+) -> Option<(usize, StaticSchedule, Heuristic)> {
+    let lower = fppn_taskgraph::load(graph).min_processors().max(1);
+    for m in lower..=max_processors {
+        if necessary_condition(graph, m).is_err() {
+            continue;
+        }
+        if let Some((s, h)) = find_feasible(graph, m, portfolio) {
+            return Some((m, s, h));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_core::ProcessId;
+    use fppn_taskgraph::{Job, JobId};
+    use fppn_time::TimeQ;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    fn job(a: i64, d: i64, c: i64) -> Job {
+        Job {
+            process: ProcessId::from_index(0),
+            k: 1,
+            arrival: ms(a),
+            deadline: ms(d),
+            wcet: ms(c),
+            is_server: false,
+        }
+    }
+
+    #[test]
+    fn find_feasible_succeeds_when_possible() {
+        let g = TaskGraph::new(vec![job(0, 100, 40); 2], ms(100));
+        let (s, h) = find_feasible(&g, 1, &Heuristic::ALL).unwrap();
+        assert!(s.check_feasible(&g).is_ok());
+        assert_eq!(h, Heuristic::AlapEdf); // first in portfolio works
+    }
+
+    #[test]
+    fn find_feasible_fails_when_overloaded() {
+        let g = TaskGraph::new(vec![job(0, 50, 40); 2], ms(100));
+        assert!(find_feasible(&g, 1, &Heuristic::ALL).is_none());
+        assert!(find_feasible(&g, 2, &Heuristic::ALL).is_some());
+    }
+
+    #[test]
+    fn min_processors_starts_at_load_bound() {
+        // Load = 160/100 => lower bound 2; feasible there.
+        let g = TaskGraph::new(vec![job(0, 100, 80); 2], ms(100));
+        let (m, s, _) = min_processors(&g, &Heuristic::ALL, 8).unwrap();
+        assert_eq!(m, 2);
+        assert!(s.check_feasible(&g).is_ok());
+    }
+
+    #[test]
+    fn min_processors_none_when_structurally_infeasible() {
+        // A chain longer than its deadline can never be scheduled.
+        let mut g = TaskGraph::new(vec![job(0, 15, 10), job(0, 15, 10)], ms(15));
+        g.add_edge(JobId::from_index(0), JobId::from_index(1));
+        assert!(min_processors(&g, &Heuristic::ALL, 8).is_none());
+    }
+}

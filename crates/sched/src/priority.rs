@@ -1,0 +1,212 @@
+//! Schedule-priority (`SP`) heuristics for list scheduling (§III-B).
+//!
+//! The paper: *"list scheduling … assumes a heuristically computed schedule
+//! priority SP, a total order where earlier jobs have higher priority"*, and
+//! recommends EDF adjusted to use ALAP completion times instead of nominal
+//! deadlines, next to the b-level and (modified) deadline-monotonic
+//! heuristics of the task-graph scheduling literature (Kwok & Ahmad).
+//!
+//! `SP` must not be confused with the *functional* priority `FP` of the
+//! model: `FP` defines semantics (which jobs conflict and in which order),
+//! `SP` is a free optimization knob of the compile-time scheduler.
+
+use std::fmt;
+
+use fppn_taskgraph::{AsapAlap, JobId, TaskGraph};
+use fppn_time::TimeQ;
+
+/// The built-in `SP` heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Heuristic {
+    /// EDF on **ALAP completion times** `D′_i` — the paper's primary
+    /// recommendation ("the definition of EDF should be adjusted by using
+    /// ALAP instead of the nominal job deadlines").
+    #[default]
+    AlapEdf,
+    /// Classic EDF on the nominal absolute deadlines `D_i`.
+    Edf,
+    /// Descending *b-level*: the length of the longest WCET path from the
+    /// job to any sink, including the job itself.
+    BLevel,
+    /// Modified deadline-monotonic: ascending relative deadline
+    /// `D_i − A_i` (cf. Forget et al. for the uniprocessor case).
+    DeadlineMonotonic,
+    /// Ascending ASAP start time (a greedy topological baseline).
+    Asap,
+}
+
+impl Heuristic {
+    /// Every built-in heuristic, in portfolio order (the order
+    /// [`crate::find_feasible`] tries them).
+    pub const ALL: [Heuristic; 5] = [
+        Heuristic::AlapEdf,
+        Heuristic::Edf,
+        Heuristic::BLevel,
+        Heuristic::DeadlineMonotonic,
+        Heuristic::Asap,
+    ];
+
+    /// Computes the total `SP` order: earlier in the returned vector =
+    /// higher schedule priority. Ties are broken by job id so the order is
+    /// reproducible.
+    pub fn priority_order(self, graph: &TaskGraph) -> Vec<JobId> {
+        let times = AsapAlap::compute(graph);
+        let key: Vec<TimeQ> = match self {
+            Heuristic::AlapEdf => times.alap_completion.clone(),
+            Heuristic::Edf => graph.jobs().iter().map(|j| j.deadline).collect(),
+            Heuristic::BLevel => {
+                // Negate so that *larger* b-level sorts first.
+                b_levels(graph).into_iter().map(|b| -b).collect()
+            }
+            Heuristic::DeadlineMonotonic => graph
+                .jobs()
+                .iter()
+                .map(|j| j.deadline - j.arrival)
+                .collect(),
+            Heuristic::Asap => times.asap_start.clone(),
+        };
+        let mut order: Vec<JobId> = graph.job_ids().collect();
+        order.sort_by_key(|j| (key[j.index()], *j));
+        order
+    }
+
+    /// Per-job rank under this heuristic: `rank[j] = position in SP order`
+    /// (0 = highest priority).
+    pub fn ranks(self, graph: &TaskGraph) -> Vec<usize> {
+        let order = self.priority_order(graph);
+        let mut ranks = vec![0usize; graph.job_count()];
+        for (pos, j) in order.iter().enumerate() {
+            ranks[j.index()] = pos;
+        }
+        ranks
+    }
+}
+
+impl fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Heuristic::AlapEdf => "ALAP-EDF",
+            Heuristic::Edf => "EDF",
+            Heuristic::BLevel => "b-level",
+            Heuristic::DeadlineMonotonic => "deadline-monotonic",
+            Heuristic::Asap => "ASAP",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The b-level of each job: longest `Σ C` path from the job (inclusive) to
+/// a sink of the DAG.
+pub fn b_levels(graph: &TaskGraph) -> Vec<TimeQ> {
+    let order = graph
+        .topological_order()
+        .expect("b-levels require an acyclic task graph");
+    let mut level = vec![TimeQ::ZERO; graph.job_count()];
+    for &i in order.iter().rev() {
+        let mut best = TimeQ::ZERO;
+        for s in graph.successors(i) {
+            best = best.max(level[s.index()]);
+        }
+        level[i.index()] = best + graph.job(i).wcet;
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_core::ProcessId;
+    use fppn_taskgraph::Job;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    fn job(a: i64, d: i64, c: i64) -> Job {
+        Job {
+            process: ProcessId::from_index(0),
+            k: 1,
+            arrival: ms(a),
+            deadline: ms(d),
+            wcet: ms(c),
+            is_server: false,
+        }
+    }
+
+    fn jid(i: usize) -> JobId {
+        JobId::from_index(i)
+    }
+
+    /// 0 -> 2, 1 -> 2; job 1 has the tighter own deadline.
+    fn vee() -> TaskGraph {
+        let mut g = TaskGraph::new(
+            vec![job(0, 100, 10), job(0, 60, 10), job(0, 100, 30)],
+            ms(100),
+        );
+        g.add_edge(jid(0), jid(2));
+        g.add_edge(jid(1), jid(2));
+        g
+    }
+
+    #[test]
+    fn b_level_is_longest_path() {
+        let g = vee();
+        let b = b_levels(&g);
+        assert_eq!(b[0], ms(40)); // 10 + 30
+        assert_eq!(b[1], ms(40));
+        assert_eq!(b[2], ms(30));
+    }
+
+    #[test]
+    fn alap_edf_prefers_constrained_predecessors() {
+        let g = vee();
+        // ALAP completions: job2 = 100, job0 = 70, job1 = min(60, 70) = 60.
+        let order = Heuristic::AlapEdf.priority_order(&g);
+        assert_eq!(order, vec![jid(1), jid(0), jid(2)]);
+    }
+
+    #[test]
+    fn edf_uses_nominal_deadlines() {
+        let g = vee();
+        let order = Heuristic::Edf.priority_order(&g);
+        assert_eq!(order[0], jid(1)); // deadline 60
+    }
+
+    #[test]
+    fn blevel_prefers_long_paths() {
+        let g = vee();
+        let order = Heuristic::BLevel.priority_order(&g);
+        // Jobs 0 and 1 tie at 40; id breaks the tie.
+        assert_eq!(order, vec![jid(0), jid(1), jid(2)]);
+    }
+
+    #[test]
+    fn deadline_monotonic_uses_relative_deadlines() {
+        let mut g = TaskGraph::new(vec![job(0, 100, 10), job(50, 80, 10)], ms(100));
+        let _ = &mut g;
+        // Relative deadlines: 100 vs 30.
+        let order = Heuristic::DeadlineMonotonic.priority_order(&g);
+        assert_eq!(order[0], jid(1));
+    }
+
+    #[test]
+    fn ranks_invert_order() {
+        let g = vee();
+        let ranks = Heuristic::AlapEdf.ranks(&g);
+        assert_eq!(ranks[jid(1).index()], 0);
+        assert_eq!(ranks[jid(2).index()], 2);
+    }
+
+    #[test]
+    fn all_heuristics_are_total_orders() {
+        let g = vee();
+        for h in Heuristic::ALL {
+            let order = h.priority_order(&g);
+            assert_eq!(order.len(), g.job_count(), "{h}");
+            let mut sorted = order.clone();
+            sorted.sort();
+            assert_eq!(sorted, g.job_ids().collect::<Vec<_>>(), "{h}");
+        }
+    }
+}

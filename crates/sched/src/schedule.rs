@@ -1,0 +1,327 @@
+//! Static schedules (Def. 3.2) and feasibility checking.
+
+use std::error::Error;
+use std::fmt;
+
+use fppn_taskgraph::{JobId, TaskGraph};
+use fppn_time::TimeQ;
+
+/// The placement of one job: processor mapping `µ_i` and start time `s_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The placed job.
+    pub job: JobId,
+    /// The processor index `µ_i ∈ 0..M`.
+    pub processor: usize,
+    /// The start time `s_i` relative to the frame start.
+    pub start: TimeQ,
+}
+
+/// A static schedule: per-job processor mapping and start time, repeated
+/// every hyperperiod as a *periodic frame* (§III-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticSchedule {
+    placements: Vec<Placement>, // indexed by job id
+    processors: usize,
+    hyperperiod: TimeQ,
+}
+
+impl StaticSchedule {
+    /// Assembles a schedule from per-job placements (indexed by job id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement's processor index is out of range or
+    /// placements are not in job-id order.
+    pub fn new(placements: Vec<Placement>, processors: usize, hyperperiod: TimeQ) -> Self {
+        for (i, p) in placements.iter().enumerate() {
+            assert_eq!(p.job.index(), i, "placements must be indexed by job id");
+            assert!(
+                p.processor < processors,
+                "processor index {} out of range (M = {processors})",
+                p.processor
+            );
+        }
+        StaticSchedule {
+            placements,
+            processors,
+            hyperperiod,
+        }
+    }
+
+    /// The number of processors `M`.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// The frame period (hyperperiod).
+    pub fn hyperperiod(&self) -> TimeQ {
+        self.hyperperiod
+    }
+
+    /// The placement of one job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    pub fn placement(&self, job: JobId) -> Placement {
+        self.placements[job.index()]
+    }
+
+    /// All placements, indexed by job id.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The completion time `e_i = s_i + C_i` of a job under WCET execution.
+    pub fn completion(&self, graph: &TaskGraph, job: JobId) -> TimeQ {
+        self.placements[job.index()].start + graph.job(job).wcet
+    }
+
+    /// The schedule makespan: latest completion over all jobs.
+    pub fn makespan(&self, graph: &TaskGraph) -> TimeQ {
+        self.placements
+            .iter()
+            .map(|p| p.start + graph.job(p.job).wcet)
+            .max()
+            .unwrap_or(TimeQ::ZERO)
+    }
+
+    /// The jobs of one processor, sorted by start time — the static order
+    /// the online policy of §IV executes.
+    pub fn processor_order(&self, processor: usize) -> Vec<JobId> {
+        let mut jobs: Vec<&Placement> = self
+            .placements
+            .iter()
+            .filter(|p| p.processor == processor)
+            .collect();
+        jobs.sort_by_key(|p| (p.start, p.job));
+        jobs.into_iter().map(|p| p.job).collect()
+    }
+
+    /// Checks all four feasibility constraints of Def. 3.2 against a task
+    /// graph: arrival, deadline, precedence, and mutual exclusion.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violation found (not just the first), so diagnostics
+    /// can show the full picture.
+    pub fn check_feasible(&self, graph: &TaskGraph) -> Result<(), Vec<FeasibilityViolation>> {
+        let mut violations = Vec::new();
+        for p in &self.placements {
+            let job = graph.job(p.job);
+            if p.start < job.arrival {
+                violations.push(FeasibilityViolation::StartsBeforeArrival {
+                    job: p.job,
+                    start: p.start,
+                    arrival: job.arrival,
+                });
+            }
+            let e = p.start + job.wcet;
+            if e > job.deadline {
+                violations.push(FeasibilityViolation::DeadlineMissed {
+                    job: p.job,
+                    completion: e,
+                    deadline: job.deadline,
+                });
+            }
+        }
+        for (a, b) in graph.edges() {
+            let ea = self.completion(graph, a);
+            let sb = self.placements[b.index()].start;
+            if ea > sb {
+                violations.push(FeasibilityViolation::PrecedenceViolated {
+                    from: a,
+                    to: b,
+                    from_completion: ea,
+                    to_start: sb,
+                });
+            }
+        }
+        for m in 0..self.processors {
+            let order = self.processor_order(m);
+            for w in order.windows(2) {
+                let ea = self.completion(graph, w[0]);
+                let sb = self.placements[w[1].index()].start;
+                if ea > sb {
+                    violations.push(FeasibilityViolation::Overlap {
+                        processor: m,
+                        first: w[0],
+                        second: w[1],
+                    });
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+/// One violated constraint of Def. 3.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FeasibilityViolation {
+    /// `s_i < A_i`.
+    StartsBeforeArrival {
+        /// The offending job.
+        job: JobId,
+        /// Scheduled start.
+        start: TimeQ,
+        /// Arrival time.
+        arrival: TimeQ,
+    },
+    /// `e_i > D_i`.
+    DeadlineMissed {
+        /// The offending job.
+        job: JobId,
+        /// Completion under WCET.
+        completion: TimeQ,
+        /// Absolute deadline.
+        deadline: TimeQ,
+    },
+    /// An edge `(from, to)` with `e_from > s_to`.
+    PrecedenceViolated {
+        /// Predecessor job.
+        from: JobId,
+        /// Successor job.
+        to: JobId,
+        /// Predecessor completion.
+        from_completion: TimeQ,
+        /// Successor start.
+        to_start: TimeQ,
+    },
+    /// Two jobs overlap on one processor.
+    Overlap {
+        /// The processor.
+        processor: usize,
+        /// Earlier job.
+        first: JobId,
+        /// Later (overlapping) job.
+        second: JobId,
+    },
+}
+
+impl fmt::Display for FeasibilityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeasibilityViolation::StartsBeforeArrival { job, start, arrival } => {
+                write!(f, "job {job} starts at {start} before its arrival {arrival}")
+            }
+            FeasibilityViolation::DeadlineMissed {
+                job,
+                completion,
+                deadline,
+            } => write!(f, "job {job} completes at {completion} after deadline {deadline}"),
+            FeasibilityViolation::PrecedenceViolated {
+                from,
+                to,
+                from_completion,
+                to_start,
+            } => write!(
+                f,
+                "edge {from} -> {to} violated: predecessor ends {from_completion}, successor starts {to_start}"
+            ),
+            FeasibilityViolation::Overlap {
+                processor,
+                first,
+                second,
+            } => write!(f, "jobs {first} and {second} overlap on processor {processor}"),
+        }
+    }
+}
+
+impl Error for FeasibilityViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_core::ProcessId;
+    use fppn_taskgraph::Job;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    fn job(a: i64, d: i64, c: i64) -> Job {
+        Job {
+            process: ProcessId::from_index(0),
+            k: 1,
+            arrival: ms(a),
+            deadline: ms(d),
+            wcet: ms(c),
+            is_server: false,
+        }
+    }
+
+    fn jid(i: usize) -> JobId {
+        JobId::from_index(i)
+    }
+
+    fn place(i: usize, m: usize, s: i64) -> Placement {
+        Placement {
+            job: jid(i),
+            processor: m,
+            start: ms(s),
+        }
+    }
+
+    fn chain_graph() -> TaskGraph {
+        let mut g = TaskGraph::new(vec![job(0, 100, 10), job(0, 100, 10)], ms(100));
+        g.add_edge(jid(0), jid(1));
+        g
+    }
+
+    #[test]
+    fn feasible_schedule_passes() {
+        let g = chain_graph();
+        let s = StaticSchedule::new(vec![place(0, 0, 0), place(1, 1, 10)], 2, ms(100));
+        assert!(s.check_feasible(&g).is_ok());
+        assert_eq!(s.makespan(&g), ms(20));
+        assert_eq!(s.processor_order(0), vec![jid(0)]);
+        assert_eq!(s.completion(&g, jid(0)), ms(10));
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let g = chain_graph();
+        // Successor starts before predecessor completes.
+        let s = StaticSchedule::new(vec![place(0, 0, 0), place(1, 1, 5)], 2, ms(100));
+        let v = s.check_feasible(&g).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, FeasibilityViolation::PrecedenceViolated { .. })));
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut g = TaskGraph::new(vec![job(0, 100, 10), job(0, 100, 10)], ms(100));
+        let _ = &mut g; // no edges: independent jobs
+        let s = StaticSchedule::new(vec![place(0, 0, 0), place(1, 0, 5)], 1, ms(100));
+        let v = s.check_feasible(&g).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, FeasibilityViolation::Overlap { .. })));
+    }
+
+    #[test]
+    fn deadline_and_arrival_violations_detected() {
+        let g = TaskGraph::new(vec![job(10, 15, 20)], ms(100));
+        let s = StaticSchedule::new(vec![place(0, 0, 0)], 1, ms(100));
+        let v = s.check_feasible(&g).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, FeasibilityViolation::StartsBeforeArrival { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, FeasibilityViolation::DeadlineMissed { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_processor_index_panics() {
+        let _ = StaticSchedule::new(vec![place(0, 3, 0)], 2, ms(100));
+    }
+}

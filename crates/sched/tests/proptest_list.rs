@@ -1,0 +1,111 @@
+//! Property tests on the list scheduler over random synthetic task graphs.
+
+use fppn_core::ProcessId;
+use fppn_sched::{list_schedule, FeasibilityViolation, Heuristic};
+use fppn_taskgraph::{AsapAlap, Job, JobId, TaskGraph};
+use fppn_time::TimeQ;
+use proptest::prelude::*;
+
+/// Random DAG: jobs sorted by arrival, edges only forward.
+fn graph_strategy() -> impl Strategy<Value = TaskGraph> {
+    (
+        prop::collection::vec((0i64..200, 1i64..60, 20i64..200), 2..12),
+        prop::collection::vec(any::<bool>(), 0..60),
+    )
+        .prop_map(|(jobs, coins)| {
+            let ms = TimeQ::from_ms;
+            let mut specs: Vec<(i64, i64, i64)> = jobs;
+            specs.sort();
+            let jobs: Vec<Job> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, c, slack))| Job {
+                    process: ProcessId::from_index(i),
+                    k: 1,
+                    arrival: ms(a),
+                    deadline: ms(a + c + slack),
+                    wcet: ms(c),
+                    is_server: false,
+                })
+                .collect();
+            let n = jobs.len();
+            let horizon = jobs
+                .iter()
+                .map(|j| j.deadline)
+                .max()
+                .unwrap_or(TimeQ::from_ms(1));
+            let mut g = TaskGraph::new(jobs, horizon);
+            let mut coin = coins.into_iter().chain(std::iter::repeat(false));
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if coin.next().unwrap() {
+                        g.add_edge(JobId::from_index(i), JobId::from_index(j));
+                    }
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the heuristic and processor count, the produced schedule
+    /// violates nothing but possibly deadlines.
+    #[test]
+    fn schedules_are_structurally_valid(g in graph_strategy(), m in 1usize..5) {
+        for h in Heuristic::ALL {
+            let s = list_schedule(&g, m, h);
+            if let Err(violations) = s.check_feasible(&g) {
+                for v in violations {
+                    prop_assert!(
+                        matches!(v, FeasibilityViolation::DeadlineMissed { .. }),
+                        "{h}: {v}"
+                    );
+                }
+            }
+            // Start times never precede ASAP bounds.
+            let times = AsapAlap::compute(&g);
+            for id in g.job_ids() {
+                prop_assert!(s.placement(id).start >= g.job(id).arrival);
+                prop_assert!(s.placement(id).start >= times.asap(id)
+                    || g.predecessors(id).count() == 0 // ASAP includes own arrival only
+                );
+            }
+        }
+    }
+
+    /// Work conservation across processors: total busy time equals total
+    /// WCET, and processor orders partition the job set.
+    #[test]
+    fn processor_orders_partition_jobs(g in graph_strategy(), m in 1usize..5) {
+        let s = list_schedule(&g, m, Heuristic::AlapEdf);
+        let mut seen = vec![false; g.job_count()];
+        for proc in 0..m {
+            for id in s.processor_order(proc) {
+                prop_assert!(!seen[id.index()], "job scheduled twice");
+                seen[id.index()] = true;
+                prop_assert_eq!(s.placement(id).processor, proc);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    /// Adding processors never increases the ALAP-EDF makespan by more
+    /// than rounding (list scheduling anomalies are bounded here because
+    /// the priority order is fixed): we only assert m = n_jobs processors
+    /// reach the critical-path bound.
+    #[test]
+    fn enough_processors_reach_critical_path(g in graph_strategy()) {
+        let m = g.job_count().max(1);
+        let s = list_schedule(&g, m, Heuristic::AlapEdf);
+        // Critical path length: ASAP completion max.
+        let times = AsapAlap::compute(&g);
+        let cp = g
+            .job_ids()
+            .map(|i| times.asap(i) + g.job(i).wcet)
+            .max()
+            .unwrap();
+        prop_assert_eq!(s.makespan(&g), cp);
+    }
+}

@@ -1,0 +1,146 @@
+//! Actual-execution-time models.
+//!
+//! The static-order policy of §IV exists precisely because "statically
+//! computed start times are not robust against inaccuracies in estimations
+//! of WCET" — so the simulator lets actual execution times deviate from the
+//! WCET `C_i`. Prop. 4.1 is validated by showing that any execution-time
+//! draw `≤ C_i` still meets all deadlines under a feasible schedule.
+
+use fppn_taskgraph::Job;
+use fppn_time::TimeQ;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How actual job execution times relate to the WCET `C_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecTimeModel {
+    /// Every job runs for exactly its WCET (worst case, deterministic).
+    Wcet,
+    /// Every job runs for `C_i · num/den` (deterministic scaling;
+    /// `num/den > 1` models WCET *underestimation*).
+    Scaled {
+        /// Scale numerator.
+        num: u32,
+        /// Scale denominator.
+        den: u32,
+    },
+    /// Uniformly random in `[C_i · lo‰, C_i · hi‰]` (per-mille bounds),
+    /// reproducible from the seed.
+    Jitter {
+        /// Lower bound in per-mille of WCET.
+        lo_permille: u32,
+        /// Upper bound in per-mille of WCET.
+        hi_permille: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl ExecTimeModel {
+    /// Jitter uniform over `[50%, 100%]` of WCET — a typical
+    /// measurement-based profile.
+    pub fn typical_jitter(seed: u64) -> Self {
+        ExecTimeModel::Jitter {
+            lo_permille: 500,
+            hi_permille: 1000,
+            seed,
+        }
+    }
+
+    /// Creates the stateful sampler for one simulation run.
+    pub fn sampler(&self) -> ExecTimeSampler {
+        ExecTimeSampler {
+            model: *self,
+            rng: match self {
+                ExecTimeModel::Jitter { seed, .. } => Some(StdRng::seed_from_u64(*seed)),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl Default for ExecTimeModel {
+    fn default() -> Self {
+        ExecTimeModel::Wcet
+    }
+}
+
+/// Stateful execution-time source for one run (owns the RNG).
+#[derive(Debug)]
+pub struct ExecTimeSampler {
+    model: ExecTimeModel,
+    rng: Option<StdRng>,
+}
+
+impl ExecTimeSampler {
+    /// Draws the actual execution time of one job instance.
+    pub fn sample(&mut self, job: &Job) -> TimeQ {
+        match self.model {
+            ExecTimeModel::Wcet => job.wcet,
+            ExecTimeModel::Scaled { num, den } => {
+                job.wcet * TimeQ::new(num as i128, den as i128)
+            }
+            ExecTimeModel::Jitter {
+                lo_permille,
+                hi_permille,
+                ..
+            } => {
+                let rng = self.rng.as_mut().expect("jitter model has an RNG");
+                let permille = rng.gen_range(lo_permille..=hi_permille);
+                job.wcet * TimeQ::new(permille as i128, 1000)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_core::ProcessId;
+
+    fn job(c: i64) -> Job {
+        Job {
+            process: ProcessId::from_index(0),
+            k: 1,
+            arrival: TimeQ::ZERO,
+            deadline: TimeQ::from_ms(100),
+            wcet: TimeQ::from_ms(c),
+            is_server: false,
+        }
+    }
+
+    #[test]
+    fn wcet_model_is_identity() {
+        let mut s = ExecTimeModel::Wcet.sampler();
+        assert_eq!(s.sample(&job(25)), TimeQ::from_ms(25));
+    }
+
+    #[test]
+    fn scaled_model() {
+        let mut s = ExecTimeModel::Scaled { num: 1, den: 2 }.sampler();
+        assert_eq!(s.sample(&job(25)), TimeQ::new(25, 2));
+        let mut over = ExecTimeModel::Scaled { num: 3, den: 2 }.sampler();
+        assert_eq!(over.sample(&job(10)), TimeQ::from_ms(15));
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds_and_reproduces() {
+        let model = ExecTimeModel::typical_jitter(42);
+        let mut a = model.sampler();
+        let mut b = model.sampler();
+        for _ in 0..100 {
+            let va = a.sample(&job(20));
+            assert_eq!(va, b.sample(&job(20)));
+            assert!(va >= TimeQ::from_ms(10) && va <= TimeQ::from_ms(20));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ExecTimeModel::typical_jitter(1).sampler();
+        let mut b = ExecTimeModel::typical_jitter(2).sampler();
+        let draws_a: Vec<TimeQ> = (0..20).map(|_| a.sample(&job(1000))).collect();
+        let draws_b: Vec<TimeQ> = (0..20).map(|_| b.sample(&job(1000))).collect();
+        assert_ne!(draws_a, draws_b);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fppn-sim — discrete-event platform simulator and online policy (§IV)
+//!
+//! This crate substitutes for the paper's hardware testbeds (Kalray MPPA
+//! many-core, Linux/i7): a deterministic discrete-event simulation of `M`
+//! identical processors executing an FPPN under the **static-order online
+//! policy**, with a calibratable runtime-overhead model (the 41 ms / 20 ms
+//! frame-management costs measured in §V-A) and configurable actual
+//! execution times.
+//!
+//! The simulator runs the *real* process behaviors, so its observable
+//! outputs can be compared bit-for-bit against the zero-delay reference of
+//! `fppn-core` — the workspace's mechanized check of Prop. 4.1.
+//!
+//! See [`simulate`] for the entry point and `fppn-apps`/`fppn-bench` for
+//! full reproductions of the paper's Figures 4 and 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exectime;
+mod gantt;
+mod metrics;
+mod overhead;
+mod policy;
+mod stimgen;
+
+pub use exectime::{ExecTimeModel, ExecTimeSampler};
+pub use gantt::{Gantt, Segment, SegmentKind};
+pub use metrics::{end_to_end_latency, response_stats, ResponseStats};
+pub use overhead::OverheadModel;
+pub use policy::{clip_stimuli, simulate, JobRecord, SimConfig, SimError, SimRun, SimStats};
+pub use stimgen::{random_sporadic_trace, random_stimuli, sporadic_processes, validate_stimuli};

@@ -1,0 +1,208 @@
+//! Response-time and end-to-end latency metrics over simulation records.
+//!
+//! The paper's introduction motivates determinism partly by end-to-end
+//! timing: "Without deterministic communication it is impossible to define
+//! and guarantee end-to-end timing constraints." With deterministic
+//! FPPN execution, end-to-end latencies along process chains are
+//! well-defined functions of the schedule; this module measures them.
+
+use std::collections::BTreeMap;
+
+use fppn_core::{Fppn, ProcessId};
+use fppn_time::TimeQ;
+
+use crate::policy::JobRecord;
+
+/// Response-time statistics of one process over a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseStats {
+    /// Executed job instances observed.
+    pub count: usize,
+    /// Worst response time (completion − invocation).
+    pub worst: TimeQ,
+    /// Best response time.
+    pub best: TimeQ,
+    /// Sum of response times (mean = `total / count`).
+    pub total: TimeQ,
+}
+
+impl ResponseStats {
+    /// The mean response time.
+    pub fn mean(&self) -> TimeQ {
+        if self.count == 0 {
+            TimeQ::ZERO
+        } else {
+            self.total / TimeQ::from_int(self.count as i64)
+        }
+    }
+}
+
+/// Computes per-process response-time statistics from simulation records
+/// (skipped server slots excluded).
+pub fn response_stats(records: &[JobRecord]) -> BTreeMap<ProcessId, ResponseStats> {
+    let mut out: BTreeMap<ProcessId, ResponseStats> = BTreeMap::new();
+    for r in records {
+        if r.skipped {
+            continue;
+        }
+        let resp = r.completion - r.invoked_at;
+        let e = out.entry(r.process).or_insert(ResponseStats {
+            count: 0,
+            worst: TimeQ::ZERO,
+            best: resp,
+            total: TimeQ::ZERO,
+        });
+        e.count += 1;
+        e.worst = e.worst.max(resp);
+        e.best = e.best.min(resp);
+        e.total += resp;
+    }
+    out
+}
+
+/// The measured end-to-end latency of a source→…→sink process chain:
+/// for each source job instance, the delay until the first job of the sink
+/// process that *completes after* every chain member has processed the
+/// corresponding data wave. Conservatively measured as the delay from the
+/// source invocation to the completion of the first sink job whose start
+/// is not earlier than the source job's completion.
+///
+/// Returns `(count, worst, mean)`; `None` if the chain never completes in
+/// the simulated window or a process is missing from the records.
+pub fn end_to_end_latency(
+    net: &Fppn,
+    records: &[JobRecord],
+    chain: &[ProcessId],
+) -> Option<(usize, TimeQ, TimeQ)> {
+    let (&source, &sink) = (chain.first()?, chain.last()?);
+    // Validate the chain is channel-connected (defence against typos).
+    for w in chain.windows(2) {
+        let connected = net
+            .channels()
+            .iter()
+            .any(|c| c.writer() == w[0] && c.reader() == w[1]);
+        if !connected {
+            return None;
+        }
+    }
+    let mut sink_completions: Vec<(TimeQ, TimeQ)> = records
+        .iter()
+        .filter(|r| !r.skipped && r.process == sink)
+        .map(|r| (r.start, r.completion))
+        .collect();
+    sink_completions.sort();
+
+    let mut count = 0usize;
+    let mut worst = TimeQ::ZERO;
+    let mut total = TimeQ::ZERO;
+    for src in records.iter().filter(|r| !r.skipped && r.process == source) {
+        // First sink job starting at/after the source job completed.
+        if let Some(&(_, completion)) = sink_completions
+            .iter()
+            .find(|(start, _)| *start >= src.completion)
+        {
+            let latency = completion - src.invoked_at;
+            count += 1;
+            worst = worst.max(latency);
+            total += latency;
+        }
+    }
+    (count > 0).then(|| (count, worst, total / TimeQ::from_int(count as i64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{simulate, SimConfig};
+    use fppn_core::{ChannelKind, EventSpec, FppnBuilder, JobCtx, ProcessSpec, Stimuli, Value};
+    use fppn_sched::{list_schedule, Heuristic};
+    use fppn_taskgraph::{derive_task_graph, JobId, WcetModel};
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    fn chain_net() -> (Fppn, fppn_core::BehaviorBank, Vec<ProcessId>) {
+        let mut b = FppnBuilder::new();
+        let a = b.process(ProcessSpec::new("a", EventSpec::periodic(ms(100))));
+        let m = b.process(ProcessSpec::new("m", EventSpec::periodic(ms(100))));
+        let z = b.process(ProcessSpec::new("z", EventSpec::periodic(ms(100))));
+        let c1 = b.channel("c1", a, m, ChannelKind::Fifo);
+        let c2 = b.channel("c2", m, z, ChannelKind::Fifo);
+        b.priority(a, m);
+        b.priority(m, z);
+        b.behavior(a, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(c1, Value::Int(ctx.k() as i64)))
+        });
+        b.behavior(m, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                if let Some(v) = ctx.read(c1) {
+                    ctx.write(c2, v);
+                }
+            })
+        });
+        b.behavior(z, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let _ = ctx.read(c2);
+            })
+        });
+        let (net, bank) = b.build().unwrap();
+        (net, bank, vec![a, m, z])
+    }
+
+    #[test]
+    fn response_stats_reflect_chain_position() {
+        let (net, bank, chain) = chain_net();
+        let derived = derive_task_graph(&net, &WcetModel::uniform(ms(10))).unwrap();
+        let schedule = list_schedule(&derived.graph, 1, Heuristic::AlapEdf);
+        let run = simulate(
+            &net,
+            &bank,
+            &Stimuli::new(),
+            &derived,
+            &schedule,
+            &SimConfig {
+                frames: 3,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let stats = response_stats(&run.records);
+        // a runs first (response 10 ms), z last (30 ms), every frame.
+        assert_eq!(stats[&chain[0]].worst, ms(10));
+        assert_eq!(stats[&chain[2]].worst, ms(30));
+        assert_eq!(stats[&chain[2]].best, ms(30));
+        assert_eq!(stats[&chain[0]].count, 3);
+        assert_eq!(stats[&chain[0]].mean(), ms(10));
+    }
+
+    #[test]
+    fn end_to_end_latency_over_chain() {
+        let (net, bank, chain) = chain_net();
+        let derived = derive_task_graph(&net, &WcetModel::uniform(ms(10))).unwrap();
+        let schedule = list_schedule(&derived.graph, 1, Heuristic::AlapEdf);
+        let run = simulate(
+            &net,
+            &bank,
+            &Stimuli::new(),
+            &derived,
+            &schedule,
+            &SimConfig {
+                frames: 3,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let (count, worst, mean) = end_to_end_latency(&net, &run.records, &chain).unwrap();
+        assert_eq!(count, 3);
+        // a completes at 10, z starts at 20 and completes at 30 per frame.
+        assert_eq!(worst, ms(30));
+        assert_eq!(mean, ms(30));
+        // Unconnected chain is rejected.
+        assert_eq!(
+            end_to_end_latency(&net, &run.records, &[chain[2], chain[0]]),
+            None
+        );
+        let _ = JobId::from_index(0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Random stimulus generation: sporadic arrival traces and input streams.
+//!
+//! The paper's sporadic events come from pilots and reconfiguration
+//! commands; here they are drawn from seeded RNGs under the exact `(m, T)`
+//! constraint, so experiments are reproducible and strictly cover the
+//! admissible arrival space.
+
+use fppn_core::{EventKind, Fppn, ProcessId, SporadicTrace, Stimuli, Value};
+use fppn_time::TimeQ;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random arrival trace for a sporadic `(m, T)` generator over
+/// `[0, horizon)`, respecting the half-open-window constraint.
+///
+/// `density_permille` scales how aggressively the admissible rate is used:
+/// 1000 ≈ as many events as the constraint allows, 0 = none.
+pub fn random_sporadic_trace(
+    burst: u32,
+    period: TimeQ,
+    horizon: TimeQ,
+    density_permille: u32,
+    seed: u64,
+) -> SporadicTrace {
+    let density = density_permille.min(1000);
+    if density == 0 {
+        return SporadicTrace::empty();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals: Vec<TimeQ> = Vec::new();
+    // Enforce the constraint directly: arrival i+m >= arrival i + T.
+    // Density controls the random inter-arrival slack on top of that bound
+    // (density 1000 => no slack => maximal admissible rate).
+    let slack_cap = (period * TimeQ::new(2 * (1000 - density) as i128, 1000))
+        .ceil()
+        .max(0);
+    let mut t = TimeQ::ZERO;
+    loop {
+        let gap = if slack_cap == 0 {
+            TimeQ::ZERO
+        } else {
+            TimeQ::from_int_i128(rng.gen_range(0..=slack_cap))
+        };
+        let mut next = t + gap;
+        if arrivals.len() >= burst as usize {
+            let bound = arrivals[arrivals.len() - burst as usize] + period;
+            next = next.max(bound);
+        }
+        if next >= horizon {
+            break;
+        }
+        arrivals.push(next);
+        t = next;
+    }
+    SporadicTrace::new(arrivals)
+}
+
+/// Fills a [`Stimuli`] with random arrival traces for every sporadic
+/// process of a network, plus integer input streams for every declared
+/// external input port.
+///
+/// Traces are seeded per process (`seed + process index`) so adding a
+/// process does not reshuffle the others.
+pub fn random_stimuli(net: &Fppn, horizon: TimeQ, density_permille: u32, seed: u64) -> Stimuli {
+    let mut stimuli = Stimuli::new();
+    for pid in net.process_ids() {
+        let spec = net.process(pid);
+        let ev = spec.event();
+        if ev.kind() == EventKind::Sporadic {
+            let trace = random_sporadic_trace(
+                ev.burst(),
+                ev.period(),
+                horizon,
+                density_permille,
+                seed.wrapping_add(pid.index() as u64),
+            );
+            stimuli.arrivals(pid, trace);
+        }
+        // Input samples: enough for every possible job (period lower bound
+        // T/m jobs... be generous: horizon / (T / burst) + burst).
+        let max_jobs =
+            ((horizon / ev.period()).ceil() as u64 + 2) * ev.burst() as u64;
+        for (port_idx, _) in spec.input_ports().iter().enumerate() {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (pid.index() as u64) << 16 ^ port_idx as u64);
+            let samples: Vec<Value> = (0..max_jobs)
+                .map(|_| Value::Int(rng.gen_range(-1000..1000)))
+                .collect();
+            stimuli.input(pid, fppn_core::PortId::from_index(port_idx), samples);
+        }
+    }
+    stimuli
+}
+
+/// Validates that every generated sporadic trace satisfies its generator's
+/// constraint (used by the property test-suite; generation should always
+/// pass this by construction).
+pub fn validate_stimuli(net: &Fppn, stimuli: &Stimuli) -> bool {
+    stimuli.validate(net).is_ok()
+}
+
+/// Convenience: the process ids of all sporadic processes of a network.
+pub fn sporadic_processes(net: &Fppn) -> Vec<ProcessId> {
+    net.process_ids()
+        .filter(|&p| net.process(p).event().kind() == EventKind::Sporadic)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_core::{ChannelKind, EventSpec, FppnBuilder, ProcessSpec};
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    #[test]
+    fn generated_traces_respect_constraint() {
+        for seed in 0..50 {
+            let spec = EventSpec::sporadic(3, ms(500));
+            let t = random_sporadic_trace(3, ms(500), ms(10_000), 800, seed);
+            assert!(
+                t.validate_against(&spec, "gen").is_ok(),
+                "seed {seed}: {:?}",
+                t.arrivals()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_density_gives_empty_trace() {
+        let t = random_sporadic_trace(2, ms(100), ms(1000), 0, 7);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn trace_is_reproducible() {
+        let a = random_sporadic_trace(2, ms(300), ms(5000), 700, 11);
+        let b = random_sporadic_trace(2, ms(300), ms(5000), 700, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_stimuli_cover_all_sporadics() {
+        let mut b = FppnBuilder::new();
+        let u = b.process(ProcessSpec::new("u", EventSpec::periodic(ms(100))).with_input("in"));
+        let s1 = b.process(ProcessSpec::new("s1", EventSpec::sporadic(1, ms(400))));
+        let s2 = b.process(ProcessSpec::new("s2", EventSpec::sporadic(2, ms(800))));
+        b.channel("c1", s1, u, ChannelKind::Blackboard);
+        b.channel("c2", s2, u, ChannelKind::Blackboard);
+        b.priority(s1, u);
+        b.priority(s2, u);
+        let (net, _) = b.build().unwrap();
+        let stimuli = random_stimuli(&net, ms(4000), 900, 3);
+        assert!(validate_stimuli(&net, &stimuli));
+        assert_eq!(sporadic_processes(&net), vec![s1, s2]);
+        // Input stream present for the user's port.
+        assert!(stimuli
+            .input_sample(u, fppn_core::PortId::from_index(0), 1)
+            .is_some());
+    }
+}

@@ -1,0 +1,276 @@
+//! Extended timed automata: clocks, invariants, guarded edges and shared
+//! boolean variables.
+//!
+//! The paper's tool-chain is "based on automatic translation of the FPPN
+//! network and the schedule to a network of timed automata" (§V, [10]).
+//! This module provides the target formalism: a network of timed automata
+//! with per-automaton clocks and network-global boolean variables (the
+//! UPPAAL-style extension used to encode job-completion flags).
+
+use fppn_time::TimeQ;
+
+/// Index of a location within one automaton.
+pub type TaLocId = usize;
+
+/// Index of a clock within one automaton.
+pub type ClockId = usize;
+
+/// Index of a network-global boolean variable.
+pub type VarId = usize;
+
+/// One atomic guard conjunct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// `clock ≥ bound`.
+    ClockGe(ClockId, TimeQ),
+    /// `clock ≤ bound`.
+    ClockLe(ClockId, TimeQ),
+    /// `var == value`.
+    VarIs(VarId, bool),
+}
+
+/// A location with an optional invariant (conjunction of `clock ≤ bound`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaLocation {
+    /// Display name.
+    pub name: String,
+    /// Upper bounds that must hold while the automaton stays here.
+    pub invariant: Vec<(ClockId, TimeQ)>,
+}
+
+/// A guarded edge with clock resets and variable assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaEdge {
+    /// Source location.
+    pub from: TaLocId,
+    /// Conjunction of guards.
+    pub guard: Vec<Guard>,
+    /// Clocks reset to zero when firing.
+    pub resets: Vec<ClockId>,
+    /// Boolean variables assigned when firing.
+    pub sets: Vec<(VarId, bool)>,
+    /// Target location.
+    pub to: TaLocId,
+    /// Display label, surfaced in simulation traces.
+    pub label: String,
+}
+
+/// One timed automaton of a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedAutomaton {
+    name: String,
+    locations: Vec<TaLocation>,
+    clocks: Vec<String>,
+    edges: Vec<TaEdge>,
+    initial: TaLocId,
+}
+
+impl TimedAutomaton {
+    /// Starts a builder; the first added location is initial.
+    pub fn builder(name: impl Into<String>) -> TaBuilder {
+        TaBuilder {
+            name: name.into(),
+            locations: Vec::new(),
+            clocks: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The automaton name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The locations.
+    pub fn locations(&self) -> &[TaLocation] {
+        &self.locations
+    }
+
+    /// The declared clock names.
+    pub fn clocks(&self) -> &[String] {
+        &self.clocks
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[TaEdge] {
+        &self.edges
+    }
+
+    /// The initial location.
+    pub fn initial(&self) -> TaLocId {
+        self.initial
+    }
+}
+
+/// Builder for [`TimedAutomaton`].
+#[derive(Debug)]
+pub struct TaBuilder {
+    name: String,
+    locations: Vec<TaLocation>,
+    clocks: Vec<String>,
+    edges: Vec<TaEdge>,
+}
+
+impl TaBuilder {
+    /// Adds a location without invariant; returns its id.
+    pub fn location(&mut self, name: impl Into<String>) -> TaLocId {
+        self.location_inv(name, Vec::new())
+    }
+
+    /// Adds a location with an invariant; returns its id.
+    pub fn location_inv(
+        &mut self,
+        name: impl Into<String>,
+        invariant: Vec<(ClockId, TimeQ)>,
+    ) -> TaLocId {
+        self.locations.push(TaLocation {
+            name: name.into(),
+            invariant,
+        });
+        self.locations.len() - 1
+    }
+
+    /// Declares a clock; returns its id.
+    pub fn clock(&mut self, name: impl Into<String>) -> ClockId {
+        self.clocks.push(name.into());
+        self.clocks.len() - 1
+    }
+
+    /// Adds an edge.
+    pub fn edge(&mut self, edge: TaEdge) -> &mut Self {
+        self.edges.push(edge);
+        self
+    }
+
+    /// Freezes the automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no location exists or an edge/invariant references an
+    /// unknown location or clock.
+    pub fn build(self) -> TimedAutomaton {
+        assert!(
+            !self.locations.is_empty(),
+            "timed automaton {:?} needs at least one location",
+            self.name
+        );
+        let n_loc = self.locations.len();
+        let n_clk = self.clocks.len();
+        for loc in &self.locations {
+            for (c, _) in &loc.invariant {
+                assert!(*c < n_clk, "invariant references unknown clock");
+            }
+        }
+        for e in &self.edges {
+            assert!(e.from < n_loc && e.to < n_loc, "edge references unknown location");
+            for g in &e.guard {
+                match g {
+                    Guard::ClockGe(c, _) | Guard::ClockLe(c, _) => {
+                        assert!(*c < n_clk, "guard references unknown clock")
+                    }
+                    Guard::VarIs(..) => {}
+                }
+            }
+            for c in &e.resets {
+                assert!(*c < n_clk, "reset references unknown clock");
+            }
+        }
+        TimedAutomaton {
+            name: self.name,
+            locations: self.locations,
+            clocks: self.clocks,
+            edges: self.edges,
+            initial: 0,
+        }
+    }
+}
+
+/// A network of timed automata over shared boolean variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaNetwork {
+    automata: Vec<TimedAutomaton>,
+    variables: Vec<String>,
+}
+
+impl TaNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a global boolean variable (initially `false`).
+    pub fn variable(&mut self, name: impl Into<String>) -> VarId {
+        self.variables.push(name.into());
+        self.variables.len() - 1
+    }
+
+    /// Adds an automaton; returns its index.
+    pub fn add(&mut self, automaton: TimedAutomaton) -> usize {
+        self.automata.push(automaton);
+        self.automata.len() - 1
+    }
+
+    /// The automata.
+    pub fn automata(&self) -> &[TimedAutomaton] {
+        &self.automata
+    }
+
+    /// The global variable names.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    #[test]
+    fn build_simple_automaton() {
+        let mut b = TimedAutomaton::builder("t");
+        let c = b.clock("x");
+        let idle = b.location("idle");
+        let busy = b.location_inv("busy", vec![(c, ms(10))]);
+        b.edge(TaEdge {
+            from: idle,
+            guard: vec![Guard::ClockGe(c, ms(5))],
+            resets: vec![c],
+            sets: vec![],
+            to: busy,
+            label: "go".into(),
+        });
+        let ta = b.build();
+        assert_eq!(ta.locations().len(), 2);
+        assert_eq!(ta.edges().len(), 1);
+        assert_eq!(ta.initial(), 0);
+        assert_eq!(ta.clocks(), &["x".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown clock")]
+    fn unknown_clock_rejected() {
+        let mut b = TimedAutomaton::builder("t");
+        let l = b.location("l");
+        b.edge(TaEdge {
+            from: l,
+            guard: vec![Guard::ClockGe(3, ms(1))],
+            resets: vec![],
+            sets: vec![],
+            to: l,
+            label: "bad".into(),
+        });
+        let _ = b.build();
+    }
+
+    #[test]
+    fn network_variables() {
+        let mut net = TaNetwork::new();
+        let v = net.variable("done_j0");
+        assert_eq!(v, 0);
+        assert_eq!(net.variables(), &["done_j0".to_owned()]);
+    }
+}

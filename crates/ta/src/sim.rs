@@ -1,0 +1,326 @@
+//! Deterministic simulation of a timed-automata network.
+//!
+//! Discrete steps fire the lowest-indexed enabled edge; when nothing is
+//! enabled, time advances to the earliest instant at which some edge
+//! becomes enabled (bounded by location invariants). This semantics is
+//! deterministic and complete for the networks produced by
+//! [`crate::translate`], whose edges are mutually exclusive by
+//! construction.
+
+use fppn_time::TimeQ;
+
+use crate::model::{Guard, TaNetwork};
+
+/// One fired edge in a simulation trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaEvent {
+    /// Global time of the step.
+    pub time: TimeQ,
+    /// Index of the automaton that fired.
+    pub automaton: usize,
+    /// The fired edge's label.
+    pub label: String,
+}
+
+/// Why the simulation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No edge can ever fire again (all automata quiescent).
+    Quiescent,
+    /// The time horizon was reached.
+    Horizon,
+    /// The discrete-step bound was hit (livelock guard).
+    StepBound,
+}
+
+/// The result of simulating a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaTrace {
+    /// Fired edges in order.
+    pub events: Vec<TaEvent>,
+    /// Final global time.
+    pub end_time: TimeQ,
+    /// Why the run stopped.
+    pub stopped: StopReason,
+}
+
+impl TaTrace {
+    /// The times of events whose label equals `label`.
+    pub fn times_of(&self, label: &str) -> Vec<TimeQ> {
+        self.events
+            .iter()
+            .filter(|e| e.label == label)
+            .map(|e| e.time)
+            .collect()
+    }
+}
+
+/// Simulates the network from its initial state up to `horizon` (global
+/// time) or `max_steps` discrete steps.
+pub fn simulate_network(net: &TaNetwork, horizon: TimeQ, max_steps: usize) -> TaTrace {
+    let n = net.automata().len();
+    let mut locations: Vec<usize> = net.automata().iter().map(|a| a.initial()).collect();
+    let mut clocks: Vec<Vec<TimeQ>> = net
+        .automata()
+        .iter()
+        .map(|a| vec![TimeQ::ZERO; a.clocks().len()])
+        .collect();
+    let mut vars = vec![false; net.variables().len()];
+    let mut now = TimeQ::ZERO;
+    let mut events = Vec::new();
+
+    let guard_sat = |g: &Guard, ai: usize, clocks: &[Vec<TimeQ>], vars: &[bool]| -> bool {
+        match g {
+            Guard::ClockGe(c, b) => clocks[ai][*c] >= *b,
+            Guard::ClockLe(c, b) => clocks[ai][*c] <= *b,
+            Guard::VarIs(v, val) => vars[*v] == *val,
+        }
+    };
+
+    let mut discrete_steps = 0usize;
+    // Iteration bound: every iteration either fires an edge (counted
+    // against `max_steps`) or advances time; at most two consecutive
+    // advances can occur before either a firing or quiescence.
+    let max_iterations = max_steps.saturating_mul(4).saturating_add(64);
+    for _iter in 0..max_iterations {
+        if discrete_steps >= max_steps {
+            break;
+        }
+        // 1. Fire the lowest-indexed enabled edge, if any.
+        let mut fired = false;
+        'outer: for ai in 0..n {
+            let a = &net.automata()[ai];
+            for e in a.edges() {
+                if e.from != locations[ai] {
+                    continue;
+                }
+                if e.guard.iter().all(|g| guard_sat(g, ai, &clocks, &vars)) {
+                    for &c in &e.resets {
+                        clocks[ai][c] = TimeQ::ZERO;
+                    }
+                    for &(v, val) in &e.sets {
+                        vars[v] = val;
+                    }
+                    locations[ai] = e.to;
+                    events.push(TaEvent {
+                        time: now,
+                        automaton: ai,
+                        label: e.label.clone(),
+                    });
+                    fired = true;
+                    break 'outer;
+                }
+            }
+        }
+        if fired {
+            discrete_steps += 1;
+            continue;
+        }
+
+        // 2. Advance time: smallest positive delay enabling some edge,
+        //    bounded by invariants.
+        let mut max_delay: Option<TimeQ> = None; // invariant bound
+        for ai in 0..n {
+            let a = &net.automata()[ai];
+            for &(c, bound) in &a.locations()[locations[ai]].invariant {
+                let slack = bound - clocks[ai][c];
+                max_delay = Some(match max_delay {
+                    None => slack,
+                    Some(m) => m.min(slack),
+                });
+            }
+        }
+        let mut best: Option<TimeQ> = None;
+        for ai in 0..n {
+            let a = &net.automata()[ai];
+            for e in a.edges() {
+                if e.from != locations[ai] {
+                    continue;
+                }
+                // Variable guards cannot change by delay; clock-Le guards
+                // only get worse. Edge is a candidate if all var/Le guards
+                // hold now and the Ge guards can be met by waiting.
+                let static_ok = e.guard.iter().all(|g| match g {
+                    Guard::VarIs(..) => guard_sat(g, ai, &clocks, &vars),
+                    Guard::ClockLe(..) => true, // re-checked after delay
+                    Guard::ClockGe(..) => true,
+                });
+                if !static_ok {
+                    continue;
+                }
+                let mut needed = TimeQ::ZERO;
+                for g in &e.guard {
+                    if let Guard::ClockGe(c, b) = g {
+                        let gap = *b - clocks[ai][*c];
+                        needed = needed.max(gap);
+                    }
+                }
+                if needed.is_positive() {
+                    // Would Le guards still hold after the delay?
+                    let le_ok = e.guard.iter().all(|g| match g {
+                        Guard::ClockLe(c, b) => clocks[ai][*c] + needed <= *b,
+                        _ => true,
+                    });
+                    if le_ok {
+                        best = Some(match best {
+                            None => needed,
+                            Some(b) => b.min(needed),
+                        });
+                    }
+                }
+            }
+        }
+        let delay = match (best, max_delay) {
+            (Some(d), Some(m)) => d.min(m),
+            (Some(d), None) => d,
+            (None, Some(m)) if m.is_positive() => m,
+            _ => {
+                return TaTrace {
+                    events,
+                    end_time: now,
+                    stopped: StopReason::Quiescent,
+                }
+            }
+        };
+        if !delay.is_positive() {
+            // Invariant blocks but nothing can fire: quiescent (deadlock).
+            return TaTrace {
+                events,
+                end_time: now,
+                stopped: StopReason::Quiescent,
+            };
+        }
+        if now + delay > horizon {
+            return TaTrace {
+                events,
+                end_time: horizon,
+                stopped: StopReason::Horizon,
+            };
+        }
+        now += delay;
+        for ai in 0..n {
+            for c in clocks[ai].iter_mut() {
+                *c += delay;
+            }
+        }
+    }
+    TaTrace {
+        events,
+        end_time: now,
+        stopped: StopReason::StepBound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{TaEdge, TimedAutomaton};
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    /// An automaton that fires `tick` every 10 ms (reset loop).
+    fn ticker() -> TimedAutomaton {
+        let mut b = TimedAutomaton::builder("ticker");
+        let x = b.clock("x");
+        let l = b.location_inv("l", vec![(x, ms(10))]);
+        b.edge(TaEdge {
+            from: l,
+            guard: vec![Guard::ClockGe(x, ms(10))],
+            resets: vec![x],
+            sets: vec![],
+            to: l,
+            label: "tick".into(),
+        });
+        b.build()
+    }
+
+    #[test]
+    fn periodic_ticks() {
+        let mut net = TaNetwork::new();
+        net.add(ticker());
+        let trace = simulate_network(&net, ms(35), 100);
+        assert_eq!(trace.times_of("tick"), vec![ms(10), ms(20), ms(30)]);
+        assert_eq!(trace.stopped, StopReason::Horizon);
+    }
+
+    #[test]
+    fn variables_synchronize_automata() {
+        let mut net = TaNetwork::new();
+        let done = net.variable("done");
+        // Producer: sets `done` at t = 5.
+        let mut p = TimedAutomaton::builder("producer");
+        let x = p.clock("x");
+        let l0 = p.location("l0");
+        let l1 = p.location("l1");
+        p.edge(TaEdge {
+            from: l0,
+            guard: vec![Guard::ClockGe(x, ms(5))],
+            resets: vec![],
+            sets: vec![(done, true)],
+            to: l1,
+            label: "produce".into(),
+        });
+        net.add(p.build());
+        // Consumer: waits for `done` plus 3 ms more on its own clock.
+        let mut c = TimedAutomaton::builder("consumer");
+        let y = c.clock("y");
+        let m0 = c.location("m0");
+        let m1 = c.location("m1");
+        let m2 = c.location("m2");
+        c.edge(TaEdge {
+            from: m0,
+            guard: vec![Guard::VarIs(done, true)],
+            resets: vec![y],
+            sets: vec![],
+            to: m1,
+            label: "notice".into(),
+        });
+        c.edge(TaEdge {
+            from: m1,
+            guard: vec![Guard::ClockGe(y, ms(3))],
+            resets: vec![],
+            sets: vec![],
+            to: m2,
+            label: "consume".into(),
+        });
+        net.add(c.build());
+        let trace = simulate_network(&net, ms(100), 100);
+        assert_eq!(trace.times_of("produce"), vec![ms(5)]);
+        assert_eq!(trace.times_of("notice"), vec![ms(5)]);
+        assert_eq!(trace.times_of("consume"), vec![ms(8)]);
+        assert_eq!(trace.stopped, StopReason::Quiescent);
+    }
+
+    #[test]
+    fn step_bound_guards_livelock() {
+        // A loop with no guard fires forever at t = 0.
+        let mut b = TimedAutomaton::builder("spin");
+        let l = b.location("l");
+        b.edge(TaEdge {
+            from: l,
+            guard: vec![],
+            resets: vec![],
+            sets: vec![],
+            to: l,
+            label: "spin".into(),
+        });
+        let mut net = TaNetwork::new();
+        net.add(b.build());
+        let trace = simulate_network(&net, ms(10), 50);
+        assert_eq!(trace.stopped, StopReason::StepBound);
+        assert_eq!(trace.events.len(), 50);
+    }
+
+    #[test]
+    fn quiescent_when_nothing_enabled() {
+        let mut b = TimedAutomaton::builder("idle");
+        b.location("l");
+        let mut net = TaNetwork::new();
+        net.add(b.build());
+        let trace = simulate_network(&net, ms(10), 50);
+        assert_eq!(trace.stopped, StopReason::Quiescent);
+        assert!(trace.events.is_empty());
+    }
+}

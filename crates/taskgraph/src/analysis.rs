@@ -1,0 +1,325 @@
+//! Task-graph analysis: ASAP/ALAP times, the precedence-aware load metric
+//! and the necessary schedulability condition (Prop. 3.1).
+
+use std::error::Error;
+use std::fmt;
+
+use fppn_time::TimeQ;
+
+use crate::graph::TaskGraph;
+use crate::job::JobId;
+
+/// ASAP start times `A′_i` and ALAP completion times `D′_i` (§III-B):
+///
+/// ```text
+/// A′_i = max(A_i, max_{j ∈ Pred(i)} A′_j + C_j)
+/// D′_i = min(D_i, min_{j ∈ Succ(i)} D′_j − C_j)
+/// ```
+///
+/// They bound the start and completion of each job in *any* feasible
+/// schedule (on any number of processors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsapAlap {
+    /// `A′_i` per job.
+    pub asap_start: Vec<TimeQ>,
+    /// `D′_i` per job.
+    pub alap_completion: Vec<TimeQ>,
+}
+
+impl AsapAlap {
+    /// Computes both recursions over the DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has a cycle.
+    pub fn compute(graph: &TaskGraph) -> Self {
+        let order = graph
+            .topological_order()
+            .expect("ASAP/ALAP require an acyclic task graph");
+        let n = graph.job_count();
+        let mut asap = vec![TimeQ::ZERO; n];
+        for &i in &order {
+            let job = graph.job(i);
+            let mut t = job.arrival;
+            for p in graph.predecessors(i) {
+                t = t.max(asap[p.index()] + graph.job(p).wcet);
+            }
+            asap[i.index()] = t;
+        }
+        let mut alap = vec![TimeQ::ZERO; n];
+        for &i in order.iter().rev() {
+            let job = graph.job(i);
+            let mut t = job.deadline;
+            for s in graph.successors(i) {
+                t = t.min(alap[s.index()] - graph.job(s).wcet);
+            }
+            alap[i.index()] = t;
+        }
+        AsapAlap {
+            asap_start: asap,
+            alap_completion: alap,
+        }
+    }
+
+    /// `A′_i` of one job.
+    pub fn asap(&self, id: JobId) -> TimeQ {
+        self.asap_start[id.index()]
+    }
+
+    /// `D′_i` of one job.
+    pub fn alap(&self, id: JobId) -> TimeQ {
+        self.alap_completion[id.index()]
+    }
+}
+
+/// The precedence-aware load of a task graph (§III-B):
+///
+/// ```text
+/// Load(TG) = max_{0 ≤ t1 < t2}  ( Σ_{Ji : t1 ≤ A′_i ∧ D′_i ≤ t2} C_i ) / (t2 − t1)
+/// ```
+///
+/// together with the critical window attaining the maximum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadResult {
+    /// The load value (exact rational).
+    pub load: TimeQ,
+    /// A window `(t1, t2)` attaining the maximum.
+    pub window: (TimeQ, TimeQ),
+}
+
+impl LoadResult {
+    /// The minimum processor count implied by this load: `⌈Load⌉`.
+    pub fn min_processors(&self) -> usize {
+        self.load.ceil().max(0) as usize
+    }
+}
+
+/// Computes the load. Only windows `[t1, t2]` with `t1` an ASAP start and
+/// `t2` an ALAP completion need be considered (other windows contain the
+/// same job set as a tighter such window).
+///
+/// Returns a zero load for an empty graph.
+pub fn load(graph: &TaskGraph) -> LoadResult {
+    load_with(graph, &AsapAlap::compute(graph))
+}
+
+/// [`load`] with precomputed ASAP/ALAP times.
+pub fn load_with(graph: &TaskGraph, times: &AsapAlap) -> LoadResult {
+    let mut t1s: Vec<TimeQ> = times.asap_start.clone();
+    t1s.sort();
+    t1s.dedup();
+    // Jobs sorted by ALAP completion for prefix accumulation.
+    let mut by_alap: Vec<JobId> = graph.job_ids().collect();
+    by_alap.sort_by_key(|j| times.alap_completion[j.index()]);
+
+    let mut best = LoadResult {
+        load: TimeQ::ZERO,
+        window: (TimeQ::ZERO, TimeQ::ZERO),
+    };
+    for &t1 in &t1s {
+        // Accumulate C_i over jobs with A' >= t1 in ALAP order; each
+        // distinct ALAP value is a candidate t2.
+        let mut acc = TimeQ::ZERO;
+        let mut idx = 0usize;
+        while idx < by_alap.len() {
+            let t2 = times.alap_completion[by_alap[idx].index()];
+            // Fold in every job with this exact ALAP completion.
+            while idx < by_alap.len()
+                && times.alap_completion[by_alap[idx].index()] == t2
+            {
+                let j = by_alap[idx];
+                if times.asap_start[j.index()] >= t1 {
+                    acc += graph.job(j).wcet;
+                }
+                idx += 1;
+            }
+            if t2 > t1 && acc.is_positive() {
+                let l = acc / (t2 - t1);
+                if l > best.load {
+                    best = LoadResult {
+                        load: l,
+                        window: (t1, t2),
+                    };
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Why Prop. 3.1 rejects a task graph for `M` processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Infeasibility {
+    /// Some job cannot fit between its ASAP start and ALAP completion:
+    /// `A′_i + C_i > D′_i`.
+    JobWindowTooSmall {
+        /// The offending job.
+        job: JobId,
+        /// Its ASAP start.
+        asap: TimeQ,
+        /// Its ALAP completion.
+        alap: TimeQ,
+    },
+    /// `⌈Load(TG)⌉ > M`.
+    LoadExceedsProcessors {
+        /// The computed load.
+        load: TimeQ,
+        /// The processor count checked.
+        processors: usize,
+    },
+}
+
+impl fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Infeasibility::JobWindowTooSmall { job, asap, alap } => write!(
+                f,
+                "job {job} cannot fit its WCET between ASAP start {asap} and ALAP completion {alap}"
+            ),
+            Infeasibility::LoadExceedsProcessors { load, processors } => write!(
+                f,
+                "task-graph load {load} needs ⌈{load}⌉ processors but only {processors} given"
+            ),
+        }
+    }
+}
+
+impl Error for Infeasibility {}
+
+/// Prop. 3.1 — the **necessary** condition: a task graph can be scheduled
+/// on `M` processors only if every job fits its `[A′, D′]` window and
+/// `⌈Load⌉ ≤ M`. Passing this check does not guarantee feasibility.
+///
+/// # Errors
+///
+/// Returns the first violated [`Infeasibility`].
+pub fn necessary_condition(graph: &TaskGraph, processors: usize) -> Result<(), Infeasibility> {
+    let times = AsapAlap::compute(graph);
+    for i in graph.job_ids() {
+        if times.asap(i) + graph.job(i).wcet > times.alap(i) {
+            return Err(Infeasibility::JobWindowTooSmall {
+                job: i,
+                asap: times.asap(i),
+                alap: times.alap(i),
+            });
+        }
+    }
+    let l = load_with(graph, &times);
+    if l.min_processors() > processors {
+        return Err(Infeasibility::LoadExceedsProcessors {
+            load: l.load,
+            processors,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use fppn_core::ProcessId;
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    fn job(a: i64, d: i64, c: i64) -> Job {
+        Job {
+            process: ProcessId::from_index(0),
+            k: 1,
+            arrival: ms(a),
+            deadline: ms(d),
+            wcet: ms(c),
+            is_server: false,
+        }
+    }
+
+    fn jid(i: usize) -> JobId {
+        JobId::from_index(i)
+    }
+
+    #[test]
+    fn asap_alap_chain() {
+        // 0 -> 1 -> 2, all arrive at 0, deadline 100, C = 10.
+        let mut g = TaskGraph::new(vec![job(0, 100, 10); 3], ms(100));
+        g.add_edge(jid(0), jid(1));
+        g.add_edge(jid(1), jid(2));
+        let t = AsapAlap::compute(&g);
+        assert_eq!(t.asap(jid(0)), ms(0));
+        assert_eq!(t.asap(jid(1)), ms(10));
+        assert_eq!(t.asap(jid(2)), ms(20));
+        assert_eq!(t.alap(jid(2)), ms(100));
+        assert_eq!(t.alap(jid(1)), ms(90));
+        assert_eq!(t.alap(jid(0)), ms(80));
+    }
+
+    #[test]
+    fn asap_respects_later_arrival() {
+        let mut g = TaskGraph::new(vec![job(0, 100, 10), job(50, 100, 10)], ms(100));
+        g.add_edge(jid(0), jid(1));
+        let t = AsapAlap::compute(&g);
+        assert_eq!(t.asap(jid(1)), ms(50)); // arrival dominates pred chain
+    }
+
+    #[test]
+    fn load_of_independent_jobs() {
+        // Two independent jobs, same window [0, 100], C = 60 each:
+        // load = 120/100 = 6/5 -> needs 2 processors.
+        let g = TaskGraph::new(vec![job(0, 100, 60); 2], ms(100));
+        let l = load(&g);
+        assert_eq!(l.load, TimeQ::new(6, 5));
+        assert_eq!(l.window, (ms(0), ms(100)));
+        assert_eq!(l.min_processors(), 2);
+    }
+
+    #[test]
+    fn load_sees_precedence_narrowed_windows() {
+        // Chain of 3 with C = 10, deadline 30: windows shrink so the
+        // critical window is the full chain: load = 30/30 = 1.
+        let mut g = TaskGraph::new(vec![job(0, 30, 10); 3], ms(30));
+        g.add_edge(jid(0), jid(1));
+        g.add_edge(jid(1), jid(2));
+        let l = load(&g);
+        assert_eq!(l.load, TimeQ::ONE);
+        // A tight sub-window also yields 1; the maximum is 1 either way.
+    }
+
+    #[test]
+    fn load_picks_critical_subwindow() {
+        // One tight job [0, 10] C=10 and one loose [0, 100] C=10:
+        // window (0,10) gives 10/10 = 1; whole window gives 20/100.
+        let g = TaskGraph::new(vec![job(0, 10, 10), job(0, 100, 10)], ms(100));
+        let l = load(&g);
+        assert_eq!(l.load, TimeQ::ONE);
+        assert_eq!(l.window, (ms(0), ms(10)));
+    }
+
+    #[test]
+    fn necessary_condition_detects_window_violation() {
+        // Chain whose total work exceeds the common deadline.
+        let mut g = TaskGraph::new(vec![job(0, 25, 10); 3], ms(25));
+        g.add_edge(jid(0), jid(1));
+        g.add_edge(jid(1), jid(2));
+        assert!(matches!(
+            necessary_condition(&g, 4),
+            Err(Infeasibility::JobWindowTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn necessary_condition_detects_overload() {
+        let g = TaskGraph::new(vec![job(0, 100, 60); 3], ms(100));
+        // load = 180/100 -> ⌈1.8⌉ = 2 processors needed.
+        assert!(necessary_condition(&g, 1).is_err());
+        assert!(necessary_condition(&g, 2).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_load_is_zero() {
+        let g = TaskGraph::new(Vec::new(), ms(100));
+        assert_eq!(load(&g).load, TimeQ::ZERO);
+        assert!(necessary_condition(&g, 0).is_ok());
+    }
+}

@@ -1,0 +1,101 @@
+//! Jobs: the nodes of a task graph (Def. 3.1).
+
+use std::fmt;
+
+use fppn_core::ProcessId;
+use fppn_time::TimeQ;
+
+/// Index of a job within one [`TaskGraph`](crate::TaskGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub(crate) u32);
+
+impl JobId {
+    /// The dense index of this job.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `JobId` from a dense index.
+    pub const fn from_index(index: usize) -> Self {
+        JobId(index as u32)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// A job `J_i = (p_i, k_i, A_i, D_i, C_i)` per Def. 3.1: the `k`-th
+/// invocation of process `p`, with arrival time `A`, absolute required time
+/// (deadline) `D` and worst-case execution time `C`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// The process this job belongs to (`p_i`).
+    pub process: ProcessId,
+    /// The 1-based invocation count (`k_i`).
+    pub k: u64,
+    /// Arrival time `A_i ∈ ℚ≥0`, relative to the frame start.
+    pub arrival: TimeQ,
+    /// Absolute deadline `D_i ∈ ℚ+` (possibly truncated to the hyperperiod).
+    pub deadline: TimeQ,
+    /// Worst-case execution time `C_i ∈ ℚ+`.
+    pub wcet: TimeQ,
+    /// Whether this node is a *server job* standing in for a sporadic
+    /// process (§III-A); server jobs may be skipped ("false") at run time.
+    pub is_server: bool,
+}
+
+impl Job {
+    /// The relative deadline `D_i − A_i`.
+    pub fn relative_deadline(&self) -> TimeQ {
+        self.deadline - self.arrival
+    }
+
+    /// Whether the job can possibly meet its deadline in isolation.
+    pub fn is_locally_feasible(&self) -> bool {
+        self.arrival + self.wcet <= self.deadline
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] (A={}, D={}, C={})",
+            self.process, self.k, self.arrival, self.deadline, self.wcet
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(a: i64, d: i64, c: i64) -> Job {
+        Job {
+            process: ProcessId::from_index(0),
+            k: 1,
+            arrival: TimeQ::from_ms(a),
+            deadline: TimeQ::from_ms(d),
+            wcet: TimeQ::from_ms(c),
+            is_server: false,
+        }
+    }
+
+    #[test]
+    fn relative_deadline_and_feasibility() {
+        let j = job(100, 200, 25);
+        assert_eq!(j.relative_deadline(), TimeQ::from_ms(100));
+        assert!(j.is_locally_feasible());
+        assert!(!job(0, 20, 25).is_locally_feasible());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let j = job(0, 200, 25);
+        assert_eq!(j.to_string(), "P0[1] (A=0, D=200, C=25)");
+        assert_eq!(JobId::from_index(4).to_string(), "J4");
+    }
+}

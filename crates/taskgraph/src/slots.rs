@@ -1,0 +1,293 @@
+//! Run-time resolution of task-graph job instances across frames.
+//!
+//! The static task graph covers one hyperperiod; at run time the frame is
+//! repeated, and every *server* job slot must be matched against the real
+//! sporadic arrivals of its window — or marked **false** (§IV). This
+//! module computes that resolution from the arrival traces, shared by the
+//! discrete-event simulator (`fppn-sim`) and the threaded runtime
+//! (`fppn-runtime`).
+
+use std::collections::BTreeMap;
+
+use fppn_core::{Fppn, ProcessId, Stimuli};
+use fppn_time::TimeQ;
+
+use crate::derive::DerivedTaskGraph;
+use crate::job::JobId;
+
+/// The resolved identity of one job instance (one frame × one graph job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotResolution {
+    /// When the instance was invoked: `f·H + A_i` for periodic jobs, the
+    /// matching event arrival for executable sporadic slots, the window
+    /// close for false slots.
+    pub invoked_at: TimeQ,
+    /// Whether the instance executes (false = skipped server slot).
+    pub executable: bool,
+    /// Absolute (untruncated) deadline: invocation + the process's own
+    /// relative deadline; for false slots, the resolution time.
+    pub deadline: TimeQ,
+}
+
+/// Per-frame, per-job instance resolutions for `frames` repetitions of the
+/// schedule frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundResolution {
+    rounds: Vec<Vec<SlotResolution>>, // [frame][job]
+}
+
+impl RoundResolution {
+    /// Resolves every instance from the sporadic arrival traces.
+    ///
+    /// Sporadic arrivals are mapped to server-slot subsets per the window
+    /// boundary rule: the subset arriving at `b` covers `(b − T′, b]` when
+    /// the sporadic process has priority over its user, `[b − T′, b)`
+    /// otherwise.
+    pub fn resolve(
+        net: &Fppn,
+        derived: &DerivedTaskGraph,
+        stimuli: &Stimuli,
+        frames: u64,
+    ) -> Self {
+        let graph = &derived.graph;
+        let h = derived.hyperperiod;
+
+        // Group sporadic arrivals by global subset index.
+        let mut subsets: BTreeMap<ProcessId, BTreeMap<i128, Vec<TimeQ>>> = BTreeMap::new();
+        for pid in net.process_ids() {
+            if let Some(server) = derived.server(pid) {
+                let mut map: BTreeMap<i128, Vec<TimeQ>> = BTreeMap::new();
+                for &t in stimuli.arrival_trace(pid).arrivals() {
+                    let q = t / server.period;
+                    let subset = if server.priority_over_user {
+                        q.ceil()
+                    } else {
+                        q.floor() + 1
+                    };
+                    map.entry(subset).or_default().push(t);
+                }
+                for list in map.values_mut() {
+                    list.sort();
+                }
+                subsets.insert(pid, map);
+            }
+        }
+        let subsets_per_frame: BTreeMap<ProcessId, i128> = derived
+            .servers
+            .iter()
+            .map(|(pid, s)| (*pid, (h / s.period).floor()))
+            .collect();
+
+        let mut rounds = Vec::with_capacity(frames as usize);
+        for frame in 0..frames {
+            let frame_base = TimeQ::from_int(frame as i64) * h;
+            let mut row = Vec::with_capacity(graph.job_count());
+            for id in graph.job_ids() {
+                let job = graph.job(id);
+                let pid = job.process;
+                let res = match derived.server(pid) {
+                    None => {
+                        let inv = frame_base + job.arrival;
+                        SlotResolution {
+                            invoked_at: inv,
+                            executable: true,
+                            deadline: inv + net.process(pid).event().deadline(),
+                        }
+                    }
+                    Some(server) => {
+                        let subset_in_frame = (job.arrival / server.period).floor();
+                        let global_subset =
+                            frame as i128 * subsets_per_frame[&pid] + subset_in_frame;
+                        let slot = ((job.k - 1) % server.burst as u64) as usize;
+                        let arrival = subsets
+                            .get(&pid)
+                            .and_then(|m| m.get(&global_subset))
+                            .and_then(|v| v.get(slot))
+                            .copied();
+                        match arrival {
+                            Some(t) => SlotResolution {
+                                invoked_at: t,
+                                executable: true,
+                                deadline: t + net.process(pid).event().deadline(),
+                            },
+                            None => {
+                                let close = TimeQ::from_int_i128(global_subset) * server.period;
+                                SlotResolution {
+                                    invoked_at: close,
+                                    executable: false,
+                                    deadline: close,
+                                }
+                            }
+                        }
+                    }
+                };
+                row.push(res);
+            }
+            rounds.push(row);
+        }
+        RoundResolution { rounds }
+    }
+
+    /// The resolution of job `id` in `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` or `id` is out of range.
+    pub fn get(&self, frame: u64, id: JobId) -> SlotResolution {
+        self.rounds[frame as usize][id.index()]
+    }
+
+    /// The number of resolved frames.
+    pub fn frames(&self) -> u64 {
+        self.rounds.len() as u64
+    }
+
+    /// Count of executable instances.
+    pub fn executable_count(&self) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|s| s.executable)
+            .count()
+    }
+}
+
+/// The cross-frame "wrap" predecessors extending the real-time-semantics
+/// ordering over frame boundaries: for every pair of conflicting processes
+/// `(p, q)` (same process, FP-related periodic processes, or a sporadic
+/// with its user), the *last* job of `p` in frame `f` precedes the *first*
+/// job of `q` in frame `f+1`.
+///
+/// Returns, for each job, the jobs of the **previous** frame it must wait
+/// for. Only relevant under overload (a frame overrunning `H`), but
+/// necessary to preserve determinism there.
+pub fn wrap_predecessors(net: &Fppn, derived: &DerivedTaskGraph) -> Vec<Vec<JobId>> {
+    let graph = &derived.graph;
+    let mut jobs_of: BTreeMap<ProcessId, Vec<JobId>> = BTreeMap::new();
+    for id in graph.job_ids() {
+        jobs_of.entry(graph.job(id).process).or_default().push(id);
+    }
+    for list in jobs_of.values_mut() {
+        list.sort_by_key(|&id| graph.job(id).k);
+    }
+    let related_prime = |a: ProcessId, b: ProcessId| -> bool {
+        if a == b {
+            return true;
+        }
+        match (derived.server(a), derived.server(b)) {
+            (Some(sa), None) => sa.user == b,
+            (None, Some(sb)) => sb.user == a,
+            (Some(_), Some(_)) => false,
+            (None, None) => net.related(a, b),
+        }
+    };
+    let mut wrap: Vec<Vec<JobId>> = vec![Vec::new(); graph.job_count()];
+    for (p, p_jobs) in &jobs_of {
+        for (q, q_jobs) in &jobs_of {
+            if related_prime(*p, *q) {
+                let last_p = *p_jobs.last().expect("non-empty");
+                let first_q = *q_jobs.first().expect("non-empty");
+                wrap[first_q.index()].push(last_p);
+            }
+        }
+    }
+    wrap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::derive_task_graph;
+    use crate::wcet::WcetModel;
+    use fppn_core::{ChannelKind, EventSpec, FppnBuilder, ProcessSpec, SporadicTrace};
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    fn sporadic_net(cfg_priority: bool) -> (Fppn, ProcessId, ProcessId) {
+        let mut b = FppnBuilder::new();
+        let user = b.process(ProcessSpec::new("user", EventSpec::periodic(ms(200))));
+        let cfg = b.process(ProcessSpec::new("cfg", EventSpec::sporadic(2, ms(700))));
+        b.channel("c", cfg, user, ChannelKind::Blackboard);
+        if cfg_priority {
+            b.priority(cfg, user);
+        } else {
+            b.priority(user, cfg);
+        }
+        let (net, _) = b.build().unwrap();
+        (net, user, cfg)
+    }
+
+    #[test]
+    fn periodic_instances_always_executable() {
+        let (net, user, _) = sporadic_net(true);
+        let derived = derive_task_graph(&net, &WcetModel::default()).unwrap();
+        let res = RoundResolution::resolve(&net, &derived, &Stimuli::new(), 3);
+        let u1 = derived.graph.find(user, 1).unwrap();
+        for f in 0..3 {
+            let r = res.get(f, u1);
+            assert!(r.executable);
+            assert_eq!(r.invoked_at, ms(200 * f as i64));
+            assert_eq!(r.deadline, ms(200 * f as i64 + 200));
+        }
+        assert_eq!(res.frames(), 3);
+    }
+
+    #[test]
+    fn arrival_maps_to_slot_and_rest_are_false() {
+        let (net, _, cfg) = sporadic_net(true);
+        let derived = derive_task_graph(&net, &WcetModel::default()).unwrap();
+        let mut stimuli = Stimuli::new();
+        stimuli.arrivals(cfg, SporadicTrace::new(vec![ms(150)]));
+        let res = RoundResolution::resolve(&net, &derived, &stimuli, 2);
+        let c1 = derived.graph.find(cfg, 1).unwrap();
+        let c2 = derived.graph.find(cfg, 2).unwrap();
+        // Arrival 150 -> subset at b = 200 (frame 1, subset 0).
+        assert!(!res.get(0, c1).executable); // window (-200, 0]: empty
+        assert!(!res.get(0, c2).executable);
+        let r = res.get(1, c1);
+        assert!(r.executable);
+        assert_eq!(r.invoked_at, ms(150));
+        assert_eq!(r.deadline, ms(150 + 700));
+        assert!(!res.get(1, c2).executable);
+        assert_eq!(res.get(1, c2).invoked_at, ms(200)); // marked false at b
+        assert_eq!(res.executable_count(), 2 /* user */ + 1);
+    }
+
+    #[test]
+    fn boundary_arrival_respects_rule() {
+        for (cfg_priority, expect_frame) in [(true, 1u64), (false, 2u64)] {
+            let (net, _, cfg) = sporadic_net(cfg_priority);
+            let derived = derive_task_graph(&net, &WcetModel::default()).unwrap();
+            let mut stimuli = Stimuli::new();
+            stimuli.arrivals(cfg, SporadicTrace::new(vec![ms(200)]));
+            let res = RoundResolution::resolve(&net, &derived, &stimuli, 3);
+            let c1 = derived.graph.find(cfg, 1).unwrap();
+            for f in 0..3 {
+                assert_eq!(
+                    res.get(f, c1).executable,
+                    f == expect_frame,
+                    "priority {cfg_priority}, frame {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_predecessors_link_conflicting_processes() {
+        let (net, user, cfg) = sporadic_net(true);
+        let derived = derive_task_graph(&net, &WcetModel::default()).unwrap();
+        let wrap = wrap_predecessors(&net, &derived);
+        let u1 = derived.graph.find(user, 1).unwrap();
+        let c1 = derived.graph.find(cfg, 1).unwrap();
+        let c2 = derived.graph.find(cfg, 2).unwrap();
+        // user[1] (first of next frame) waits for last user job and last
+        // cfg job of the previous frame.
+        assert!(wrap[u1.index()].contains(&u1));
+        assert!(wrap[u1.index()].contains(&c2));
+        // cfg[1] likewise waits for user[1] and cfg[2] of previous frame.
+        assert!(wrap[c1.index()].contains(&u1));
+        assert!(wrap[c1.index()].contains(&c2));
+    }
+}

@@ -1,0 +1,84 @@
+//! Worst-case execution time models.
+//!
+//! The paper obtains execution times "from profiling, which is suitable for
+//! soft real-time applications" (§V). Here WCETs are an explicit input to
+//! task-graph derivation: a per-process table with a default.
+
+use std::collections::BTreeMap;
+
+use fppn_core::ProcessId;
+use fppn_time::TimeQ;
+
+/// Per-process WCET table (`C_i` source for derivation).
+///
+/// # Examples
+///
+/// ```
+/// use fppn_core::ProcessId;
+/// use fppn_taskgraph::WcetModel;
+/// use fppn_time::TimeQ;
+///
+/// let mut w = WcetModel::uniform(TimeQ::from_ms(25));
+/// w.set(ProcessId::from_index(2), TimeQ::from_ms(40));
+/// assert_eq!(w.get(ProcessId::from_index(0)), TimeQ::from_ms(25));
+/// assert_eq!(w.get(ProcessId::from_index(2)), TimeQ::from_ms(40));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WcetModel {
+    default: TimeQ,
+    overrides: BTreeMap<ProcessId, TimeQ>,
+}
+
+impl WcetModel {
+    /// Every process gets the same WCET (the Fig. 3 setting: `C_i = 25 ms`).
+    pub fn uniform(wcet: TimeQ) -> Self {
+        assert!(wcet.is_positive(), "WCET must be strictly positive");
+        WcetModel {
+            default: wcet,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the WCET of one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcet` is not strictly positive.
+    pub fn set(&mut self, pid: ProcessId, wcet: TimeQ) -> &mut Self {
+        assert!(wcet.is_positive(), "WCET must be strictly positive");
+        self.overrides.insert(pid, wcet);
+        self
+    }
+
+    /// The WCET of `pid`.
+    pub fn get(&self, pid: ProcessId) -> TimeQ {
+        self.overrides.get(&pid).copied().unwrap_or(self.default)
+    }
+}
+
+impl Default for WcetModel {
+    /// One millisecond for every process.
+    fn default() -> Self {
+        WcetModel::uniform(TimeQ::ONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_overrides() {
+        let mut w = WcetModel::uniform(TimeQ::from_ms(10));
+        assert_eq!(w.get(ProcessId::from_index(5)), TimeQ::from_ms(10));
+        w.set(ProcessId::from_index(5), TimeQ::from_ms(3));
+        assert_eq!(w.get(ProcessId::from_index(5)), TimeQ::from_ms(3));
+        assert_eq!(w.get(ProcessId::from_index(4)), TimeQ::from_ms(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_wcet_rejected() {
+        let _ = WcetModel::uniform(TimeQ::ZERO);
+    }
+}

@@ -1,0 +1,77 @@
+//! Hyperperiod computation over collections of rational periods.
+
+use crate::TimeQ;
+
+/// Computes the hyperperiod (least common multiple) of a collection of
+/// strictly positive rational periods, per §III-A of the paper: "the least
+/// common multiple of `T_p` … computed for rational numbers".
+///
+/// Returns `None` for an empty collection.
+///
+/// # Panics
+///
+/// Panics if any period is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use fppn_time::{hyperperiod, TimeQ};
+///
+/// // The Fig. 1 network: periods 200, 100, 200, 200, 100, 200 ms
+/// // (sporadic CoefB is replaced by a 200 ms server) => H = 200 ms.
+/// let h = hyperperiod([200, 100, 200, 200, 100, 200].map(TimeQ::from_ms));
+/// assert_eq!(h, Some(TimeQ::from_ms(200)));
+/// ```
+pub fn hyperperiod<I>(periods: I) -> Option<TimeQ>
+where
+    I: IntoIterator<Item = TimeQ>,
+{
+    periods.into_iter().fold(None, |acc, p| {
+        assert!(p.is_positive(), "hyperperiod requires positive periods");
+        Some(match acc {
+            None => p,
+            Some(h) => TimeQ::lcm(h, p),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(hyperperiod(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn single_period() {
+        assert_eq!(
+            hyperperiod([TimeQ::from_ms(123)]),
+            Some(TimeQ::from_ms(123))
+        );
+    }
+
+    #[test]
+    fn fms_hyperperiod_reduction() {
+        // §V-B: original FMS periods {200, 5000, 1600, 1000} give H = 40 s;
+        // reducing MagnDeclin to 400 ms gives H = 10 s.
+        let original = [200, 5000, 1600, 1000].map(TimeQ::from_ms);
+        assert_eq!(hyperperiod(original), Some(TimeQ::from_secs(40)));
+        let reduced = [200, 5000, 400, 1000].map(TimeQ::from_ms);
+        assert_eq!(hyperperiod(reduced), Some(TimeQ::from_secs(10)));
+    }
+
+    #[test]
+    fn rational_periods() {
+        let h = hyperperiod([TimeQ::new(3, 2), TimeQ::new(5, 4)]);
+        // lcm(3/2, 5/4) = lcm(3,5)/gcd(2,4) = 15/2
+        assert_eq!(h, Some(TimeQ::new(15, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive periods")]
+    fn zero_period_panics() {
+        let _ = hyperperiod([TimeQ::ZERO]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Exact rational time arithmetic for real-time models.
+//!
+//! The DATE'15 FPPN paper allows process periods `T_p ∈ ℚ+` and computes
+//! hyperperiods as least common multiples *of rational numbers* (§III-A,
+//! footnote 4). Floating point would make trace-equality checks (the whole
+//! point of a *deterministic* model of computation) unreliable, so every
+//! timestamp, period, deadline and execution time in this workspace is an
+//! exact rational [`TimeQ`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fppn_time::TimeQ;
+//!
+//! let period_a = TimeQ::from_ms(200);
+//! let period_b = TimeQ::from_ms(700) / TimeQ::from_int(2); // 350 ms
+//! let h = TimeQ::lcm(period_a, period_b);
+//! assert_eq!(h, TimeQ::from_ms(1400));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hyperperiod;
+mod rational;
+
+pub use hyperperiod::hyperperiod;
+pub use rational::{ParseTimeQError, TimeQ};

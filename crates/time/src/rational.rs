@@ -1,0 +1,594 @@
+//! The [`TimeQ`] exact rational number.
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational timestamp/duration, stored as a normalized `i128`
+/// fraction.
+///
+/// `TimeQ` is used for every quantity with a time dimension in the FPPN
+/// workspace: invocation timestamps, periods, deadlines, WCETs, schedule
+/// start times. All arithmetic is exact; two executions of the same model
+/// always produce bit-identical times.
+///
+/// The value is kept normalized: the denominator is strictly positive and
+/// `gcd(|num|, den) == 1`. Millisecond-based constructors are provided
+/// because the paper quotes all parameters in milliseconds; internally one
+/// unit of `TimeQ` is *one millisecond* by convention of this workspace, but
+/// nothing in the type enforces a unit.
+///
+/// # Examples
+///
+/// ```
+/// use fppn_time::TimeQ;
+///
+/// let t = TimeQ::from_ms(100) + TimeQ::new(1, 3);
+/// assert_eq!(t * TimeQ::from_int(3), TimeQ::from_int(301));
+/// assert!(TimeQ::ZERO < t);
+/// ```
+///
+/// # Panics
+///
+/// Arithmetic panics on division by zero and on `i128` overflow. With the
+/// millisecond convention the overflow bound is ~1.7e35 milliseconds, far
+/// beyond any schedulable horizon; overflow therefore indicates a logic
+/// error and fail-fast is the correct behaviour for a verification tool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeQ {
+    num: i128,
+    den: i128, // invariant: den > 0, gcd(|num|, den) == 1
+}
+
+impl TimeQ {
+    /// The additive identity, 0.
+    pub const ZERO: TimeQ = TimeQ { num: 0, den: 1 };
+    /// The multiplicative identity, 1 (one millisecond by convention).
+    pub const ONE: TimeQ = TimeQ { num: 1, den: 1 };
+
+    /// Creates a rational `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fppn_time::TimeQ;
+    /// assert_eq!(TimeQ::new(6, -4), TimeQ::new(-3, 2));
+    /// ```
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "TimeQ denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd_i128(num.unsigned_abs(), den.unsigned_abs());
+        debug_assert!(g != 0 || num == 0);
+        if num == 0 {
+            return TimeQ::ZERO;
+        }
+        let g = g as i128;
+        TimeQ {
+            num: sign * (num / g),
+            den: (den / g) * sign,
+        }
+    }
+
+    /// Creates an integral value (whole milliseconds by convention).
+    pub const fn from_int(v: i64) -> Self {
+        TimeQ {
+            num: v as i128,
+            den: 1,
+        }
+    }
+
+    /// Creates a value of `ms` milliseconds.
+    pub const fn from_ms(ms: i64) -> Self {
+        Self::from_int(ms)
+    }
+
+    /// Creates a value of `s` seconds (milliseconds convention: `1000 * s`).
+    pub const fn from_secs(s: i64) -> Self {
+        TimeQ {
+            num: s as i128 * 1000,
+            den: 1,
+        }
+    }
+
+    /// Creates a value of `us` microseconds (milliseconds convention:
+    /// `us / 1000`).
+    pub fn from_micros(us: i64) -> Self {
+        TimeQ::new(us as i128, 1000)
+    }
+
+    /// The numerator of the normalized fraction.
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the normalized fraction (always positive).
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether the value is strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether the value is strictly negative.
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Whether the value is a whole number of units.
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Converts to `f64`, for display and plotting only.
+    ///
+    /// The result is inexact for denominators that are not powers of two;
+    /// never feed it back into model arithmetic.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The absolute value.
+    pub fn abs(self) -> Self {
+        TimeQ {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// The smaller of `self` and `other`.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of `self` and `other`.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The largest integer `q` with `q <= self` (floor), as `i128`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fppn_time::TimeQ;
+    /// assert_eq!(TimeQ::new(7, 2).floor(), 3);
+    /// assert_eq!(TimeQ::new(-7, 2).floor(), -4);
+    /// ```
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// The smallest integer `q` with `q >= self` (ceiling), as `i128`.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Floor of the exact quotient `self / rhs`, i.e. how many whole `rhs`
+    /// periods fit below `self`. Used for period-index arithmetic such as
+    /// `⌊(k-1)/m_p⌋` and frame-relative times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_floor(self, rhs: Self) -> i128 {
+        (self / rhs).floor()
+    }
+
+    /// The exact remainder of `self` modulo a positive period `rhs`, in
+    /// `[0, rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is not strictly positive.
+    pub fn rem_euclid(self, rhs: Self) -> Self {
+        assert!(rhs.is_positive(), "rem_euclid requires a positive modulus");
+        self - rhs * TimeQ::from_int_i128(self.div_floor(rhs))
+    }
+
+    /// The greatest common divisor of two non-negative rationals:
+    /// the largest rational that divides both to an integer.
+    ///
+    /// `gcd(a/b, c/d) = gcd(a·d, c·b) / (b·d)` (then normalized).
+    pub fn gcd(a: Self, b: Self) -> Self {
+        assert!(
+            !a.is_negative() && !b.is_negative(),
+            "rational gcd is defined for non-negative values"
+        );
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        // For normalized a = p/q, r = s/t: gcd = gcd(p, s) / lcm(q, t).
+        let num = gcd_i128(a.num.unsigned_abs(), b.num.unsigned_abs()) as i128;
+        let den_g = gcd_i128(a.den.unsigned_abs(), b.den.unsigned_abs()) as i128;
+        let den = (a.den / den_g)
+            .checked_mul(b.den)
+            .expect("TimeQ gcd overflow");
+        TimeQ::new(num, den)
+    }
+
+    /// The least common multiple of two positive rationals: the smallest
+    /// positive rational that is an integer multiple of both. This is the
+    /// hyperperiod operation of the paper (§III-A footnote 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are strictly positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fppn_time::TimeQ;
+    /// // lcm(3/2, 1/2) = 3/2; lcm(200, 700) = 1400
+    /// assert_eq!(TimeQ::lcm(TimeQ::new(3, 2), TimeQ::new(1, 2)), TimeQ::new(3, 2));
+    /// assert_eq!(TimeQ::lcm(TimeQ::from_ms(200), TimeQ::from_ms(700)), TimeQ::from_ms(1400));
+    /// ```
+    pub fn lcm(a: Self, b: Self) -> Self {
+        assert!(
+            a.is_positive() && b.is_positive(),
+            "rational lcm is defined for positive values"
+        );
+        // For normalized a = p/q, b = s/t: lcm = lcm(p, s) / gcd(q, t).
+        let num_g = gcd_i128(a.num.unsigned_abs(), b.num.unsigned_abs()) as i128;
+        let num = (a.num / num_g)
+            .checked_mul(b.num)
+            .expect("TimeQ lcm overflow");
+        let den = gcd_i128(a.den.unsigned_abs(), b.den.unsigned_abs()) as i128;
+        TimeQ::new(num, den)
+    }
+
+    /// Builds a `TimeQ` from an `i128` count of whole units.
+    pub const fn from_int_i128(v: i128) -> Self {
+        TimeQ { num: v, den: 1 }
+    }
+
+    fn checked_add(self, rhs: Self) -> Option<Self> {
+        let den_g = gcd_i128(self.den.unsigned_abs(), rhs.den.unsigned_abs()) as i128;
+        let lhs_scale = rhs.den / den_g;
+        let rhs_scale = self.den / den_g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(TimeQ::new(num, den))
+    }
+
+    fn checked_mul_q(self, rhs: Self) -> Option<Self> {
+        // Cross-cancel before multiplying to delay overflow.
+        let g1 = gcd_i128(self.num.unsigned_abs(), rhs.den.unsigned_abs()) as i128;
+        let g2 = gcd_i128(rhs.num.unsigned_abs(), self.den.unsigned_abs()) as i128;
+        let (g1, g2) = (g1.max(1), g2.max(1));
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(TimeQ::new(num, den))
+    }
+}
+
+/// Euclid's algorithm on unsigned magnitudes; `gcd(0, x) = x`.
+fn gcd_i128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Default for TimeQ {
+    fn default() -> Self {
+        TimeQ::ZERO
+    }
+}
+
+impl PartialOrd for TimeQ {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeQ {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b vs c/d as a*d vs c*b; cancel first to avoid overflow.
+        let den_g = gcd_i128(self.den.unsigned_abs(), other.den.unsigned_abs()) as i128;
+        let lhs = self
+            .num
+            .checked_mul(other.den / den_g)
+            .expect("TimeQ comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den / den_g)
+            .expect("TimeQ comparison overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Add for TimeQ {
+    type Output = TimeQ;
+    fn add(self, rhs: Self) -> Self {
+        self.checked_add(rhs).expect("TimeQ addition overflow")
+    }
+}
+
+impl Sub for TimeQ {
+    type Output = TimeQ;
+    fn sub(self, rhs: Self) -> Self {
+        self.checked_add(-rhs).expect("TimeQ subtraction overflow")
+    }
+}
+
+impl Mul for TimeQ {
+    type Output = TimeQ;
+    fn mul(self, rhs: Self) -> Self {
+        self.checked_mul_q(rhs)
+            .expect("TimeQ multiplication overflow")
+    }
+}
+
+impl Div for TimeQ {
+    type Output = TimeQ;
+    fn div(self, rhs: Self) -> Self {
+        assert!(!rhs.is_zero(), "TimeQ division by zero");
+        let inv = TimeQ {
+            num: rhs.den * rhs.num.signum(),
+            den: rhs.num.abs(),
+        };
+        self.checked_mul_q(inv).expect("TimeQ division overflow")
+    }
+}
+
+impl Neg for TimeQ {
+    type Output = TimeQ;
+    fn neg(self) -> Self {
+        TimeQ {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for TimeQ {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for TimeQ {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for TimeQ {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for TimeQ {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for TimeQ {
+    fn sum<I: Iterator<Item = TimeQ>>(iter: I) -> Self {
+        iter.fold(TimeQ::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a TimeQ> for TimeQ {
+    fn sum<I: Iterator<Item = &'a TimeQ>>(iter: I) -> Self {
+        iter.copied().sum()
+    }
+}
+
+impl From<i64> for TimeQ {
+    fn from(v: i64) -> Self {
+        TimeQ::from_int(v)
+    }
+}
+
+impl From<i32> for TimeQ {
+    fn from(v: i32) -> Self {
+        TimeQ::from_int(v as i64)
+    }
+}
+
+impl From<u32> for TimeQ {
+    fn from(v: u32) -> Self {
+        TimeQ::from_int(v as i64)
+    }
+}
+
+impl fmt::Debug for TimeQ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for TimeQ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error returned when parsing a [`TimeQ`] from a string fails.
+///
+/// Accepted forms are `"123"`, `"-7"` and `"num/den"` such as `"3/2"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTimeQError {
+    input: String,
+}
+
+impl fmt::Display for ParseTimeQError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational time syntax: {:?}", self.input)
+    }
+}
+
+impl Error for ParseTimeQError {}
+
+impl FromStr for TimeQ {
+    type Err = ParseTimeQError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseTimeQError {
+            input: s.to_owned(),
+        };
+        match s.split_once('/') {
+            None => s
+                .trim()
+                .parse::<i128>()
+                .map(|n| TimeQ::new(n, 1))
+                .map_err(|_| err()),
+            Some((n, d)) => {
+                let n: i128 = n.trim().parse().map_err(|_| err())?;
+                let d: i128 = d.trim().parse().map_err(|_| err())?;
+                if d == 0 {
+                    Err(err())
+                } else {
+                    Ok(TimeQ::new(n, d))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(TimeQ::new(2, 4), TimeQ::new(1, 2));
+        assert_eq!(TimeQ::new(-2, -4), TimeQ::new(1, 2));
+        assert_eq!(TimeQ::new(2, -4), TimeQ::new(-1, 2));
+        assert_eq!(TimeQ::new(0, -5), TimeQ::ZERO);
+        assert_eq!(TimeQ::new(0, 7).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        let _ = TimeQ::new(1, 0);
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = TimeQ::new(1, 2);
+        let b = TimeQ::new(1, 3);
+        assert_eq!(a + b, TimeQ::new(5, 6));
+        assert_eq!(a - b, TimeQ::new(1, 6));
+        assert_eq!(a * b, TimeQ::new(1, 6));
+        assert_eq!(a / b, TimeQ::new(3, 2));
+        assert_eq!(-a, TimeQ::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(TimeQ::new(1, 3) < TimeQ::new(1, 2));
+        assert!(TimeQ::new(-1, 2) < TimeQ::ZERO);
+        assert_eq!(TimeQ::new(2, 6).cmp(&TimeQ::new(1, 3)), Ordering::Equal);
+        assert_eq!(TimeQ::from_ms(100).max(TimeQ::from_ms(3)), TimeQ::from_ms(100));
+        assert_eq!(TimeQ::from_ms(100).min(TimeQ::from_ms(3)), TimeQ::from_ms(3));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(TimeQ::new(7, 2).floor(), 3);
+        assert_eq!(TimeQ::new(7, 2).ceil(), 4);
+        assert_eq!(TimeQ::new(-7, 2).floor(), -4);
+        assert_eq!(TimeQ::new(-7, 2).ceil(), -3);
+        assert_eq!(TimeQ::from_int(5).floor(), 5);
+        assert_eq!(TimeQ::from_int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn div_floor_and_rem() {
+        let t = TimeQ::from_ms(750);
+        let p = TimeQ::from_ms(200);
+        assert_eq!(t.div_floor(p), 3);
+        assert_eq!(t.rem_euclid(p), TimeQ::from_ms(150));
+        // Negative times (used for pre-frame sporadic windows).
+        let neg = TimeQ::from_ms(-50);
+        assert_eq!(neg.div_floor(p), -1);
+        assert_eq!(neg.rem_euclid(p), TimeQ::from_ms(150));
+    }
+
+    #[test]
+    fn gcd_lcm_rationals() {
+        assert_eq!(
+            TimeQ::gcd(TimeQ::new(1, 2), TimeQ::new(1, 3)),
+            TimeQ::new(1, 6)
+        );
+        assert_eq!(
+            TimeQ::lcm(TimeQ::new(1, 2), TimeQ::new(1, 3)),
+            TimeQ::ONE
+        );
+        assert_eq!(
+            TimeQ::lcm(TimeQ::from_ms(100), TimeQ::from_ms(200)),
+            TimeQ::from_ms(200)
+        );
+        assert_eq!(
+            TimeQ::lcm(TimeQ::from_ms(200), TimeQ::from_ms(700)),
+            TimeQ::from_ms(1400)
+        );
+        assert_eq!(TimeQ::gcd(TimeQ::ZERO, TimeQ::from_ms(7)), TimeQ::from_ms(7));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("3/2".parse::<TimeQ>().unwrap(), TimeQ::new(3, 2));
+        assert_eq!("-8".parse::<TimeQ>().unwrap(), TimeQ::from_int(-8));
+        assert_eq!(" 6 / 4 ".parse::<TimeQ>().unwrap(), TimeQ::new(3, 2));
+        assert!("1/0".parse::<TimeQ>().is_err());
+        assert!("abc".parse::<TimeQ>().is_err());
+        assert_eq!(TimeQ::new(3, 2).to_string(), "3/2");
+        assert_eq!(TimeQ::from_int(42).to_string(), "42");
+    }
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(TimeQ::from_secs(2), TimeQ::from_ms(2000));
+        assert_eq!(TimeQ::from_micros(1500), TimeQ::new(3, 2));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(TimeQ::new(1, 2).to_f64(), 0.5);
+        assert_eq!(TimeQ::from(7i64), TimeQ::from_int(7));
+        let s: TimeQ = [TimeQ::new(1, 2), TimeQ::new(1, 3), TimeQ::new(1, 6)]
+            .iter()
+            .sum();
+        assert_eq!(s, TimeQ::ONE);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for exact rational time arithmetic.
+
+use fppn_time::{hyperperiod, TimeQ};
+use proptest::prelude::*;
+
+/// A rational with bounded magnitude so products of several operands stay
+/// far away from `i128` overflow.
+fn timeq() -> impl Strategy<Value = TimeQ> {
+    (-1_000_000i128..1_000_000, 1i128..10_000).prop_map(|(n, d)| TimeQ::new(n, d))
+}
+
+fn positive_timeq() -> impl Strategy<Value = TimeQ> {
+    (1i128..1_000_000, 1i128..10_000).prop_map(|(n, d)| TimeQ::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in timeq(), b in timeq()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associates(a in timeq(), b in timeq(), c in timeq()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in timeq(), b in timeq(), c in timeq()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_is_add_inverse(a in timeq(), b in timeq()) {
+        prop_assert_eq!(a - b + b, a);
+        prop_assert_eq!(a - a, TimeQ::ZERO);
+    }
+
+    #[test]
+    fn div_is_mul_inverse(a in timeq(), b in positive_timeq()) {
+        prop_assert_eq!(a / b * b, a);
+    }
+
+    #[test]
+    fn normalized_invariant(a in timeq(), b in timeq()) {
+        for v in [a + b, a - b, a * b] {
+            prop_assert!(v.denom() > 0);
+            // Renormalizing must be the identity.
+            prop_assert_eq!(TimeQ::new(v.numer(), v.denom()), v);
+        }
+    }
+
+    #[test]
+    fn ordering_consistent_with_f64(a in timeq(), b in timeq()) {
+        // f64 has 53 bits of mantissa, plenty for these bounded operands.
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        if fa < fb { prop_assert!(a < b); }
+        if fa > fb { prop_assert!(a > b); }
+    }
+
+    #[test]
+    fn floor_ceil_bound(a in timeq()) {
+        let f = TimeQ::from_int_i128(a.floor());
+        let c = TimeQ::from_int_i128(a.ceil());
+        prop_assert!(f <= a && a < f + TimeQ::ONE);
+        prop_assert!(c - TimeQ::ONE < a && a <= c);
+    }
+
+    #[test]
+    fn rem_euclid_in_range(a in timeq(), p in positive_timeq()) {
+        let r = a.rem_euclid(p);
+        prop_assert!(TimeQ::ZERO <= r && r < p);
+        // a = p * div_floor(a, p) + r
+        let q = TimeQ::from_int_i128(a.div_floor(p));
+        prop_assert_eq!(p * q + r, a);
+    }
+
+    #[test]
+    fn lcm_is_common_multiple(a in positive_timeq(), b in positive_timeq()) {
+        let l = TimeQ::lcm(a, b);
+        prop_assert!((l / a).is_integer());
+        prop_assert!((l / b).is_integer());
+        // Minimality: l/2 is not a common multiple unless halves divide.
+        let g = TimeQ::gcd(a, b);
+        prop_assert_eq!(l * g, a * b);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in positive_timeq(), b in positive_timeq()) {
+        let g = TimeQ::gcd(a, b);
+        prop_assert!((a / g).is_integer());
+        prop_assert!((b / g).is_integer());
+    }
+
+    #[test]
+    fn hyperperiod_is_multiple_of_all(periods in prop::collection::vec(positive_timeq(), 1..6)) {
+        let h = hyperperiod(periods.iter().copied()).unwrap();
+        for p in &periods {
+            prop_assert!((h / *p).is_integer());
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip(a in timeq()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<TimeQ>().unwrap(), a);
+    }
+}

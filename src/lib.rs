@@ -1,0 +1,32 @@
+//! # fppn — Fixed-Priority Process Networks
+//!
+//! Facade crate for the DATE'15 reproduction *"Models for Deterministic
+//! Execution of Real-Time Multiprocessor Applications"* (Poplavko, Socci,
+//! Bourgos, Bensalem, Bozga).
+//!
+//! This crate re-exports the whole workspace under stable module names:
+//!
+//! * [`time`] — exact rational time ([`time::TimeQ`]).
+//! * [`core`] — the FPPN model of computation and its zero-delay semantics.
+//! * [`taskgraph`] — task-graph derivation and analysis (§III-A).
+//! * [`sched`] — compile-time static scheduling (§III-B).
+//! * [`sim`] — discrete-event platform simulator and online policy (§IV).
+//! * [`runtime`] — multi-threaded shared-memory runtime.
+//! * [`ta`] — timed-automata substrate and FPPN→TA translation (§V tooling).
+//! * [`apps`] — the paper's applications (Fig. 1, FFT, FMS) and workload
+//!   generators.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: build a network,
+//! validate it, derive the task graph, schedule it, and simulate it while
+//! checking deterministic outputs.
+
+#![forbid(unsafe_code)]
+
+pub use fppn_apps as apps;
+pub use fppn_core as core;
+pub use fppn_runtime as runtime;
+pub use fppn_sched as sched;
+pub use fppn_sim as sim;
+pub use fppn_ta as ta;
+pub use fppn_taskgraph as taskgraph;
+pub use fppn_time as time;

@@ -1,0 +1,77 @@
+//! Cross-crate reproduction of Figs. 3 and 4: the derived task graph of
+//! the Fig. 1 network and its feasible two-processor static schedule.
+
+use fppn::apps::{fig1_network, fig1_wcet};
+use fppn::sched::{find_feasible, list_schedule, Heuristic};
+use fppn::taskgraph::{derive_task_graph, load, necessary_condition, AsapAlap};
+use fppn::time::TimeQ;
+
+fn ms(v: i64) -> TimeQ {
+    TimeQ::from_ms(v)
+}
+
+#[test]
+fn fig4_two_processor_schedule_is_feasible() {
+    let (net, _, _) = fig1_network();
+    let derived = derive_task_graph(&net, &fig1_wcet()).unwrap();
+
+    // 10 jobs x 25 ms = 250 ms of work in a 200 ms frame: one processor is
+    // impossible (Prop. 3.1), exactly why Fig. 4 uses two.
+    let l = load(&derived.graph);
+    assert!(l.load > TimeQ::ONE);
+    assert!(necessary_condition(&derived.graph, 1).is_err());
+    assert!(necessary_condition(&derived.graph, 2).is_ok());
+
+    let (schedule, _h) =
+        find_feasible(&derived.graph, 2, &Heuristic::ALL).expect("Fig. 4: feasible on 2 procs");
+    assert!(schedule.check_feasible(&derived.graph).is_ok());
+    assert!(schedule.makespan(&derived.graph) <= ms(200));
+    // Both processors are actually used.
+    assert!(!schedule.processor_order(0).is_empty());
+    assert!(!schedule.processor_order(1).is_empty());
+}
+
+#[test]
+fn alap_edf_matches_fig4_on_first_try() {
+    let (net, _, _) = fig1_network();
+    let derived = derive_task_graph(&net, &fig1_wcet()).unwrap();
+    let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+    assert!(schedule.check_feasible(&derived.graph).is_ok());
+}
+
+#[test]
+fn asap_alap_windows_of_fig3() {
+    let (net, _, ids) = fig1_network();
+    let derived = derive_task_graph(&net, &fig1_wcet()).unwrap();
+    let times = AsapAlap::compute(&derived.graph);
+    let g = &derived.graph;
+    // InputA[1] heads several chains; the tightest is
+    // InputA -> FilterB[1] -> OutputB[1] with OutputB[1] due at 100:
+    // ALAP(InputA[1]) = 100 - 2*25 = 50.
+    let i1 = g.find(ids.input_a, 1).unwrap();
+    assert_eq!(times.asap(i1), ms(0));
+    assert_eq!(times.alap(i1), ms(50));
+    // OutputB[2] arrives at 100 and closes the frame.
+    let ob2 = g.find(ids.output_b, 2).unwrap();
+    assert_eq!(times.asap(ob2), ms(100));
+    assert_eq!(times.alap(ob2), ms(200));
+    // Every job fits its window (necessary condition part 1).
+    for id in g.job_ids() {
+        assert!(times.asap(id) + g.job(id).wcet <= times.alap(id), "{}", g.job(id));
+    }
+}
+
+#[test]
+fn all_heuristics_that_claim_feasibility_are_verified() {
+    let (net, _, _) = fig1_network();
+    let derived = derive_task_graph(&net, &fig1_wcet()).unwrap();
+    for h in Heuristic::ALL {
+        for m in 2..=3 {
+            let s = list_schedule(&derived.graph, m, h);
+            if s.check_feasible(&derived.graph).is_ok() {
+                // Feasibility claims must be internally consistent.
+                assert!(s.makespan(&derived.graph) <= derived.hyperperiod, "{h}/{m}");
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Prop. 4.1 — "When based on a feasible static-schedule input, the
+//! static-order policy always meets the deadlines and correctly implements
+//! the real-time semantics of FPPN" — validated empirically: any actual
+//! execution-time draw `≤ C_i` under a deadline-feasible schedule misses
+//! no deadline, across many random workloads and seeds. WCET *overruns*
+//! may miss deadlines but must still preserve determinism.
+
+use fppn::apps::{random_workload, WorkloadConfig};
+use fppn::core::{run_zero_delay, JobOrdering};
+use fppn::sched::{find_feasible, Heuristic};
+use fppn::sim::{clip_stimuli, random_stimuli, simulate, ExecTimeModel, SimConfig};
+use fppn::taskgraph::derive_task_graph;
+use fppn::time::TimeQ;
+
+#[test]
+fn feasible_schedule_plus_bounded_exec_times_never_miss() {
+    let mut tested = 0;
+    for seed in 0..12u64 {
+        let w = random_workload(&WorkloadConfig {
+            periodic: 5,
+            sporadic: 2,
+            wcet_range_ms: (1, 15),
+            seed,
+            ..WorkloadConfig::default()
+        });
+        let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+        let Some((schedule, _)) = find_feasible(&derived.graph, 2, &Heuristic::ALL) else {
+            continue; // this workload needs more processors; skip
+        };
+        tested += 1;
+        let frames = 3;
+        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let stimuli = random_stimuli(&w.net, horizon, 600, seed ^ 0xabcd);
+        let stimuli = clip_stimuli(&w.net, &derived, &stimuli, frames);
+        for jitter_seed in 0..4 {
+            let run = simulate(
+                &w.net,
+                &w.bank,
+                &stimuli,
+                &derived,
+                &schedule,
+                &SimConfig {
+                    frames,
+                    exec_time: ExecTimeModel::typical_jitter(jitter_seed),
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                run.stats.deadline_misses, 0,
+                "seed {seed} jitter {jitter_seed}: Prop 4.1 violated"
+            );
+        }
+    }
+    assert!(tested >= 6, "too few feasible workloads tested ({tested})");
+}
+
+#[test]
+fn wcet_overruns_may_miss_but_stay_deterministic() {
+    let w = random_workload(&WorkloadConfig {
+        periodic: 5,
+        sporadic: 1,
+        wcet_range_ms: (5, 20),
+        seed: 3,
+        ..WorkloadConfig::default()
+    });
+    let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+    let (schedule, _) =
+        find_feasible(&derived.graph, 2, &Heuristic::ALL).expect("base schedule feasible");
+    let frames = 3;
+    let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+    let stimuli = random_stimuli(&w.net, horizon, 500, 77);
+    let stimuli = clip_stimuli(&w.net, &derived, &stimuli, frames);
+
+    // 3x WCET overrun: deadlines will fall, outputs must not change.
+    let overrun = simulate(
+        &w.net,
+        &w.bank,
+        &stimuli,
+        &derived,
+        &schedule,
+        &SimConfig {
+            frames,
+            exec_time: ExecTimeModel::Scaled { num: 3, den: 1 },
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        overrun.stats.deadline_misses > 0,
+        "expected overload to miss deadlines"
+    );
+    let mut behaviors = w.bank.instantiate();
+    let reference =
+        run_zero_delay(&w.net, &mut behaviors, &stimuli, horizon, JobOrdering::default()).unwrap();
+    assert_eq!(overrun.observables.diff(&reference.observables), None);
+}

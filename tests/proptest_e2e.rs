@@ -1,0 +1,114 @@
+//! End-to-end property tests over randomly generated FPPN workloads.
+
+use fppn::apps::{random_workload, WorkloadConfig};
+use fppn::core::{run_zero_delay, JobOrdering};
+use fppn::sched::{list_schedule, Heuristic};
+use fppn::sim::{clip_stimuli, random_stimuli, simulate, ExecTimeModel, SimConfig};
+use fppn::taskgraph::{derive_task_graph, load, AsapAlap};
+use fppn::time::TimeQ;
+use proptest::prelude::*;
+
+fn workload_cfg() -> impl Strategy<Value = WorkloadConfig> {
+    (2usize..6, 0usize..3, 150u32..700, any::<u64>()).prop_map(
+        |(periodic, sporadic, density, seed)| WorkloadConfig {
+            periodic,
+            sporadic,
+            channel_density_permille: density,
+            seed,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scheduler output always satisfies arrival/precedence/mutex, and any
+    /// deadline-feasible claim survives re-verification.
+    #[test]
+    fn list_scheduler_is_structurally_sound(cfg in workload_cfg(), m in 1usize..4) {
+        let w = random_workload(&cfg);
+        let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+        let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+        match schedule.check_feasible(&derived.graph) {
+            Ok(()) => {}
+            Err(violations) => {
+                // Only deadline misses are permitted failures.
+                for v in violations {
+                    prop_assert!(
+                        matches!(v, fppn::sched::FeasibilityViolation::DeadlineMissed { .. }),
+                        "structural violation: {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// ASAP/ALAP really bound any schedule the list scheduler produces.
+    #[test]
+    fn asap_alap_bound_actual_schedules(cfg in workload_cfg(), m in 1usize..4) {
+        let w = random_workload(&cfg);
+        let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+        let schedule = list_schedule(&derived.graph, m, Heuristic::BLevel);
+        if schedule.check_feasible(&derived.graph).is_err() {
+            return Ok(()); // bounds only claimed for feasible schedules
+        }
+        let times = AsapAlap::compute(&derived.graph);
+        for id in derived.graph.job_ids() {
+            let p = schedule.placement(id);
+            prop_assert!(p.start >= times.asap(id));
+            prop_assert!(schedule.completion(&derived.graph, id) <= times.alap(id));
+        }
+    }
+
+    /// The load lower-bounds the processor count of feasible schedules.
+    #[test]
+    fn load_is_a_valid_lower_bound(cfg in workload_cfg()) {
+        let w = random_workload(&cfg);
+        let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+        let bound = load(&derived.graph).min_processors();
+        for m in 1..bound {
+            let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+            prop_assert!(
+                schedule.check_feasible(&derived.graph).is_err(),
+                "schedule on {m} < ⌈load⌉ = {bound} processors cannot be feasible"
+            );
+        }
+    }
+
+    /// Cross-backend determinism on random workloads and stimuli.
+    #[test]
+    fn outputs_are_a_function_of_stimuli_only(
+        cfg in workload_cfg(),
+        m in 1usize..4,
+        exec_seed in any::<u64>(),
+    ) {
+        let w = random_workload(&cfg);
+        let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+        let frames = 2u64;
+        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let stimuli = random_stimuli(&w.net, horizon, 500, cfg.seed ^ 0x5a5a);
+        let stimuli = clip_stimuli(&w.net, &derived, &stimuli, frames);
+
+        let mut behaviors = w.bank.instantiate();
+        let reference =
+            run_zero_delay(&w.net, &mut behaviors, &stimuli, horizon, JobOrdering::MinRankFirst)
+                .unwrap();
+
+        let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+        let run = simulate(
+            &w.net,
+            &w.bank,
+            &stimuli,
+            &derived,
+            &schedule,
+            &SimConfig {
+                frames,
+                exec_time: ExecTimeModel::typical_jitter(exec_seed),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(run.observables.diff(&reference.observables), None);
+    }
+}
