@@ -83,7 +83,7 @@ pub fn random_workload(cfg: &WorkloadConfig) -> Workload {
     let mut out_channels: Vec<Vec<ChannelId>> = vec![Vec::new(); cfg.periodic];
     for i in 0..cfg.periodic {
         for j in (i + 1)..cfg.periodic {
-            if rng.gen_range(0..1000) < cfg.channel_density_permille {
+            if rng.gen_range(0u32..1000) < cfg.channel_density_permille {
                 let kind = if rng.gen_bool(0.5) {
                     ChannelKind::Fifo
                 } else {
@@ -102,7 +102,7 @@ pub fn random_workload(cfg: &WorkloadConfig) -> Workload {
     for s in 0..cfg.sporadic {
         let user_idx = rng.gen_range(0..cfg.periodic);
         let user = periodic[user_idx];
-        let mult = rng.gen_range(1..=3);
+        let mult = rng.gen_range(1i64..=3);
         let burst = rng.gen_range(1..=3u32);
         let t_sp = periods[user_idx] * mult;
         let spec = ProcessSpec::new(format!("s{s}"), EventSpec::sporadic(burst, ms(t_sp)));

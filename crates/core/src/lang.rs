@@ -361,7 +361,7 @@ impl Parser {
             };
             if let Some(scale) = scale {
                 self.pos += 1;
-                value = value * scale;
+                value *= scale;
             }
         }
         Ok(value)

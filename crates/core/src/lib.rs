@@ -74,5 +74,5 @@ pub use semantics::{
     invocations_by_time, linearization_ranks, run_zero_delay, Invocation, JobOrdering,
     SemanticsError, ZeroDelayRun,
 };
-pub use trace::{Action, JobRun, Observables, Trace};
+pub use trace::{Action, JobRun, Observables, OutputLog, Trace};
 pub use value::Value;

@@ -132,8 +132,11 @@ pub struct Observables {
     /// `outputs[(p, port)]` = sequence of `(k, value)` samples written to
     /// that external output, in write order. Keyed sparsely and sorted so
     /// comparison is canonical.
-    pub outputs: Vec<((ProcessId, PortId), Vec<(u64, Value)>)>,
+    pub outputs: OutputLog,
 }
+
+/// Sorted sparse map from `(process, port)` to its `(k, value)` samples.
+pub type OutputLog = Vec<((ProcessId, PortId), Vec<(u64, Value)>)>;
 
 impl Observables {
     /// A human-oriented diff of two observables; `None` when equal.

@@ -14,13 +14,16 @@ use fppn_core::{
 };
 use parking_lot::Mutex;
 
+/// Per-port output samples, keyed like `Observables::outputs`.
+type OutputMap = BTreeMap<(ProcessId, PortId), Vec<(u64, Value)>>;
+
 /// Thread-safe channel/output storage shared by all worker threads.
 pub struct ConcurrentStore<'n> {
     net: &'n Fppn,
     stimuli: Stimuli,
     channels: Vec<Mutex<ChannelState>>,
     channel_logs: Vec<Mutex<Vec<Value>>>,
-    outputs: Mutex<BTreeMap<(ProcessId, PortId), Vec<(u64, Value)>>>,
+    outputs: Mutex<OutputMap>,
     counters: Vec<Mutex<u64>>,
 }
 

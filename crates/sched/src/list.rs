@@ -78,7 +78,7 @@ pub fn list_schedule_with_ranks(
                 if !preds_done {
                     continue;
                 }
-                if best.map_or(true, |b| ranks[i] < ranks[b.index()]) {
+                if best.is_none_or(|b| ranks[i] < ranks[b.index()]) {
                     best = Some(id);
                 }
             }
@@ -114,8 +114,8 @@ pub fn list_schedule_with_ranks(
                 });
             }
         };
-        for i in 0..n {
-            if completion[i].is_none() {
+        for (i, c) in completion.iter().enumerate() {
+            if c.is_none() {
                 consider(graph.job(JobId::from_index(i)).arrival);
             }
         }

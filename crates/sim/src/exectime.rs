@@ -12,9 +12,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// How actual job execution times relate to the WCET `C_i`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecTimeModel {
     /// Every job runs for exactly its WCET (worst case, deterministic).
+    #[default]
     Wcet,
     /// Every job runs for `C_i · num/den` (deterministic scaling;
     /// `num/den > 1` models WCET *underestimation*).
@@ -56,12 +57,6 @@ impl ExecTimeModel {
                 _ => None,
             },
         }
-    }
-}
-
-impl Default for ExecTimeModel {
-    fn default() -> Self {
-        ExecTimeModel::Wcet
     }
 }
 

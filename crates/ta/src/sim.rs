@@ -198,8 +198,8 @@ pub fn simulate_network(net: &TaNetwork, horizon: TimeQ, max_steps: usize) -> Ta
             };
         }
         now += delay;
-        for ai in 0..n {
-            for c in clocks[ai].iter_mut() {
+        for automaton_clocks in clocks.iter_mut() {
+            for c in automaton_clocks.iter_mut() {
                 *c += delay;
             }
         }

@@ -1,0 +1,90 @@
+//! Golden-trace snapshot tests.
+//!
+//! The observable sequences of the paper's two fully-specified
+//! applications (Fig. 1 example network, §V-A FFT) under the zero-delay
+//! reference semantics are pinned to checked-in snapshots
+//! (`tests/golden/*.txt`). The determinism suite proves all backends agree
+//! with the zero-delay reference; this suite pins what the reference
+//! *itself* computes, so a refactor cannot silently change semantics while
+//! remaining self-consistent.
+//!
+//! To regenerate after an *intentional* semantics change, run with
+//! `GOLDEN_PRINT=1 cargo test -q --test golden_traces -- --nocapture` and
+//! copy the printed blocks into the snapshot files.
+
+use std::fmt::Write as _;
+
+use fppn::apps::{fft_network, fig1_network};
+use fppn::core::{run_zero_delay, Fppn, JobOrdering, Observables, SporadicTrace, Stimuli};
+use fppn::time::TimeQ;
+
+/// Renders observables into a stable, human-auditable text form:
+/// one line per channel (named) and one per external output port.
+fn render(net: &Fppn, obs: &Observables) -> String {
+    let mut out = String::new();
+    for (c, log) in obs.channels.iter().enumerate() {
+        let name = net.channels()[c].name();
+        write!(out, "channel {name}:").unwrap();
+        for v in log {
+            write!(out, " {v}").unwrap();
+        }
+        out.push('\n');
+    }
+    for ((pid, port), samples) in &obs.outputs {
+        let pname = net.process(*pid).name();
+        write!(out, "output {pname}[{}]:", port.index()).unwrap();
+        for (k, v) in samples {
+            write!(out, " ({k}, {v})").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn check(label: &str, net: &Fppn, obs: &Observables, expected: &str) {
+    let actual = render(net, obs);
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("=== {label} ===\n{actual}=== end {label} ===");
+    }
+    assert_eq!(
+        actual.trim_end(),
+        expected.trim_end(),
+        "{label}: observable trace diverged from tests/golden/{label}.txt \
+         (set GOLDEN_PRINT=1 to print the new trace)"
+    );
+}
+
+#[test]
+fn fig1_zero_delay_trace_is_pinned() {
+    let (net, bank, ids) = fig1_network();
+    // Same stimulus as the determinism suite: CoefB fires at 120 and 390 ms.
+    let mut stimuli = Stimuli::new();
+    stimuli.arrivals(
+        ids.coef_b,
+        SporadicTrace::new(vec![TimeQ::from_ms(120), TimeQ::from_ms(390)]),
+    );
+    // 4 hyperperiods of 200 ms.
+    let horizon = TimeQ::from_ms(800);
+    let mut behaviors = bank.instantiate();
+    let run = run_zero_delay(&net, &mut behaviors, &stimuli, horizon, JobOrdering::MinRankFirst)
+        .expect("fig1 reference run");
+    check("fig1", &net, &run.observables, include_str!("golden/fig1.txt"));
+}
+
+#[test]
+fn fft_zero_delay_trace_is_pinned() {
+    let (net, bank, _) = fft_network();
+    // 3 hyperperiods (all FFT processes share the 200 ms period) of the
+    // closed pipeline on its built-in test signal.
+    let horizon = TimeQ::from_int(3) * TimeQ::from_ms(200);
+    let mut behaviors = bank.instantiate();
+    let run = run_zero_delay(
+        &net,
+        &mut behaviors,
+        &Stimuli::new(),
+        horizon,
+        JobOrdering::MinRankFirst,
+    )
+    .expect("fft reference run");
+    check("fft", &net, &run.observables, include_str!("golden/fft.txt"));
+}

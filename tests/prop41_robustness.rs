@@ -61,7 +61,9 @@ fn wcet_overruns_may_miss_but_stay_deterministic() {
         periodic: 5,
         sporadic: 1,
         wcet_range_ms: (5, 20),
-        seed: 3,
+        // Calibrated so the 3x overrun below actually overloads the
+        // 2-processor schedule (the workload stream is PRNG-dependent).
+        seed: 2,
         ..WorkloadConfig::default()
     });
     let derived = derive_task_graph(&w.net, &w.wcet).unwrap();

@@ -1,0 +1,68 @@
+//! Offline shim for the subset of [`crossbeam`](https://crates.io/crates/crossbeam)
+//! used by this workspace: `thread::scope` with crossbeam's
+//! `Result`-returning signature and spawn closures that receive the scope,
+//! implemented on top of `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (crossbeam's `crossbeam::thread` module shape).
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to [`scope`]'s closure and to spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable within the scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Like crossbeam (and unlike
+        /// `std::thread::Scope::spawn`), the closure receives the scope so
+        /// it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame; all threads are joined before it returns.
+    ///
+    /// Matches crossbeam's signature: the error variant carries the panic
+    /// payload of a child whose panic was not collected via
+    /// [`ScopedJoinHandle::join`]. With the std backing, such a panic
+    /// propagates out of `std::thread::scope`, which this shim converts
+    /// into the `Err` variant.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+}

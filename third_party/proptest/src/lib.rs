@@ -1,0 +1,623 @@
+//! Offline shim for the subset of [`proptest`](https://crates.io/crates/proptest)
+//! used by this workspace.
+//!
+//! Implemented: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! integer-range / tuple / [`any`] / [`collection::vec`] strategies,
+//! [`Strategy::prop_map`], `prop_assert!` / `prop_assert_eq!`, and a
+//! deterministic runner.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its 64-bit seed instead of a
+//!   minimized counterexample. Re-run with `PROPTEST_RNG_SEED=<seed>` (and
+//!   `PROPTEST_CASES=1`) to reproduce it directly.
+//! * **Deterministic by default.** The base seed is a stable hash of the
+//!   test's source file and name, so every run and every CI machine
+//!   explores the same cases. `PROPTEST_RNG_SEED` overrides the base seed
+//!   and `PROPTEST_CASES` overrides the per-test case count.
+//! * **Regression persistence.** Failing seeds are appended to
+//!   `proptest-regressions/<source_file_stem>.txt` (relative to the crate
+//!   root, like real proptest) and replayed before fresh cases on later
+//!   runs, so fixed bugs stay fixed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::path::PathBuf;
+
+/// Deterministic xoshiro256++ RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+}
+
+/// A generator of test-case values (proptest's core trait, sans shrinking).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy adaptor returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Strategy producing a single fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                let r = rng.next_u128() % span;
+                ((self.start as $wide).wrapping_add(r as $wide)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128;
+                if span == u128::MAX {
+                    return rng.next_u128() as $t;
+                }
+                let r = rng.next_u128() % (span + 1);
+                ((lo as $wide).wrapping_add(r as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, u128 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, i128 => i128, isize => i128,
+);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the full domain of `T` (returned by [`any`]).
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length in a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Why a test case did not pass (proptest's error type, simplified).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration (proptest's `ProptestConfig`, simplified).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass. The
+    /// `PROPTEST_CASES` environment variable overrides this at runtime.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (before the env override).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+fn env_seed() -> Option<u64> {
+    std::env::var("PROPTEST_RNG_SEED").ok()?.parse().ok()
+}
+
+/// FNV-1a — a stable, platform-independent name hash for base seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Where failing seeds for `source_file` are persisted.
+fn regression_path(source_file: &str) -> PathBuf {
+    let stem = PathBuf::from(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_owned());
+    // CARGO_MANIFEST_DIR of the crate under test is not visible here (this
+    // is the shim's own build env at macro *expansion* site — so the macro
+    // passes it in via `env!` at the call site instead). Fallback: cwd.
+    PathBuf::from("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+fn load_regressions(dir_hint: &str, source_file: &str, test_name: &str) -> Vec<u64> {
+    let rel = regression_path(source_file);
+    let path = PathBuf::from(dir_hint).join(rel);
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let mut parts = line.split_whitespace();
+            let name = parts.next()?;
+            let seed: u64 = parts.next()?.parse().ok()?;
+            (name == test_name).then_some(seed)
+        })
+        .collect()
+}
+
+fn persist_regression(dir_hint: &str, source_file: &str, test_name: &str, seed: u64) {
+    use std::io::Write as _;
+    let rel = regression_path(source_file);
+    let path = PathBuf::from(dir_hint).join(rel);
+    let Some(parent) = path.parent() else { return };
+    let _ = std::fs::create_dir_all(parent);
+    let fresh = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        return;
+    };
+    if fresh {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases proptest has generated in the past.\n\
+             # It is automatically read and these particular cases re-run before\n\
+             # any novel cases are generated. Format: `<test_name> <u64 seed>`."
+        );
+    }
+    let _ = writeln!(f, "{test_name} {seed}");
+}
+
+/// Executes one property test: replays persisted regression seeds, then
+/// runs fresh cases. Used via the [`proptest!`] macro, not directly.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) on the first case whose
+/// closure returns `Err` or panics, reporting the reproducing seed.
+pub fn run_proptest<F>(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    mut case: F,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let run_one = |case: &mut F, seed: u64, origin: &str, persist: bool| {
+        let mut rng = TestRng::from_seed(seed);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        let failure = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e.to_string()),
+            Err(payload) => Some(panic_message(payload.as_ref())),
+        };
+        if let Some(msg) = failure {
+            if persist {
+                persist_regression(manifest_dir, source_file, test_name, seed);
+            }
+            panic!(
+                "proptest case failed ({origin}, seed {seed}): {msg}\n\
+                 reproduce with: PROPTEST_RNG_SEED={seed} PROPTEST_CASES=1"
+            );
+        }
+    };
+
+    for seed in load_regressions(manifest_dir, source_file, test_name) {
+        run_one(&mut case, seed, "persisted regression", false);
+    }
+
+    let cases = env_cases().unwrap_or(config.cases);
+    let base = env_seed()
+        .unwrap_or_else(|| fnv1a(format!("{source_file}::{test_name}").as_bytes()));
+    for i in 0..cases as u64 {
+        // Golden-ratio stride decorrelates per-case seeds from the base.
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        run_one(&mut case, seed, "fresh case", true);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "test case panicked".to_owned()
+    }
+}
+
+/// Defines property tests (proptest's main macro, same surface syntax).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(
+                &__config,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__rng| {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), __rng);)*
+                    let mut __case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                },
+            );
+        }
+    )*};
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Everything a property test normally imports (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let strat = (0i64..100, prop::collection::vec(any::<bool>(), 1..5))
+            .prop_map(|(n, v)| (n * 2, v.len()));
+        let mut a = crate::TestRng::from_seed(1);
+        let mut b = crate::TestRng::from_seed(1);
+        for _ in 0..50 {
+            assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+        }
+    }
+
+    #[test]
+    fn failing_seed_is_persisted_then_replayed() {
+        let dir = std::env::temp_dir().join(format!("proptest_shim_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+        let cfg = ProptestConfig::with_cases(3);
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_proptest(&cfg, &manifest, "src/demo.rs", "always_fails", |_rng| {
+                Err(TestCaseError::fail("boom"))
+            });
+        }));
+        assert!(outcome.is_err(), "failing property must fail the test");
+        let path = dir.join("proptest-regressions").join("demo.txt");
+        let text = std::fs::read_to_string(&path).expect("failing seed persisted");
+        assert!(text.lines().any(|l| l.starts_with("always_fails ")));
+
+        // After a "fix", the recorded seed is replayed before fresh cases.
+        let fresh_cases = crate::env_cases().unwrap_or(cfg.cases) as usize;
+        let mut calls = 0usize;
+        crate::run_proptest(&cfg, &manifest, "src/demo.rs", "always_fails", |_rng| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, fresh_cases + 1, "one replayed seed plus fresh cases");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro front-end compiles and runs: ranges, tuples, vec.
+        #[test]
+        fn macro_front_end_works(x in 1usize..10, pair in (0i64..5, 0u32..=4),
+                                 v in prop::collection::vec(0u8..=255, 0..8)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(pair.0 < 5);
+            prop_assert!(pair.1 <= 4);
+            prop_assert!(v.len() < 8);
+            if x == 0 {
+                return Ok(()); // early-return form must type-check
+            }
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x, 0);
+        }
+    }
+}

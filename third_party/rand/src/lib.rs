@@ -1,0 +1,189 @@
+//! Offline shim for the subset of [`rand`](https://crates.io/crates/rand)
+//! used by this workspace: `SeedableRng::seed_from_u64`, `Rng::gen_range`
+//! over integer ranges and `Rng::gen_bool`, backed by a deterministic
+//! xoshiro256++ generator (seeded via SplitMix64, as the reference
+//! implementations recommend).
+//!
+//! The exact output stream differs from the real `rand::rngs::StdRng`
+//! (ChaCha12); everything in this workspace that consumes randomness is
+//! seeded explicitly, so only *determinism across runs and platforms*
+//! matters, which this shim guarantees.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// Whether the range contains no values (sampling panics then).
+    fn is_empty_range(&self) -> bool;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a uniformly random value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty_range(), "cannot sample empty range");
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range [0, 1]");
+        // 53 high bits give an exact dyadic uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                let r = draw_u128(rng) % span;
+                ((self.start as $wide).wrapping_add(r as $wide)) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128;
+                if span == u128::MAX {
+                    return draw_u128(rng) as $t; // full-width range
+                }
+                let r = draw_u128(rng) % (span + 1);
+                ((lo as $wide).wrapping_add(r as $wide)) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, u128 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, i128 => i128, isize => i128,
+);
+
+fn draw_u128<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+/// Standard seedable generators (rand's `rand::rngs` module shape).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    ///
+    /// Not the real rand `StdRng` (ChaCha12) — see the crate docs.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, per the
+            // xoshiro authors' recommendation.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1000i64..1000);
+            assert!((-1000..1000).contains(&v));
+            let w = rng.gen_range(1u32..=3);
+            assert!((1..=3).contains(&w));
+            let x = rng.gen_range(0usize..5);
+            assert!(x < 5);
+            let y = rng.gen_range(0i128..=0);
+            assert_eq!(y, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+}
