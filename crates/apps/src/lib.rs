@@ -9,7 +9,9 @@
 //!   pipeline (Fig. 5) with the MPPA-calibrated WCETs (load 0.93);
 //! * [`fms`]: the §V-B avionics Flight Management System (Fig. 7), whose
 //!   reduced-hyperperiod task graph has exactly 812 jobs and load ≈ 0.23;
-//! * [`workloads`]: seeded random FPPNs for property/stress testing.
+//! * [`workloads`]: seeded random FPPNs for property/stress testing, plus
+//!   [`synthetic_task_graph`] layered DAGs (deep pipelines, fan-in/out
+//!   skew) for 10k–100k-job scheduler scalability runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,4 +24,6 @@ pub mod workloads;
 pub use fft::{dft4, fft_network, fft_wcet, test_signal, FftIds};
 pub use fig1::{fig1_network, fig1_wcet, Fig1Ids};
 pub use fms::{fms_network, fms_sporadics, fms_wcet, FmsIds, FmsVariant};
-pub use workloads::{random_workload, Workload, WorkloadConfig};
+pub use workloads::{
+    random_workload, synthetic_task_graph, SyntheticGraphConfig, Workload, WorkloadConfig,
+};

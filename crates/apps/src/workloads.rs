@@ -9,10 +9,10 @@
 //! backends.
 
 use fppn_core::{
-    BehaviorBank, ChannelId, ChannelKind, EventSpec, Fppn, FppnBuilder, JobCtx, ProcessSpec,
-    Value,
+    BehaviorBank, ChannelId, ChannelKind, EventSpec, Fppn, FppnBuilder, JobCtx, ProcessId,
+    ProcessSpec, Value,
 };
-use fppn_taskgraph::WcetModel;
+use fppn_taskgraph::{Job, JobId, TaskGraph, WcetModel};
 use fppn_time::TimeQ;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,8 +27,10 @@ pub struct WorkloadConfig {
     /// Candidate periods (ms). Defaults are harmonic-ish multirate.
     pub periods_ms: Vec<i64>,
     /// Probability (‰) of a channel between each FP-ordered process pair.
+    /// Values above 1000 are clamped to 1000 (a channel everywhere).
     pub channel_density_permille: u32,
-    /// WCET range (ms), sampled per process.
+    /// WCET range (ms), sampled per process; must be ordered `lo <= hi`
+    /// (values below 1 ms are raised to 1 ms).
     pub wcet_range_ms: (i64, i64),
     /// RNG seed.
     pub seed: u64,
@@ -61,10 +63,19 @@ pub struct Workload {
 ///
 /// # Panics
 ///
-/// Panics if `periodic == 0` or the period/WCET ranges are empty.
+/// Panics if `periodic == 0`, `periods_ms` is empty, or
+/// `wcet_range_ms.0 > wcet_range_ms.1` — each with a message naming the
+/// offending field, instead of an opaque `gen_range` failure mid-build.
 pub fn random_workload(cfg: &WorkloadConfig) -> Workload {
     assert!(cfg.periodic > 0, "need at least one periodic process");
     assert!(!cfg.periods_ms.is_empty(), "need candidate periods");
+    assert!(
+        cfg.wcet_range_ms.0 <= cfg.wcet_range_ms.1,
+        "wcet_range_ms must be ordered (lo, hi), got ({}, {})",
+        cfg.wcet_range_ms.0,
+        cfg.wcet_range_ms.1
+    );
+    let density = cfg.channel_density_permille.min(1000);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let ms = TimeQ::from_ms;
     let mut b = FppnBuilder::new();
@@ -83,7 +94,7 @@ pub fn random_workload(cfg: &WorkloadConfig) -> Workload {
     let mut out_channels: Vec<Vec<ChannelId>> = vec![Vec::new(); cfg.periodic];
     for i in 0..cfg.periodic {
         for j in (i + 1)..cfg.periodic {
-            if rng.gen_range(0u32..1000) < cfg.channel_density_permille {
+            if rng.gen_range(0u32..1000) < density {
                 let kind = if rng.gen_bool(0.5) {
                     ChannelKind::Fifo
                 } else {
@@ -168,6 +179,173 @@ pub fn random_workload(cfg: &WorkloadConfig) -> Workload {
     Workload { net, bank, wcet }
 }
 
+/// Parameters of a synthetic layered task graph, built directly as a
+/// [`TaskGraph`] (no FPPN derivation) so scalability experiments can reach
+/// 10k–100k jobs cheaply.
+///
+/// The two shape knobs map to the structures that stress a list scheduler:
+/// `depth` builds deep pipelines (long precedence chains through many
+/// layers), `fan_skew_permille` concentrates edges on one *hub* job per
+/// layer (heavy fan-out from hubs, heavy fan-in onto the next layer's
+/// hub), with `max_fan_in` bounding per-job in-degree.
+#[derive(Debug, Clone)]
+pub struct SyntheticGraphConfig {
+    /// Total number of jobs.
+    pub jobs: usize,
+    /// Number of pipeline layers; edges only go from layer `l` to `l + 1`.
+    pub depth: usize,
+    /// Maximum predecessors drawn per non-source job (≥ 1; capped by the
+    /// previous layer's size).
+    pub max_fan_in: usize,
+    /// Probability (‰) that a predecessor pick lands on the previous
+    /// layer's hub (its first job) instead of a uniform choice. 0 = uniform
+    /// wiring, 1000 = a pure hub-and-spoke cascade. Values above 1000 are
+    /// clamped.
+    pub fan_skew_permille: u32,
+    /// WCET range (ms) per job; must be ordered `lo <= hi` (values below
+    /// 1 ms are raised to 1 ms).
+    pub wcet_range_ms: (i64, i64),
+    /// Source-layer arrivals are drawn uniformly from `[0, spread]` ms,
+    /// exercising the scheduler's arrival queue; deeper layers arrive at 0
+    /// (enabled purely by precedence).
+    pub arrival_spread_ms: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticGraphConfig {
+    fn default() -> Self {
+        SyntheticGraphConfig {
+            jobs: 1_000,
+            depth: 50,
+            max_fan_in: 3,
+            fan_skew_permille: 250,
+            wcet_range_ms: (1, 10),
+            arrival_spread_ms: 50,
+            seed: 0,
+        }
+    }
+}
+
+impl SyntheticGraphConfig {
+    /// A deep-pipeline shape: many layers, narrow fan.
+    pub fn deep_pipeline(jobs: usize, seed: u64) -> Self {
+        SyntheticGraphConfig {
+            jobs,
+            depth: (jobs / 4).max(1),
+            max_fan_in: 2,
+            fan_skew_permille: 0,
+            seed,
+            ..SyntheticGraphConfig::default()
+        }
+    }
+
+    /// A hub-and-spoke shape: few layers, edges concentrated on hubs.
+    pub fn fan_skewed(jobs: usize, seed: u64) -> Self {
+        SyntheticGraphConfig {
+            jobs,
+            depth: 8,
+            max_fan_in: 4,
+            fan_skew_permille: 850,
+            seed,
+            ..SyntheticGraphConfig::default()
+        }
+    }
+}
+
+/// Generates a layered DAG of jobs for scheduler scalability experiments.
+///
+/// The graph is acyclic by construction (edges only cross consecutive
+/// layers), every job's deadline is the frame length, and generation is
+/// reproducible from the seed.
+///
+/// # Panics
+///
+/// Panics with a message naming the offending field if `jobs == 0`,
+/// `depth == 0`, `depth > jobs`, `max_fan_in == 0`,
+/// `wcet_range_ms.0 > wcet_range_ms.1`, or `arrival_spread_ms < 0`.
+pub fn synthetic_task_graph(cfg: &SyntheticGraphConfig) -> TaskGraph {
+    assert!(cfg.jobs > 0, "need at least one job");
+    assert!(cfg.depth > 0, "depth must be at least one layer");
+    assert!(
+        cfg.depth <= cfg.jobs,
+        "depth ({}) cannot exceed jobs ({}): every layer needs a job",
+        cfg.depth,
+        cfg.jobs
+    );
+    assert!(cfg.max_fan_in > 0, "max_fan_in must be at least 1");
+    assert!(
+        cfg.wcet_range_ms.0 <= cfg.wcet_range_ms.1,
+        "wcet_range_ms must be ordered (lo, hi), got ({}, {})",
+        cfg.wcet_range_ms.0,
+        cfg.wcet_range_ms.1
+    );
+    assert!(
+        cfg.arrival_spread_ms >= 0,
+        "arrival_spread_ms must be non-negative, got {}",
+        cfg.arrival_spread_ms
+    );
+    let skew = cfg.fan_skew_permille.min(1000);
+    let ms = TimeQ::from_ms;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Layer l covers jobs [bounds[l], bounds[l + 1]): one job guaranteed
+    // per layer, the remainder spread evenly from the front.
+    let base = cfg.jobs / cfg.depth;
+    let extra = cfg.jobs % cfg.depth;
+    let mut bounds = Vec::with_capacity(cfg.depth + 1);
+    let mut acc = 0usize;
+    bounds.push(0);
+    for l in 0..cfg.depth {
+        acc += base + usize::from(l < extra);
+        bounds.push(acc);
+    }
+
+    let (wcet_lo, wcet_hi) = (cfg.wcet_range_ms.0.max(1), cfg.wcet_range_ms.1.max(1));
+    let wcets: Vec<i64> = (0..cfg.jobs)
+        .map(|_| rng.gen_range(wcet_lo..=wcet_hi))
+        .collect();
+    // Frame length: generous enough that any work-conserving schedule of
+    // the whole graph fits on one processor.
+    let horizon = ms(wcets.iter().sum::<i64>() + cfg.arrival_spread_ms);
+    let jobs: Vec<Job> = (0..cfg.jobs)
+        .map(|i| {
+            let in_source_layer = i < bounds[1];
+            let arrival = if in_source_layer && cfg.arrival_spread_ms > 0 {
+                ms(rng.gen_range(0..=cfg.arrival_spread_ms))
+            } else {
+                TimeQ::ZERO
+            };
+            Job {
+                process: ProcessId::from_index(i),
+                k: 1,
+                arrival,
+                deadline: horizon,
+                wcet: ms(wcets[i]),
+                is_server: false,
+            }
+        })
+        .collect();
+
+    let mut g = TaskGraph::new(jobs, horizon);
+    for l in 1..cfg.depth {
+        let (prev_lo, prev_hi) = (bounds[l - 1], bounds[l]);
+        let prev_len = prev_hi - prev_lo;
+        for i in bounds[l]..bounds[l + 1] {
+            let fan_in = rng.gen_range(1..=cfg.max_fan_in.min(prev_len));
+            for _ in 0..fan_in {
+                let pred = if skew > 0 && rng.gen_range(0u32..1000) < skew {
+                    prev_lo // the layer hub
+                } else {
+                    rng.gen_range(prev_lo..prev_hi)
+                };
+                g.add_edge(JobId::from_index(pred), JobId::from_index(i));
+            }
+        }
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +384,100 @@ mod tests {
                 .unwrap();
             assert_eq!(r1.observables.diff(&r2.observables), None, "seed {seed}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "wcet_range_ms must be ordered")]
+    fn inverted_wcet_range_panics_up_front() {
+        let _ = random_workload(&WorkloadConfig {
+            wcet_range_ms: (10, 1),
+            ..WorkloadConfig::default()
+        });
+    }
+
+    #[test]
+    fn oversaturated_channel_density_is_clamped() {
+        // > 1000‰ must behave exactly like 1000‰ (a channel everywhere),
+        // not panic or skew the RNG stream differently.
+        let mk = |density| {
+            random_workload(&WorkloadConfig {
+                channel_density_permille: density,
+                seed: 7,
+                ..WorkloadConfig::default()
+            })
+        };
+        let saturated = mk(1000);
+        let clamped = mk(u32::MAX);
+        assert_eq!(saturated.net.channels().len(), clamped.net.channels().len());
+        let n = WorkloadConfig::default().periodic;
+        // Every FP-ordered periodic pair plus one channel per sporadic.
+        assert_eq!(
+            saturated.net.channels().len(),
+            n * (n - 1) / 2 + WorkloadConfig::default().sporadic
+        );
+    }
+
+    #[test]
+    fn synthetic_graph_honors_job_count_depth_and_acyclicity() {
+        for cfg in [
+            SyntheticGraphConfig::default(),
+            SyntheticGraphConfig::deep_pipeline(600, 3),
+            SyntheticGraphConfig::fan_skewed(600, 4),
+        ] {
+            let g = synthetic_task_graph(&cfg);
+            assert_eq!(g.job_count(), cfg.jobs);
+            assert!(g.topological_order().is_some());
+            // Every non-source layer job has at least one predecessor, so
+            // a longest chain threads all `depth` layers.
+            let depth = longest_path_len(&g);
+            assert_eq!(depth, cfg.depth, "{cfg:?}");
+        }
+    }
+
+    fn longest_path_len(g: &TaskGraph) -> usize {
+        let order = g.topological_order().unwrap();
+        let mut len = vec![1usize; g.job_count()];
+        for id in order {
+            for s in g.successors(id) {
+                len[s.index()] = len[s.index()].max(len[id.index()] + 1);
+            }
+        }
+        len.into_iter().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn synthetic_graph_fan_skew_concentrates_on_hubs() {
+        let uniform = synthetic_task_graph(&SyntheticGraphConfig {
+            fan_skew_permille: 0,
+            ..SyntheticGraphConfig::default()
+        });
+        let skewed = synthetic_task_graph(&SyntheticGraphConfig {
+            fan_skew_permille: 1000,
+            ..SyntheticGraphConfig::default()
+        });
+        let max_out = |g: &TaskGraph| g.succ_counts().into_iter().max().unwrap();
+        assert!(
+            max_out(&skewed) > max_out(&uniform),
+            "hub wiring should concentrate out-degree: skewed {} vs uniform {}",
+            max_out(&skewed),
+            max_out(&uniform)
+        );
+    }
+
+    #[test]
+    fn synthetic_graph_is_reproducible() {
+        let cfg = SyntheticGraphConfig::default();
+        assert_eq!(synthetic_task_graph(&cfg), synthetic_task_graph(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth (9) cannot exceed jobs (3)")]
+    fn synthetic_graph_rejects_more_layers_than_jobs() {
+        let _ = synthetic_task_graph(&SyntheticGraphConfig {
+            jobs: 3,
+            depth: 9,
+            ..SyntheticGraphConfig::default()
+        });
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! size — the §V-B code-generation-cost motivation, measured.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fppn_apps::{fms_network, fms_wcet, random_workload, FmsVariant, WorkloadConfig};
+use fppn_apps::{
+    fms_network, fms_wcet, random_workload, synthetic_task_graph, FmsVariant,
+    SyntheticGraphConfig, WorkloadConfig,
+};
 use fppn_sched::{list_schedule, Heuristic};
 use fppn_taskgraph::derive_task_graph;
 
@@ -46,5 +49,30 @@ fn random_network_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(scalability, fms_hyperperiod_sweep, random_network_sweep);
+fn synthetic_graph_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthetic_graphs");
+    g.sample_size(10);
+    for &jobs in &[1_000usize, 10_000] {
+        for (shape, cfg) in [
+            ("pipeline", SyntheticGraphConfig::deep_pipeline(jobs, jobs as u64)),
+            ("fanskew", SyntheticGraphConfig::fan_skewed(jobs, jobs as u64 + 1)),
+        ] {
+            let graph = synthetic_task_graph(&cfg);
+            for h in Heuristic::ALL {
+                let id = BenchmarkId::new(format!("{shape}_{h}"), jobs);
+                g.bench_with_input(id, &graph, |b, graph| {
+                    b.iter(|| list_schedule(graph, 4, h))
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    scalability,
+    fms_hyperperiod_sweep,
+    random_network_sweep,
+    synthetic_graph_sweep
+);
 criterion_main!(scalability);

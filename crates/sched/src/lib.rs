@@ -8,6 +8,11 @@
 //! invocations and cross-processor predecessors instead of trusting the
 //! static start times (robustness against WCET error, §IV).
 //!
+//! The production scheduler is event-driven over the indexed structures of
+//! [`ready`] and runs in `O((n + |E|) log n)`; the original quadratic scan
+//! survives as [`list_schedule_naive`], the oracle of the differential
+//! property tests.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,9 +39,12 @@
 mod list;
 mod optimize;
 mod priority;
+pub mod ready;
 mod schedule;
 
-pub use list::{list_schedule, list_schedule_with_ranks};
+pub use list::{
+    list_schedule, list_schedule_naive, list_schedule_naive_with_ranks, list_schedule_with_ranks,
+};
 pub use optimize::{find_feasible, min_processors};
 pub use priority::{b_levels, Heuristic};
 pub use schedule::{FeasibilityViolation, Placement, StaticSchedule};

@@ -4,11 +4,28 @@
 //! fixed-priority policy using the updated definition of ready jobs": a job
 //! is *ready* at time `t` if it has arrived (`A_i ≤ t`), has not run, and
 //! all its task-graph predecessors have completed (`∀j ∈ Pred(i): e_j ≤ t`).
+//!
+//! Two implementations share that definition:
+//!
+//! * [`list_schedule`]/[`list_schedule_with_ranks`] — the production path,
+//!   an `O((n + |E|) log n)` event-driven simulation over the indexed
+//!   structures of [`crate::ready`] (arrival/enabling min-heap, rank-ordered
+//!   ready heap, processor free-time heap),
+//! * [`list_schedule_naive`]/[`list_schedule_naive_with_ranks`] — the
+//!   original `O(n²)` specification that rescans every job per placement,
+//!   retained as the differential-testing oracle.
+//!
+//! Both resolve contention identically: among ready jobs the lowest
+//! `(rank, JobId)` wins, and among free processors the lowest
+//! `(free_time, index)` wins. These tie-breaks are part of the public
+//! contract — schedules are reproducible bit-for-bit across the two paths
+//! and across refactors (see `tests/differential.rs`).
 
 use fppn_taskgraph::{JobId, TaskGraph};
 use fppn_time::TimeQ;
 
 use crate::priority::Heuristic;
+use crate::ready::{EnableQueue, ProcessorPool, ReadyHeap};
 use crate::schedule::{Placement, StaticSchedule};
 
 /// Runs list scheduling with the given `SP` heuristic.
@@ -30,6 +47,9 @@ pub fn list_schedule(graph: &TaskGraph, processors: usize, heuristic: Heuristic)
 /// List scheduling with an explicit `SP` rank per job (lower = higher
 /// priority). Exposed for custom/ablation heuristics.
 ///
+/// Equal ranks are broken by the lowest [`JobId`]; processor contention by
+/// the earliest-free processor, lowest index on ties.
+///
 /// # Panics
 ///
 /// Panics if `processors == 0`, `ranks.len() != job_count`, or the graph is
@@ -48,16 +68,129 @@ pub fn list_schedule_with_ranks(
 
     let n = graph.job_count();
     let mut start = vec![TimeQ::ZERO; n];
+    let mut mapping = vec![0usize; n];
+    let mut remaining_preds = graph.pred_counts();
+    // Latest completion among a job's already-placed predecessors; once
+    // `remaining_preds[i]` hits zero this is `max_{j ∈ Pred(i)} e_j`, so
+    // `max(A_i, latest_pred_completion[i])` is exactly the first instant
+    // the reference scan would find the job ready.
+    let mut latest_pred_completion = vec![TimeQ::ZERO; n];
+
+    let mut ready = ReadyHeap::with_capacity(n);
+    let mut enable = EnableQueue::with_capacity(n);
+    let mut procs = ProcessorPool::new(processors);
+    for (i, &preds) in remaining_preds.iter().enumerate() {
+        if preds == 0 {
+            let id = JobId::from_index(i);
+            enable.push(graph.job(id).arrival, id);
+        }
+    }
+
+    let mut scheduled = 0usize;
+    let mut t = TimeQ::ZERO;
+    while scheduled < n {
+        // Place greedily at time t: best (rank, JobId) onto the earliest
+        // free (free_time, index) processor, re-draining enablings after
+        // each placement so zero-WCET chains complete within one instant.
+        loop {
+            while let Some(id) = enable.pop_due(t) {
+                ready.push(ranks[id.index()], id);
+            }
+            if ready.is_empty() {
+                break;
+            }
+            let Some(m) = procs.acquire(t) else {
+                break;
+            };
+            let id = ready.pop().expect("checked non-empty");
+            let i = id.index();
+            start[i] = t;
+            mapping[i] = m;
+            let e = t + graph.job(id).wcet;
+            procs.release(m, e);
+            for s in graph.successors(id) {
+                let si = s.index();
+                remaining_preds[si] -= 1;
+                latest_pred_completion[si] = latest_pred_completion[si].max(e);
+                if remaining_preds[si] == 0 {
+                    enable.push(graph.job(s).arrival.max(latest_pred_completion[si]), s);
+                }
+            }
+            scheduled += 1;
+        }
+        if scheduled == n {
+            break;
+        }
+        // Advance t to the next event. All pending enablings are now in
+        // the future; a processor free time only matters while ready jobs
+        // wait for it.
+        let mut next = enable.next_instant();
+        if !ready.is_empty() {
+            let free = procs.next_free_instant();
+            next = Some(next.map_or(free, |cur| cur.min(free)));
+        }
+        t = next.expect("scheduler stalled: no future event but jobs remain");
+    }
+
+    let placements = (0..n)
+        .map(|i| Placement {
+            job: JobId::from_index(i),
+            processor: mapping[i],
+            start: start[i],
+        })
+        .collect();
+    StaticSchedule::new(placements, processors, graph.hyperperiod())
+}
+
+/// The original quadratic list scheduler, retained as the differential
+/// oracle for [`list_schedule`].
+///
+/// # Panics
+///
+/// Panics if `processors == 0` or the graph is cyclic.
+pub fn list_schedule_naive(
+    graph: &TaskGraph,
+    processors: usize,
+    heuristic: Heuristic,
+) -> StaticSchedule {
+    assert!(processors > 0, "need at least one processor");
+    let ranks = heuristic.ranks(graph);
+    list_schedule_naive_with_ranks(graph, processors, &ranks)
+}
+
+/// The original quadratic rescan implementation of
+/// [`list_schedule_with_ranks`]: per placement it scans all `n` jobs for
+/// the best ready one, and per time-advance it scans every arrival,
+/// completion and processor free time. Kept verbatim (plus the explicit
+/// `(rank, JobId)` tie-break) as the specification the event-driven path
+/// must match bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `processors == 0`, `ranks.len() != job_count`, or the graph is
+/// cyclic.
+pub fn list_schedule_naive_with_ranks(
+    graph: &TaskGraph,
+    processors: usize,
+    ranks: &[usize],
+) -> StaticSchedule {
+    assert!(processors > 0, "need at least one processor");
+    assert_eq!(ranks.len(), graph.job_count(), "one rank per job required");
+    let _ = graph
+        .topological_order()
+        .expect("list scheduling requires an acyclic task graph");
+
+    let n = graph.job_count();
+    let mut start = vec![TimeQ::ZERO; n];
     let mut completion: Vec<Option<TimeQ>> = vec![None; n];
     let mut mapping = vec![0usize; n];
-    let mut remaining_preds: Vec<usize> =
-        (0..n).map(|i| graph.predecessors(JobId::from_index(i)).count()).collect();
+    let mut remaining_preds = graph.pred_counts();
     let mut proc_free = vec![TimeQ::ZERO; processors];
     let mut scheduled = 0usize;
     let mut t = TimeQ::ZERO;
 
     while scheduled < n {
-        // Ready jobs at time t, best (lowest) rank first.
+        // Ready jobs at time t, best (rank, JobId) first.
         let mut progressed = true;
         while progressed {
             progressed = false;
@@ -78,11 +211,13 @@ pub fn list_schedule_with_ranks(
                 if !preds_done {
                     continue;
                 }
-                if best.is_none_or(|b| ranks[i] < ranks[b.index()]) {
+                // Pinned tie-break: equal ranks resolve to the lowest JobId.
+                if best.is_none_or(|b| (ranks[i], id) < (ranks[b.index()], b)) {
                     best = Some(id);
                 }
             }
-            // Earliest-free processor that is free at t.
+            // Earliest-free processor that is free at t (lowest index on
+            // ties).
             let proc = (0..processors)
                 .filter(|&m| proc_free[m] <= t)
                 .min_by_key(|&m| (proc_free[m], m));
@@ -212,6 +347,22 @@ mod tests {
     }
 
     #[test]
+    fn equal_ranks_resolve_to_lowest_job_id_in_both_paths() {
+        // Four identical jobs, all rank 0: the documented (rank, JobId)
+        // tie-break must order them by id on each path.
+        let g = TaskGraph::new(vec![job(0, 100, 10); 4], ms(100));
+        let ranks = vec![0usize; 4];
+        for s in [
+            list_schedule_with_ranks(&g, 1, &ranks),
+            list_schedule_naive_with_ranks(&g, 1, &ranks),
+        ] {
+            for i in 0..4 {
+                assert_eq!(s.placement(jid(i)).start, ms(10 * i as i64));
+            }
+        }
+    }
+
+    #[test]
     fn infeasible_graph_still_yields_structurally_valid_schedule() {
         // One processor, two tight jobs: a deadline will be missed, but
         // arrival/precedence/mutex still hold.
@@ -233,10 +384,33 @@ mod tests {
     }
 
     #[test]
+    fn zero_wcet_chain_completes_within_one_instant() {
+        // 0 -> 1 -> 2 all with zero WCET arriving at 5: the whole chain
+        // runs at t = 5, identically on both paths.
+        let mut g = TaskGraph::new(vec![job(5, 100, 0); 3], ms(100));
+        g.add_edge(jid(0), jid(1));
+        g.add_edge(jid(1), jid(2));
+        let ranks = [0usize, 1, 2];
+        let fast = list_schedule_with_ranks(&g, 1, &ranks);
+        let naive = list_schedule_naive_with_ranks(&g, 1, &ranks);
+        assert_eq!(fast, naive);
+        for i in 0..3 {
+            assert_eq!(fast.placement(jid(i)).start, ms(5));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_panics() {
         let g = TaskGraph::new(vec![job(0, 10, 1)], ms(10));
         let _ = list_schedule(&g, 0, Heuristic::AlapEdf);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_panics_on_naive_path() {
+        let g = TaskGraph::new(vec![job(0, 10, 1)], ms(10));
+        let _ = list_schedule_naive(&g, 0, Heuristic::AlapEdf);
     }
 
     #[test]
@@ -258,6 +432,7 @@ mod tests {
         for h in Heuristic::ALL {
             for m in 1..=3 {
                 let s = list_schedule(&g, m, h);
+                assert_eq!(s, list_schedule_naive(&g, m, h), "{h} on {m} procs");
                 match s.check_feasible(&g) {
                     Ok(()) => {}
                     Err(vs) => assert!(

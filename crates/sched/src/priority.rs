@@ -73,6 +73,11 @@ impl Heuristic {
 
     /// Per-job rank under this heuristic: `rank[j] = position in SP order`
     /// (0 = highest priority).
+    ///
+    /// Built-in heuristics produce distinct ranks (a permutation), so the
+    /// scheduler's `(rank, JobId)` tie-break only bites for caller-supplied
+    /// rank vectors passed to
+    /// [`list_schedule_with_ranks`](crate::list_schedule_with_ranks).
     pub fn ranks(self, graph: &TaskGraph) -> Vec<usize> {
         let order = self.priority_order(graph);
         let mut ranks = vec![0usize; graph.job_count()];

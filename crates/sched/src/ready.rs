@@ -1,0 +1,222 @@
+//! Indexed event structures for the quasi-linear list scheduler.
+//!
+//! The §III-B simulation advances through at most `n` arrivals and `n`
+//! completions; the structures here index each event class so every
+//! scheduler step is `O(log n)` instead of an `O(n)` rescan:
+//!
+//! * [`ReadyHeap`] — jobs that are ready *now*, ordered by `SP` rank with
+//!   the pinned `(rank, JobId)` tie-break,
+//! * [`EnableQueue`] — jobs whose enabling instant (`max(A_i, latest
+//!   predecessor completion)`) lies in the future, a min-heap on time,
+//! * [`ProcessorPool`] — processor free times, a min-heap on
+//!   `(free_time, index)` so "earliest-free processor, lowest index on
+//!   ties" is always the top.
+//!
+//! All three expose exactly the ordering the naive reference scan
+//! resolves implicitly, which is what makes the heap path bit-identical
+//! (see the differential property test in `tests/differential.rs`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fppn_taskgraph::JobId;
+use fppn_time::TimeQ;
+
+/// Jobs ready to start now, best `(rank, JobId)` first.
+///
+/// Lower rank = higher schedule priority; equal ranks resolve to the
+/// lowest [`JobId`], the documented tie-break of
+/// [`list_schedule_with_ranks`](crate::list_schedule_with_ranks).
+#[derive(Debug, Default)]
+pub struct ReadyHeap {
+    heap: BinaryHeap<Reverse<(usize, JobId)>>,
+}
+
+impl ReadyHeap {
+    /// An empty heap with room for `capacity` jobs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ReadyHeap {
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts a ready job with its `SP` rank.
+    pub fn push(&mut self, rank: usize, job: JobId) {
+        self.heap.push(Reverse((rank, job)));
+    }
+
+    /// Removes and returns the highest-priority ready job.
+    pub fn pop(&mut self) -> Option<JobId> {
+        self.heap.pop().map(|Reverse((_, job))| job)
+    }
+
+    /// Whether any job is ready.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The number of ready jobs.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Future job enablings: a min-heap of `(instant, JobId)`.
+///
+/// A job is pushed exactly once, when its last predecessor is placed (or
+/// at initialization for source jobs), keyed by the instant it becomes
+/// ready: `max(A_i, max_{j ∈ Pred(i)} e_j)`. This preserves the reference
+/// semantics that a job is ready only once every predecessor has
+/// *completed by* `t`, not merely been placed.
+#[derive(Debug, Default)]
+pub struct EnableQueue {
+    heap: BinaryHeap<Reverse<(TimeQ, JobId)>>,
+}
+
+impl EnableQueue {
+    /// An empty queue with room for `capacity` jobs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EnableQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+
+    /// Schedules `job` to become ready at `instant`.
+    pub fn push(&mut self, instant: TimeQ, job: JobId) {
+        self.heap.push(Reverse((instant, job)));
+    }
+
+    /// The earliest future enabling instant, if any.
+    pub fn next_instant(&self) -> Option<TimeQ> {
+        self.heap.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Pops the next job if it is enabled at or before `now`.
+    pub fn pop_due(&mut self, now: TimeQ) -> Option<JobId> {
+        match self.heap.peek() {
+            Some(Reverse((at, _))) if *at <= now => {
+                self.heap.pop().map(|Reverse((_, job))| job)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether any enabling is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Processor free times as a min-heap of `(free_time, index)`.
+///
+/// The top is always the earliest-free processor (lowest index on ties) —
+/// the same choice the reference's `min_by_key((proc_free[m], m))` scan
+/// makes over the processors free at `t`.
+#[derive(Debug)]
+pub struct ProcessorPool {
+    heap: BinaryHeap<Reverse<(TimeQ, usize)>>,
+}
+
+impl ProcessorPool {
+    /// `processors` processors, all free at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors == 0`.
+    pub fn new(processors: usize) -> Self {
+        assert!(processors > 0, "need at least one processor");
+        ProcessorPool {
+            heap: (0..processors).map(|m| Reverse((TimeQ::ZERO, m))).collect(),
+        }
+    }
+
+    /// The earliest instant any processor is (or becomes) free.
+    pub fn next_free_instant(&self) -> TimeQ {
+        self.heap.peek().map(|Reverse((at, _))| *at).expect("pool is never empty")
+    }
+
+    /// Claims the earliest-free processor if it is free at or before
+    /// `now`; the caller must [`release`](Self::release) it afterwards.
+    pub fn acquire(&mut self, now: TimeQ) -> Option<usize> {
+        match self.heap.peek() {
+            Some(Reverse((at, _))) if *at <= now => {
+                self.heap.pop().map(|Reverse((_, m))| m)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns processor `m`, busy until `until`.
+    pub fn release(&mut self, m: usize, until: TimeQ) {
+        self.heap.push(Reverse((until, m)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jid(i: usize) -> JobId {
+        JobId::from_index(i)
+    }
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    #[test]
+    fn ready_heap_orders_by_rank_then_id() {
+        let mut h = ReadyHeap::with_capacity(4);
+        h.push(2, jid(0));
+        h.push(1, jid(3));
+        h.push(1, jid(1));
+        h.push(0, jid(2));
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.pop(), Some(jid(2)));
+        assert_eq!(h.pop(), Some(jid(1))); // rank tie: lowest JobId first
+        assert_eq!(h.pop(), Some(jid(3)));
+        assert_eq!(h.pop(), Some(jid(0)));
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn enable_queue_releases_in_time_order() {
+        let mut q = EnableQueue::with_capacity(3);
+        q.push(ms(30), jid(0));
+        q.push(ms(10), jid(1));
+        q.push(ms(10), jid(2));
+        assert_eq!(q.next_instant(), Some(ms(10)));
+        assert_eq!(q.pop_due(ms(5)), None);
+        assert_eq!(q.pop_due(ms(10)), Some(jid(1)));
+        assert_eq!(q.pop_due(ms(10)), Some(jid(2)));
+        assert_eq!(q.pop_due(ms(10)), None);
+        assert_eq!(q.pop_due(ms(30)), Some(jid(0)));
+        assert!(q.is_empty());
+        assert_eq!(q.next_instant(), None);
+    }
+
+    #[test]
+    fn processor_pool_prefers_earliest_then_lowest_index() {
+        let mut p = ProcessorPool::new(3);
+        assert_eq!(p.next_free_instant(), TimeQ::ZERO);
+        // All free at 0: lowest index wins.
+        assert_eq!(p.acquire(TimeQ::ZERO), Some(0));
+        assert_eq!(p.acquire(TimeQ::ZERO), Some(1));
+        p.release(0, ms(10));
+        p.release(1, ms(5));
+        assert_eq!(p.acquire(TimeQ::ZERO), Some(2));
+        p.release(2, ms(5));
+        // 1 and 2 both free at 5: earliest-free ties resolve to index 1.
+        assert_eq!(p.acquire(ms(7)), Some(1));
+        assert_eq!(p.acquire(ms(7)), Some(2));
+        assert_eq!(p.acquire(ms(7)), None);
+        assert_eq!(p.next_free_instant(), ms(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn empty_pool_panics() {
+        let _ = ProcessorPool::new(0);
+    }
+}

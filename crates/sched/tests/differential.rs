@@ -1,0 +1,136 @@
+//! Differential tests: the event-driven list scheduler must be
+//! bit-identical to the retained naive reference on every input — same
+//! start times, same processor mapping, for every heuristic and processor
+//! count. Property cases are seed-pinned via the deterministic proptest
+//! shim (`PROPTEST_RNG_SEED`, persisted regressions).
+
+use fppn_core::ProcessId;
+use fppn_sched::{
+    list_schedule, list_schedule_naive, list_schedule_naive_with_ranks, list_schedule_with_ranks,
+    Heuristic,
+};
+use fppn_taskgraph::{Job, JobId, TaskGraph};
+use fppn_time::TimeQ;
+use proptest::prelude::*;
+
+fn ms(v: i64) -> TimeQ {
+    TimeQ::from_ms(v)
+}
+
+fn job(a: i64, d: i64, c: i64) -> Job {
+    Job {
+        process: ProcessId::from_index(0),
+        k: 1,
+        arrival: ms(a),
+        deadline: ms(d),
+        wcet: ms(c),
+        is_server: false,
+    }
+}
+
+fn jid(i: usize) -> JobId {
+    JobId::from_index(i)
+}
+
+/// Random DAG: jobs sorted by arrival, edges only forward. Zero WCETs are
+/// included deliberately — same-instant completion chains are the
+/// trickiest equivalence case.
+fn graph_strategy() -> impl Strategy<Value = TaskGraph> {
+    (
+        prop::collection::vec((0i64..200, 0i64..60, 20i64..200), 2..14),
+        prop::collection::vec(any::<bool>(), 0..80),
+    )
+        .prop_map(|(jobs, coins)| {
+            let mut specs: Vec<(i64, i64, i64)> = jobs;
+            specs.sort();
+            let jobs: Vec<Job> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, c, slack))| Job {
+                    process: ProcessId::from_index(i),
+                    k: 1,
+                    arrival: ms(a),
+                    deadline: ms(a + c + slack),
+                    wcet: ms(c),
+                    is_server: false,
+                })
+                .collect();
+            let n = jobs.len();
+            let horizon = jobs
+                .iter()
+                .map(|j| j.deadline)
+                .max()
+                .unwrap_or(TimeQ::from_ms(1));
+            let mut g = TaskGraph::new(jobs, horizon);
+            let mut coin = coins.into_iter().chain(std::iter::repeat(false));
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if coin.next().unwrap() {
+                        g.add_edge(jid(i), jid(j));
+                    }
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Event-driven and naive schedules agree on every heuristic and
+    /// 1–4 processors.
+    #[test]
+    fn heap_path_matches_naive_reference(g in graph_strategy(), m in 1usize..5) {
+        for h in Heuristic::ALL {
+            let fast = list_schedule(&g, m, h);
+            let naive = list_schedule_naive(&g, m, h);
+            prop_assert_eq!(fast, naive, "{} on {} processors diverged", h, m);
+        }
+    }
+
+    /// Same equivalence under caller-supplied rank vectors with
+    /// collisions, where the (rank, JobId) tie-break actually bites.
+    #[test]
+    fn heap_path_matches_naive_reference_with_duplicate_ranks(
+        g in graph_strategy(),
+        m in 1usize..5,
+        rank_seed in prop::collection::vec(0usize..4, 14),
+    ) {
+        let ranks: Vec<usize> = (0..g.job_count()).map(|i| rank_seed[i % rank_seed.len()]).collect();
+        let fast = list_schedule_with_ranks(&g, m, &ranks);
+        let naive = list_schedule_naive_with_ranks(&g, m, &ranks);
+        prop_assert_eq!(fast, naive, "duplicate ranks diverged on {} processors", m);
+    }
+}
+
+/// Stall regression: at some point *every* remaining job arrives in the
+/// future, so the only next event is an arrival — the event queue must
+/// bridge the idle gap exactly like the reference scan (which once relied
+/// on scanning arrivals of unscheduled jobs).
+#[test]
+fn all_remaining_jobs_arriving_in_the_future_does_not_stall() {
+    // Job 0 runs [0, 10); jobs 1 and 2 arrive at 40/70 — two idle gaps.
+    let mut g = TaskGraph::new(
+        vec![job(0, 100, 10), job(40, 100, 5), job(70, 200, 5)],
+        ms(200),
+    );
+    g.add_edge(jid(1), jid(2));
+    for m in 1..=2 {
+        for h in Heuristic::ALL {
+            let fast = list_schedule(&g, m, h);
+            assert_eq!(fast, list_schedule_naive(&g, m, h), "{h} on {m} procs");
+            assert_eq!(fast.placement(jid(1)).start, ms(40));
+            assert_eq!(fast.placement(jid(2)).start, ms(70));
+        }
+    }
+}
+
+/// A gap where the processor frees *before* anything is ready: completion
+/// events alone must not spin the clock.
+#[test]
+fn idle_processor_waits_for_downstream_arrival() {
+    let g = TaskGraph::new(vec![job(0, 300, 10), job(200, 300, 10)], ms(300));
+    let fast = list_schedule(&g, 2, Heuristic::AlapEdf);
+    assert_eq!(fast, list_schedule_naive(&g, 2, Heuristic::AlapEdf));
+    assert_eq!(fast.placement(jid(1)).start, ms(200));
+}

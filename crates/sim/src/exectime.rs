@@ -48,8 +48,47 @@ impl ExecTimeModel {
         }
     }
 
+    /// Checks the model parameters, returning a human-readable description
+    /// of the first problem found: a zero `Scaled` denominator (would
+    /// divide by zero) or inverted `Jitter` bounds (would make the uniform
+    /// range empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns the actionable message that [`Self::sampler`] panics with.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ExecTimeModel::Wcet => Ok(()),
+            ExecTimeModel::Scaled { den: 0, .. } => Err(
+                "ExecTimeModel::Scaled requires den > 0 (den = 0 would divide by zero); \
+                 use num/den like 3/2 for a 1.5x WCET overrun"
+                    .into(),
+            ),
+            ExecTimeModel::Scaled { .. } => Ok(()),
+            ExecTimeModel::Jitter {
+                lo_permille,
+                hi_permille,
+                ..
+            } if lo_permille > hi_permille => Err(format!(
+                "ExecTimeModel::Jitter requires lo_permille <= hi_permille \
+                 (got lo = {lo_permille} > hi = {hi_permille})"
+            )),
+            ExecTimeModel::Jitter { .. } => Ok(()),
+        }
+    }
+
     /// Creates the stateful sampler for one simulation run.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the message of [`Self::validate`] on invalid parameters
+    /// (`Scaled` with `den == 0`, `Jitter` with `lo_permille >
+    /// hi_permille`), so misconfigurations fail here instead of deep
+    /// inside a division or `gen_range` during sampling.
     pub fn sampler(&self) -> ExecTimeSampler {
+        if let Err(msg) = self.validate() {
+            panic!("{msg}");
+        }
         ExecTimeSampler {
             model: *self,
             rng: match self {
@@ -128,6 +167,40 @@ mod tests {
             assert_eq!(va, b.sample(&job(20)));
             assert!(va >= TimeQ::from_ms(10) && va <= TimeQ::from_ms(20));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "Scaled requires den > 0")]
+    fn scaled_zero_denominator_panics_at_sampler_construction() {
+        let _ = ExecTimeModel::Scaled { num: 1, den: 0 }.sampler();
+    }
+
+    #[test]
+    #[should_panic(expected = "lo_permille <= hi_permille")]
+    fn inverted_jitter_bounds_panic_at_sampler_construction() {
+        let _ = ExecTimeModel::Jitter {
+            lo_permille: 900,
+            hi_permille: 500,
+            seed: 1,
+        }
+        .sampler();
+    }
+
+    #[test]
+    fn validate_flags_bad_models_and_passes_good_ones() {
+        assert!(ExecTimeModel::Wcet.validate().is_ok());
+        assert!(ExecTimeModel::Scaled { num: 3, den: 2 }.validate().is_ok());
+        assert!(ExecTimeModel::typical_jitter(0).validate().is_ok());
+        assert!(ExecTimeModel::Scaled { num: 1, den: 0 }
+            .validate()
+            .unwrap_err()
+            .contains("divide by zero"));
+        let bad = ExecTimeModel::Jitter {
+            lo_permille: 2,
+            hi_permille: 1,
+            seed: 0,
+        };
+        assert!(bad.validate().unwrap_err().contains("lo = 2 > hi = 1"));
     }
 
     #[test]

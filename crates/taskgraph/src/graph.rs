@@ -108,6 +108,27 @@ impl TaskGraph {
         self.preds[id.index()].iter().copied()
     }
 
+    /// The in-degree `|Pred(i)|` of a job, in O(1).
+    pub fn pred_count(&self, id: JobId) -> usize {
+        self.preds[id.index()].len()
+    }
+
+    /// The out-degree `|Succ(i)|` of a job, in O(1).
+    pub fn succ_count(&self, id: JobId) -> usize {
+        self.succs[id.index()].len()
+    }
+
+    /// All in-degrees, indexed by job id — the scheduler's initial
+    /// `remaining_preds` vector in one O(n) pass.
+    pub fn pred_counts(&self) -> Vec<usize> {
+        self.preds.iter().map(BTreeSet::len).collect()
+    }
+
+    /// All out-degrees, indexed by job id.
+    pub fn succ_counts(&self) -> Vec<usize> {
+        self.succs.iter().map(BTreeSet::len).collect()
+    }
+
     /// The total number of edges.
     pub fn edge_count(&self) -> usize {
         self.succs.iter().map(BTreeSet::len).sum()
@@ -125,7 +146,7 @@ impl TaskGraph {
     /// (which would make it not a task graph).
     pub fn topological_order(&self) -> Option<Vec<JobId>> {
         let n = self.jobs.len();
-        let mut indegree: Vec<usize> = self.preds.iter().map(BTreeSet::len).collect();
+        let mut indegree: Vec<usize> = self.pred_counts();
         let mut ready: BTreeSet<JobId> = self
             .job_ids()
             .filter(|j| indegree[j.index()] == 0)
@@ -271,6 +292,20 @@ mod tests {
         assert!(g.is_reachable(j(0), j(2)));
         assert!(!g.is_reachable(j(2), j(0)));
         assert!(g.is_reachable(j(1), j(1)));
+    }
+
+    #[test]
+    fn degree_accessors_match_iterators() {
+        let mut g = TaskGraph::new(mk_jobs(4), TimeQ::from_ms(100));
+        g.add_edge(j(0), j(1));
+        g.add_edge(j(0), j(2));
+        g.add_edge(j(1), j(2));
+        for id in g.job_ids() {
+            assert_eq!(g.pred_count(id), g.predecessors(id).count());
+            assert_eq!(g.succ_count(id), g.successors(id).count());
+        }
+        assert_eq!(g.pred_counts(), vec![0, 1, 2, 0]);
+        assert_eq!(g.succ_counts(), vec![2, 1, 0, 0]);
     }
 
     #[test]
