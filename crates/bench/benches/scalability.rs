@@ -7,6 +7,7 @@ use fppn_apps::{
     SyntheticGraphConfig, WorkloadConfig,
 };
 use fppn_sched::{list_schedule, Heuristic};
+use fppn_sim::{simulate_parallel, simulate_seq, SimConfig};
 use fppn_taskgraph::derive_task_graph;
 
 fn fms_hyperperiod_sweep(c: &mut Criterion) {
@@ -69,10 +70,50 @@ fn synthetic_graph_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+fn simulation_backend_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation_backends");
+    g.sample_size(10);
+    let (net, bank, ids) = fms_network(FmsVariant::Reduced);
+    let derived = derive_task_graph(&net, &fms_wcet(&ids)).unwrap();
+    let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+    let stimuli = fppn_core::Stimuli::new();
+    for frames in [2u64, 8] {
+        let cfg = SimConfig {
+            frames,
+            ..SimConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("seq", frames), &cfg, |b, cfg| {
+            b.iter(|| {
+                simulate_seq(&net, &bank, &stimuli, &derived, &schedule, cfg)
+                    .unwrap()
+                    .records
+                    .len()
+            })
+        });
+        for workers in [2usize, 4] {
+            let par = SimConfig { workers, ..cfg };
+            g.bench_with_input(
+                BenchmarkId::new(format!("par{workers}"), frames),
+                &par,
+                |b, cfg| {
+                    b.iter(|| {
+                        simulate_parallel(&net, &bank, &stimuli, &derived, &schedule, cfg)
+                            .unwrap()
+                            .records
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     scalability,
     fms_hyperperiod_sweep,
     random_network_sweep,
-    synthetic_graph_sweep
+    synthetic_graph_sweep,
+    simulation_backend_sweep
 );
 criterion_main!(scalability);

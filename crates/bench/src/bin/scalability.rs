@@ -13,15 +13,23 @@
 //! * `--budget-ms MS` — wall-clock guard: exit non-zero if the whole run
 //!   exceeds `MS` milliseconds (default 0 = unlimited). An accidental
 //!   O(n²) regression blows straight through any sane budget.
+//! * `--workers N` — worker threads for the parallel simulation sweep
+//!   (default 4; `0` skips the simulation sweep entirely),
+//! * `--sim-frames N` — schedule frames per simulation measurement
+//!   (default 8; the ~100k-round tier scales this ×4).
 
 use std::time::Instant;
 
 use fppn_apps::{
-    fms_network, fms_wcet, random_workload, synthetic_task_graph, FmsVariant,
+    fms_network, fms_sporadics, fms_wcet, random_workload, synthetic_task_graph, FmsVariant,
     SyntheticGraphConfig, WorkloadConfig,
 };
 use fppn_sched::{list_schedule, list_schedule_naive, Heuristic};
+use fppn_sim::{
+    clip_stimuli, random_sporadic_trace, simulate_parallel, simulate_seq, SimConfig,
+};
 use fppn_taskgraph::derive_task_graph;
+use fppn_time::TimeQ;
 
 fn measure(label: &str, net: &fppn_core::Fppn, wcet: &fppn_taskgraph::WcetModel) {
     let t0 = Instant::now();
@@ -66,6 +74,64 @@ fn fms_speedup_check() {
     );
 }
 
+/// Sequential-vs-parallel simulation wall-clock on multi-frame policy
+/// tables, with a bit-identity cross-check on every run (the parallel
+/// backend is only interesting if its output is *exactly* the oracle's).
+fn simulation_sweep(workers: usize, frames: u64) {
+    println!("\nsimulation backends (seq vs {workers} workers, bit-identity checked):");
+    let (net, bank, ids) = fms_network(FmsVariant::Original);
+    let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
+    // Two tiers: the base frame count and 4x (the rounds column reports
+    // the actual table size; at the default --sim-frames 8 the large tier
+    // is ~100k rounds).
+    for (label, frames) in [("FMS H=40s", frames), ("FMS H=40s (4x frames)", frames * 4)] {
+        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let mut stimuli = fppn_core::Stimuli::new();
+        for (i, sp) in fms_sporadics(&ids).into_iter().enumerate() {
+            let ev = net.process(sp).event();
+            stimuli.arrivals(
+                sp,
+                random_sporadic_trace(ev.burst(), ev.period(), horizon, 400, 7 + i as u64),
+            );
+        }
+        let stimuli = clip_stimuli(&net, &derived, &stimuli, frames);
+        for m in [2usize, 4] {
+            let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+            let cfg = SimConfig {
+                frames,
+                ..SimConfig::default()
+            };
+            let t0 = Instant::now();
+            let seq = simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &cfg)
+                .expect("sequential simulation");
+            let t_seq = t0.elapsed();
+            let t1 = Instant::now();
+            let par = simulate_parallel(
+                &net,
+                &bank,
+                &stimuli,
+                &derived,
+                &schedule,
+                &SimConfig {
+                    workers,
+                    ..cfg
+                },
+            )
+            .expect("parallel simulation");
+            let t_par = t1.elapsed();
+            assert_eq!(seq.records, par.records, "backends diverged");
+            assert_eq!(seq.observables, par.observables, "observables diverged");
+            println!(
+                "{label:<22} frames={frames:>3} procs={m} | {:>6} rounds | seq {:>9.2?} | par({workers}) {:>9.2?} | {:.2}x",
+                seq.records.len(),
+                t_seq,
+                t_par,
+                t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+            );
+        }
+    }
+}
+
 fn synthetic_sweep(max_jobs: usize) {
     println!("\nsynthetic layered DAGs (jobs x shape x heuristic, 4 processors):");
     for &jobs in &[1_000usize, 10_000, 100_000] {
@@ -103,6 +169,8 @@ fn synthetic_sweep(max_jobs: usize) {
 fn main() {
     let mut synthetic_jobs = 100_000usize;
     let mut budget_ms = 0u64;
+    let mut workers = 4usize;
+    let mut sim_frames = 8u64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut grab = |name: &str| {
@@ -113,7 +181,12 @@ fn main() {
         match flag.as_str() {
             "--synthetic-jobs" => synthetic_jobs = grab("--synthetic-jobs") as usize,
             "--budget-ms" => budget_ms = grab("--budget-ms"),
-            other => panic!("unknown flag {other}; known: --synthetic-jobs N, --budget-ms MS"),
+            "--workers" => workers = grab("--workers") as usize,
+            "--sim-frames" => sim_frames = grab("--sim-frames").max(1),
+            other => panic!(
+                "unknown flag {other}; known: --synthetic-jobs N, --budget-ms MS, \
+                 --workers N, --sim-frames N"
+            ),
         }
     }
     let wall = Instant::now();
@@ -145,6 +218,10 @@ fn main() {
     }
 
     synthetic_sweep(synthetic_jobs);
+
+    if workers > 0 {
+        simulation_sweep(workers, sim_frames);
+    }
 
     let elapsed = wall.elapsed();
     println!("\ntotal wall time: {elapsed:.2?}");

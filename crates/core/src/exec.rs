@@ -241,10 +241,12 @@ impl DataAccess for AccessGuard<'_, '_> {
             self.state.net.process(spec.reader()).name()
         );
         let v = self.state.channels[ch.index()].read();
-        self.state.current_actions.push(Action::Read {
-            channel: ch,
-            value: v.clone(),
-        });
+        if self.state.trace.is_some() {
+            self.state.current_actions.push(Action::Read {
+                channel: ch,
+                value: v.clone(),
+            });
+        }
         v
     }
 
@@ -258,10 +260,13 @@ impl DataAccess for AccessGuard<'_, '_> {
             self.state.net.process(spec.writer()).name()
         );
         self.state.channels[ch.index()].write(value.clone());
-        self.state.channel_log[ch.index()].push(value.clone());
-        self.state
-            .current_actions
-            .push(Action::Write { channel: ch, value });
+        if self.state.trace.is_some() {
+            self.state.current_actions.push(Action::Write {
+                channel: ch,
+                value: value.clone(),
+            });
+        }
+        self.state.channel_log[ch.index()].push(value);
     }
 
     fn read_external(&mut self, pid: ProcessId, port: PortId, k: u64) -> Option<Value> {
@@ -271,11 +276,13 @@ impl DataAccess for AccessGuard<'_, '_> {
             self.state.net.process(pid).name()
         );
         let v = self.state.stimuli.input_sample(pid, port, k);
-        self.state.current_actions.push(Action::ReadInput {
-            port,
-            k,
-            value: v.clone(),
-        });
+        if self.state.trace.is_some() {
+            self.state.current_actions.push(Action::ReadInput {
+                port,
+                k,
+                value: v.clone(),
+            });
+        }
         v
     }
 
@@ -285,14 +292,18 @@ impl DataAccess for AccessGuard<'_, '_> {
             "process {} wrote to undeclared output {port}",
             self.state.net.process(pid).name()
         );
+        if self.state.trace.is_some() {
+            self.state.current_actions.push(Action::WriteOutput {
+                port,
+                k,
+                value: value.clone(),
+            });
+        }
         self.state
             .outputs
             .entry((pid, port))
             .or_default()
-            .push((k, value.clone()));
-        self.state
-            .current_actions
-            .push(Action::WriteOutput { port, k, value });
+            .push((k, value));
     }
 }
 

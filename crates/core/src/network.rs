@@ -28,7 +28,7 @@ use crate::process::{BehaviorFactory, BoxedBehavior, ProcessSpec};
 ///   self-loop channels are exempt because jobs of one process are already
 ///   totally ordered by the semantics;
 /// * event-generator parameters are sane (`m ≥ 1`, `T > 0`, `d > 0`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Fppn {
     processes: Vec<ProcessSpec>,
     channels: Vec<ChannelSpec>,

@@ -11,6 +11,13 @@
 //! outputs can be compared bit-for-bit against the zero-delay reference of
 //! `fppn-core` — the workspace's mechanized check of Prop. 4.1.
 //!
+//! Two backends share the round computation: [`simulate_seq`] (the
+//! single-threaded oracle) and [`simulate_parallel`] (per-processor
+//! timelines on a worker pool — Prop. 4.1 is precisely the license to
+//! parallelize, and the differential test-suite proves both backends
+//! bit-identical). [`simulate`] dispatches on [`SimConfig::workers`]
+//! (`0` = the `FPPN_SIM_WORKERS` environment variable).
+//!
 //! See [`simulate`] for the entry point and `fppn-apps`/`fppn-bench` for
 //! full reproductions of the paper's Figures 4 and 6.
 
@@ -21,6 +28,7 @@ mod exectime;
 mod gantt;
 mod metrics;
 mod overhead;
+mod parallel;
 mod policy;
 mod stimgen;
 
@@ -28,5 +36,8 @@ pub use exectime::{ExecTimeModel, ExecTimeSampler};
 pub use gantt::{Gantt, Segment, SegmentKind};
 pub use metrics::{end_to_end_latency, response_stats, ResponseStats};
 pub use overhead::OverheadModel;
-pub use policy::{clip_stimuli, simulate, JobRecord, SimConfig, SimError, SimRun, SimStats};
+pub use parallel::simulate_parallel;
+pub use policy::{
+    clip_stimuli, simulate, simulate_seq, JobRecord, SimConfig, SimError, SimRun, SimStats,
+};
 pub use stimgen::{random_sporadic_trace, random_stimuli, sporadic_processes, validate_stimuli};

@@ -1,0 +1,494 @@
+//! The parallel simulation backend: per-processor timelines sharded
+//! across a worker pool.
+//!
+//! # Why this is sound (Prop. 4.1 as a parallelization license)
+//!
+//! The §IV policy is a *monotone dataflow* computation: each round's
+//! record is a pure function of (a) the completion times of its
+//! predecessor rounds and (b) its own processor's availability, and every
+//! completion cell is written exactly once. The fixed point of such a
+//! computation is unique — the same argument the paper makes for the
+//! observable behavior of an FPPN (execution order and timing do not
+//! matter), applied one level down to the simulator itself. Workers may
+//! therefore race freely over the round table: whatever interleaving the
+//! OS picks, every published completion time (and hence every
+//! [`JobRecord`]) is bit-identical to the sequential backend's.
+//!
+//! # Decomposition
+//!
+//! The shardable unit is a **processor timeline**: the frame-repeated
+//! static order of one processor. Rounds of one timeline are inherently
+//! sequential (each waits for its processor to be free), and a frame's
+//! first round chains behind the previous frame through that same
+//! availability, so per-processor timelines already expose the maximal
+//! round-level parallelism the policy admits; independent frames overlap
+//! *across* processors automatically (processor 0 may be deep into frame
+//! `f+1` while processor 1 still finishes frame `f` — precisely when the
+//! wrap-around precedence relation leaves the frames independent).
+//!
+//! Timelines are distributed round-robin over `workers` threads. A worker
+//! cooperatively advances every timeline it owns; a precedence wait is a
+//! rendezvous on the predecessor's completion cell (a `OnceLock`). Only
+//! when *none* of its timelines can advance does a worker sleep on the
+//! shared progress monitor, which the next published round's generation
+//! bump wakes. Structurally invalid schedules (static orders that
+//! deadlock against the precedence constraints) are rejected up front by
+//! `RoundEngine::check_order` — the same [`SimError::Stalled`] the
+//! sequential backend reports — so a blocking rendezvous can never
+//! deadlock: a blocked round's missing predecessor is always owned by a
+//! still-live worker.
+//!
+//! # Merge
+//!
+//! Per-timeline record batches stream back over a `crossbeam` channel and
+//! are merged in processor order, then `RoundEngine::finalize` sorts them
+//! by the canonical total order `(completion, frame, topological
+//! position)` — the same code path as the sequential backend — so the
+//! Gantt, the records, the statistics and the observables come out
+//! bit-identical.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use fppn_core::{BehaviorBank, Fppn, Stimuli};
+use fppn_taskgraph::{DerivedTaskGraph, JobId};
+use fppn_sched::StaticSchedule;
+use fppn_time::TimeQ;
+use parking_lot::{Condvar, Mutex};
+
+use crate::policy::{JobRecord, RoundEngine, SimConfig, SimError, SimRun};
+
+/// One completion cell per round, plus the progress monitor blocked
+/// workers sleep on.
+struct CompletionBoard {
+    /// `frame * n_jobs + job` → completion time, written exactly once.
+    cells: Vec<OnceLock<TimeQ>>,
+    n_jobs: usize,
+    /// Number of published rounds; doubles as the progress generation.
+    generation: AtomicU64,
+    /// Workers currently blocked on (or entering) the monitor.
+    waiters: AtomicUsize,
+    /// Set when a worker unwinds: blocked peers must wake and exit, or the
+    /// scope join (and the result channel) would hang forever.
+    aborted: AtomicBool,
+    monitor: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CompletionBoard {
+    fn new(frames: u64, n_jobs: usize) -> Self {
+        let mut cells = Vec::new();
+        cells.resize_with(frames as usize * n_jobs, OnceLock::new);
+        CompletionBoard {
+            cells,
+            n_jobs,
+            generation: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            monitor: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn get(&self, frame: u64, id: JobId) -> Option<TimeQ> {
+        self.cells[frame as usize * self.n_jobs + id.index()]
+            .get()
+            .copied()
+    }
+
+    /// Publishes a round's completion and wakes blocked workers.
+    ///
+    /// The cell write precedes the `SeqCst` generation bump, so a waiter
+    /// that observes the new generation and re-scans its timelines is
+    /// guaranteed to see the value.
+    fn publish(&self, frame: u64, id: JobId, completion: TimeQ) {
+        let ok = self.cells[frame as usize * self.n_jobs + id.index()]
+            .set(completion)
+            .is_ok();
+        assert!(ok, "round (frame {frame}, job {id:?}) published twice");
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = self.monitor.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    fn snapshot(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the generation moves past `seen` (spurious wake-ups
+    /// only cost a re-scan). The waiter registers itself *before*
+    /// re-checking the generation under the monitor lock, and every
+    /// publisher bumps the generation before inspecting `waiters` — the
+    /// classic ordering that makes a lost wake-up impossible.
+    fn wait_for_progress(&self, seen: u64) {
+        let mut guard = self.monitor.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        if self.generation.load(Ordering::SeqCst) == seen
+            && !self.aborted.load(Ordering::SeqCst)
+        {
+            self.cond.wait(&mut guard);
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Marks the run aborted (a worker is unwinding) and wakes every
+    /// blocked worker so it can observe the flag and exit.
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        let _guard = self.monitor.lock();
+        self.cond.notify_all();
+    }
+}
+
+/// Flags the board aborted if its worker unwinds before disarming —
+/// without this, a panicking worker would strand its blocked peers in
+/// [`CompletionBoard::wait_for_progress`] and hang the whole simulation
+/// instead of propagating the panic.
+struct AbortOnUnwind<'a> {
+    board: &'a CompletionBoard,
+    armed: bool,
+}
+
+impl Drop for AbortOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.board.abort();
+        }
+    }
+}
+
+/// A worker's view of one processor's frame-repeated static order.
+struct Timeline {
+    processor: usize,
+    frame: u64,
+    idx: usize,
+    avail: TimeQ,
+    records: Vec<JobRecord>,
+    done: bool,
+}
+
+/// Advances every timeline owned by one worker until all are done,
+/// publishing completions and streaming each finished timeline's records.
+fn run_worker(
+    engine: &RoundEngine<'_>,
+    board: &CompletionBoard,
+    mut timelines: Vec<Timeline>,
+    out: &crossbeam::channel::Sender<(usize, Vec<JobRecord>)>,
+) {
+    let mut guard = AbortOnUnwind {
+        board,
+        armed: true,
+    };
+    let mut remaining = timelines.len();
+    // A blocked worker yields through a few re-scans before paying for the
+    // monitor: most precedence waits resolve within a scheduling quantum,
+    // and on few-core hosts the yield lets the publishing worker run.
+    let mut idle_scans = 0u32;
+    while remaining > 0 && !board.aborted.load(Ordering::SeqCst) {
+        let seen = board.snapshot();
+        let mut progressed = false;
+        for tl in timelines.iter_mut() {
+            if tl.done {
+                continue;
+            }
+            loop {
+                if tl.frame >= engine.frames {
+                    tl.done = true;
+                    remaining -= 1;
+                    let _ = out.send((tl.processor, std::mem::take(&mut tl.records)));
+                    progressed = true;
+                    break;
+                }
+                if tl.idx >= engine.proc_orders[tl.processor].len() {
+                    tl.frame += 1;
+                    tl.idx = 0;
+                    continue;
+                }
+                let id = engine.proc_orders[tl.processor][tl.idx];
+                let Some(rec) = engine.try_round(
+                    tl.frame,
+                    id,
+                    tl.processor,
+                    tl.avail,
+                    |f, p| board.get(f, p),
+                ) else {
+                    break;
+                };
+                board.publish(tl.frame, id, rec.completion);
+                tl.avail = rec.completion;
+                tl.records.push(rec);
+                tl.idx += 1;
+                progressed = true;
+            }
+        }
+        if remaining > 0 && !progressed {
+            idle_scans += 1;
+            if idle_scans < 4 {
+                std::thread::yield_now();
+            } else {
+                board.wait_for_progress(seen);
+            }
+        } else {
+            idle_scans = 0;
+        }
+    }
+    guard.armed = false;
+}
+
+/// Simulates with the parallel backend using `config.resolved_workers()`
+/// threads (a resolved count of 1 still exercises the full rendezvous
+/// machinery on a single worker).
+///
+/// Produces bit-identical [`SimRun`]s — observables, records, Gantt and
+/// statistics — to [`crate::simulate_seq`]; the differential test-suite
+/// (`crates/sim/tests/differential.rs`) asserts this across workloads.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid stimuli, behavior failures, or a
+/// deadlocked (structurally invalid) schedule.
+pub fn simulate_parallel(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    derived: &DerivedTaskGraph,
+    schedule: &StaticSchedule,
+    config: &SimConfig,
+) -> Result<SimRun, SimError> {
+    let workers = config.resolved_workers().max(1);
+    simulate_parallel_with(net, bank, stimuli, derived, schedule, config, workers)
+}
+
+/// [`simulate_parallel`] with an explicit worker count (the dispatch
+/// target of [`crate::simulate`]).
+pub(crate) fn simulate_parallel_with(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    derived: &DerivedTaskGraph,
+    schedule: &StaticSchedule,
+    config: &SimConfig,
+    workers: usize,
+) -> Result<SimRun, SimError> {
+    let engine = RoundEngine::new(net, stimuli, derived, schedule, config)?;
+    // Reject deadlocking schedules before any thread can block on them.
+    engine.check_order()?;
+    let m_procs = engine.m_procs;
+    // No point spinning up more workers than there are timelines.
+    let workers = workers.clamp(1, m_procs.max(1));
+    let board = CompletionBoard::new(engine.frames, engine.n_jobs);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<JobRecord>)>();
+
+    let mut per_proc: Vec<Option<Vec<JobRecord>>> = vec![None; m_procs];
+
+    let scope_result = crossbeam::thread::scope(|s| {
+        for w in 0..workers {
+            let timelines: Vec<Timeline> = (w..m_procs)
+                .step_by(workers)
+                .map(|m| Timeline {
+                    processor: m,
+                    frame: 0,
+                    idx: 0,
+                    avail: TimeQ::ZERO,
+                    records: Vec::new(),
+                    done: false,
+                })
+                .collect();
+            let tx = tx.clone();
+            let engine = &engine;
+            let board = &board;
+            s.spawn(move |_| run_worker(engine, board, timelines, &tx));
+        }
+        // The workers hold the only remaining senders: once they are all
+        // gone (completion or panic) `recv` disconnects.
+        drop(tx);
+        let mut done = 0usize;
+        while done < m_procs {
+            match rx.recv() {
+                Ok((m, records)) => {
+                    assert!(
+                        per_proc[m].replace(records).is_none(),
+                        "processor {m} timeline reported twice"
+                    );
+                    done += 1;
+                }
+                // Disconnect with timelines outstanding: a worker
+                // panicked; the scope join below re-raises its payload.
+                Err(_) => break,
+            }
+        }
+    });
+    if let Err(payload) = scope_result {
+        // Re-raise the worker's panic losslessly.
+        std::panic::resume_unwind(payload);
+    }
+
+    // Merge in processor order; the canonical sort inside `finalize`
+    // makes the final record order independent of the merge order.
+    let mut records = Vec::with_capacity(engine.total_rounds());
+    for recs in per_proc.into_iter() {
+        records.extend(recs.expect("every processor timeline reported"));
+    }
+    engine.finalize(net, bank, stimuli, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::simulate_seq;
+    use crate::{ExecTimeModel, OverheadModel};
+    use fppn_core::{
+        ChannelKind, EventSpec, FppnBuilder, JobCtx, PortId, ProcessSpec, SporadicTrace,
+        Value,
+    };
+    use fppn_sched::{list_schedule, Heuristic};
+    use fppn_taskgraph::{derive_task_graph, WcetModel};
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    /// A 5-process two-branch pipeline with a sporadic config writer.
+    fn app() -> (Fppn, BehaviorBank, fppn_core::ProcessId) {
+        let mut b = FppnBuilder::new();
+        let src = b.process(ProcessSpec::new("src", EventSpec::periodic(ms(100))));
+        let left = b.process(ProcessSpec::new("left", EventSpec::periodic(ms(200))));
+        let right = b.process(ProcessSpec::new("right", EventSpec::periodic(ms(100))));
+        let sink =
+            b.process(ProcessSpec::new("sink", EventSpec::periodic(ms(200))).with_output("o"));
+        let cfg = b.process(ProcessSpec::new("cfg", EventSpec::sporadic(1, ms(300))));
+        let c_l = b.channel("c_l", src, left, ChannelKind::Fifo);
+        let c_r = b.channel("c_r", src, right, ChannelKind::Fifo);
+        let l_s = b.channel("l_s", left, sink, ChannelKind::Fifo);
+        let r_s = b.channel("r_s", right, sink, ChannelKind::Blackboard);
+        let k_r = b.channel("k_r", cfg, right, ChannelKind::Blackboard);
+        b.priority(src, left);
+        b.priority(src, right);
+        b.priority(left, sink);
+        b.priority(right, sink);
+        b.priority(cfg, right);
+        b.behavior(src, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                ctx.write(c_l, Value::Int(ctx.k() as i64));
+                ctx.write(c_r, Value::Int(-(ctx.k() as i64)));
+            })
+        });
+        b.behavior(left, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                if let Some(v) = ctx.read(c_l) {
+                    ctx.write(l_s, v);
+                }
+            })
+        });
+        b.behavior(right, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let scale = match ctx.read(k_r) {
+                    Some(Value::Int(s)) => s,
+                    _ => 1,
+                };
+                if let Some(Value::Int(v)) = ctx.read(c_r) {
+                    ctx.write(r_s, Value::Int(v * scale));
+                }
+            })
+        });
+        b.behavior(sink, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let v = ctx.read_value(l_s);
+                let w = ctx.read_value(r_s);
+                ctx.write_output(
+                    PortId::from_index(0),
+                    match (v, w) {
+                        (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+                        (a, _) => a,
+                    },
+                );
+            })
+        });
+        b.behavior(cfg, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(k_r, Value::Int(ctx.k() as i64 + 1)))
+        });
+        let (net, bank) = b.build().unwrap();
+        (net, bank, cfg)
+    }
+
+    fn assert_bit_identical(a: &SimRun, b: &SimRun) {
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.observables.diff(&b.observables), None);
+        assert_eq!(a.observables, b.observables);
+        assert_eq!(a.gantt, b.gantt);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_worker_counts() {
+        let (net, bank, cfg) = app();
+        let derived = derive_task_graph(&net, &WcetModel::uniform(ms(12))).unwrap();
+        let mut stimuli = Stimuli::new();
+        stimuli.arrivals(cfg, SporadicTrace::new(vec![ms(40), ms(350), ms(820)]));
+        let stimuli = crate::clip_stimuli(&net, &derived, &stimuli, 6);
+        for m in 1..=4usize {
+            let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+            for (exec, overhead) in [
+                (ExecTimeModel::Wcet, OverheadModel::NONE),
+                (ExecTimeModel::typical_jitter(11), OverheadModel::NONE),
+                (ExecTimeModel::Wcet, OverheadModel::constant(ms(7))),
+            ] {
+                let config = SimConfig {
+                    frames: 6,
+                    overhead,
+                    exec_time: exec,
+                    workers: 1,
+                };
+                let seq =
+                    simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &config).unwrap();
+                for workers in [1usize, 2, 3, 8] {
+                    let par = simulate_parallel_with(
+                        &net, &bank, &stimuli, &derived, &schedule, &config, workers,
+                    )
+                    .unwrap();
+                    assert_bit_identical(&seq, &par);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abort_wakes_blocked_waiters() {
+        // The panic path: one worker unwinding must release peers blocked
+        // on the progress monitor (otherwise the scope join would hang).
+        let board = CompletionBoard::new(1, 1);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| board.wait_for_progress(board.snapshot()));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            board.abort();
+            h.join().unwrap();
+        });
+        assert!(board.aborted.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn dispatcher_routes_on_workers_field() {
+        let (net, bank, _) = app();
+        let derived = derive_task_graph(&net, &WcetModel::uniform(ms(5))).unwrap();
+        let schedule = list_schedule(&derived.graph, 3, Heuristic::BLevel);
+        let base = SimConfig {
+            frames: 3,
+            workers: 1,
+            ..SimConfig::default()
+        };
+        let seq = crate::simulate(&net, &bank, &Stimuli::new(), &derived, &schedule, &base)
+            .unwrap();
+        let par = crate::simulate(
+            &net,
+            &bank,
+            &Stimuli::new(),
+            &derived,
+            &schedule,
+            &SimConfig { workers: 4, ..base },
+        )
+        .unwrap();
+        assert_bit_identical(&seq, &par);
+    }
+}

@@ -24,6 +24,13 @@
 //! times, runs the process behaviors in a precedence-consistent order, and
 //! yields [`Observables`] that must equal the zero-delay reference
 //! (Prop. 4.1 — asserted by the integration test-suite).
+//!
+//! Two backends share this round computation: [`simulate_seq`] walks the
+//! per-processor cursors on one thread, while
+//! [`simulate_parallel`](crate::simulate_parallel) shards the per-processor
+//! timelines across a worker pool (see `parallel.rs` for the determinism
+//! argument). [`simulate`] dispatches on
+//! [`SimConfig::workers`].
 
 use std::error::Error;
 use std::fmt;
@@ -32,7 +39,7 @@ use fppn_core::{
     BehaviorBank, ExecError, ExecState, Fppn, NetworkError, Observables, ProcessId,
     Stimuli,
 };
-use fppn_taskgraph::{wrap_predecessors, DerivedTaskGraph, JobId, RoundResolution};
+use fppn_taskgraph::{wrap_predecessors, DerivedTaskGraph, JobId, RoundResolution, TaskGraph};
 use fppn_sched::StaticSchedule;
 use fppn_time::TimeQ;
 
@@ -49,6 +56,26 @@ pub struct SimConfig {
     pub overhead: OverheadModel,
     /// Actual-execution-time model.
     pub exec_time: ExecTimeModel,
+    /// Simulation worker threads: `0` = auto (the `FPPN_SIM_WORKERS`
+    /// environment variable, else sequential), `1` = sequential, `n > 1` =
+    /// the parallel backend with `n` workers. Every setting produces
+    /// bit-identical results (Prop. 4.1 is the license to parallelize).
+    pub workers: usize,
+}
+
+impl SimConfig {
+    /// The worker count after resolving `workers == 0` against the
+    /// `FPPN_SIM_WORKERS` environment variable (absent/invalid → 1).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        std::env::var("FPPN_SIM_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or(1)
+    }
 }
 
 impl Default for SimConfig {
@@ -57,6 +84,7 @@ impl Default for SimConfig {
             frames: 1,
             overhead: OverheadModel::NONE,
             exec_time: ExecTimeModel::Wcet,
+            workers: 0,
         }
     }
 }
@@ -203,7 +231,344 @@ pub fn clip_stimuli(
     clipped
 }
 
-/// Simulates `config.frames` frames of the static-order policy.
+/// The frame-repeated policy table plus everything a backend needs to
+/// compute rounds: static per-processor orders, wrap-around predecessors,
+/// per-instance slot resolutions, pre-drawn execution times and per-frame
+/// release gates. Shared by the sequential and parallel backends so both
+/// perform *identical arithmetic* on every round.
+pub(crate) struct RoundEngine<'a> {
+    pub(crate) graph: &'a TaskGraph,
+    pub(crate) frames: u64,
+    pub(crate) n_jobs: usize,
+    pub(crate) m_procs: usize,
+    pub(crate) proc_orders: Vec<Vec<JobId>>,
+    wrap_preds: Vec<Vec<JobId>>,
+    resolution: RoundResolution,
+    exec_times: Vec<Vec<TimeQ>>,
+    /// `f·H + frame_overhead(f)` per frame: no executed job starts earlier.
+    frame_gates: Vec<TimeQ>,
+    h: TimeQ,
+    overhead: OverheadModel,
+}
+
+impl<'a> RoundEngine<'a> {
+    /// Validates stimuli and assembles the round tables.
+    pub(crate) fn new(
+        net: &Fppn,
+        stimuli: &Stimuli,
+        derived: &'a DerivedTaskGraph,
+        schedule: &StaticSchedule,
+        config: &SimConfig,
+    ) -> Result<Self, SimError> {
+        stimuli.validate(net)?;
+        let graph = &derived.graph;
+        let h = derived.hyperperiod;
+        let frames = config.frames;
+        let m_procs = schedule.processors();
+
+        // Static per-processor round orders.
+        let proc_orders: Vec<Vec<JobId>> = (0..m_procs)
+            .map(|m| schedule.processor_order(m))
+            .collect();
+
+        // Cross-frame wrap edges and per-instance slot resolution (shared
+        // with the threaded runtime; see fppn-taskgraph).
+        let wrap_preds = wrap_predecessors(net, derived);
+        let resolution = RoundResolution::resolve(net, derived, stimuli, frames);
+
+        // Pre-drawn execution times in canonical (frame, job-id) order, so
+        // the random draws do not depend on simulation internals (or on the
+        // backend executing the rounds).
+        let mut sampler = config.exec_time.sampler();
+        let mut exec_times: Vec<Vec<TimeQ>> = Vec::with_capacity(frames as usize);
+        for _ in 0..frames {
+            exec_times.push(graph.jobs().iter().map(|j| sampler.sample(j)).collect());
+        }
+
+        let frame_gates: Vec<TimeQ> = (0..frames)
+            .map(|f| TimeQ::from_int(f as i64) * h + config.overhead.frame_overhead(f))
+            .collect();
+
+        Ok(RoundEngine {
+            graph,
+            frames,
+            n_jobs: graph.job_count(),
+            m_procs,
+            proc_orders,
+            wrap_preds,
+            resolution,
+            exec_times,
+            frame_gates,
+            h,
+            overhead: config.overhead,
+        })
+    }
+
+    /// Total number of rounds over all frames.
+    pub(crate) fn total_rounds(&self) -> usize {
+        self.frames as usize * self.n_jobs
+    }
+
+    /// Attempts the round `(frame, id)` on processor `m` whose timeline is
+    /// free at `proc_avail`. `completion_of` reports the completion time of
+    /// an already-finished round (`None` = not finished yet).
+    ///
+    /// Returns `None` when a predecessor has not completed (the round
+    /// blocks), otherwise the finished [`JobRecord`]; the caller publishes
+    /// `record.completion` as this round's completion and advances the
+    /// processor's availability to it.
+    pub(crate) fn try_round(
+        &self,
+        frame: u64,
+        id: JobId,
+        m: usize,
+        proc_avail: TimeQ,
+        completion_of: impl Fn(u64, JobId) -> Option<TimeQ>,
+    ) -> Option<JobRecord> {
+        let job = self.graph.job(id);
+        let mut ready_at = proc_avail;
+        for p in self.graph.predecessors(id) {
+            ready_at = ready_at.max(completion_of(frame, p)?);
+        }
+        if frame > 0 {
+            for &p in &self.wrap_preds[id.index()] {
+                ready_at = ready_at.max(completion_of(frame - 1, p)?);
+            }
+        }
+        let res = self.resolution.get(frame, id);
+        let (invoked_at, deadline) = (res.invoked_at, res.deadline);
+        Some(if !res.executable {
+            // False slot: resolved (and "completed") at the window close;
+            // consumes no processor time.
+            let t = ready_at.max(invoked_at);
+            JobRecord {
+                process: job.process,
+                frame,
+                job: id,
+                global_k: 0,
+                processor: m,
+                invoked_at,
+                start: t,
+                completion: t,
+                deadline,
+                missed: false,
+                skipped: true,
+            }
+        } else {
+            let start = ready_at
+                .max(invoked_at)
+                .max(self.frame_gates[frame as usize]);
+            let end = start + self.exec_times[frame as usize][id.index()];
+            JobRecord {
+                process: job.process,
+                frame,
+                job: id,
+                global_k: 0, // assigned during behavior execution
+                processor: m,
+                invoked_at,
+                start,
+                completion: end,
+                deadline,
+                missed: end > deadline,
+                skipped: false,
+            }
+        })
+    }
+
+    /// Drives the per-processor cursors to completion on one thread,
+    /// calling `advance(frame, id, processor)` for the next round of each
+    /// timeline; `advance` returns whether that round could complete.
+    /// This is the single copy of the cursor/stall skeleton shared by the
+    /// sequential backend and the order pre-check, so their round order —
+    /// and their `Stalled { completed_rounds }` accounting — can never
+    /// drift apart.
+    fn drive_cursors(
+        &self,
+        mut advance: impl FnMut(u64, JobId, usize) -> bool,
+    ) -> Result<(), SimError> {
+        let total_rounds = self.total_rounds();
+        let mut cursors = vec![(0u64, 0usize); self.m_procs];
+        let mut done_rounds = 0usize;
+        while done_rounds < total_rounds {
+            let mut progressed = false;
+            for (m, (cursor, order)) in
+                cursors.iter_mut().zip(&self.proc_orders).enumerate()
+            {
+                loop {
+                    let (frame, idx) = *cursor;
+                    if frame >= self.frames {
+                        break;
+                    }
+                    if idx >= order.len() {
+                        *cursor = (frame + 1, 0);
+                        continue;
+                    }
+                    if !advance(frame, order[idx], m) {
+                        break;
+                    }
+                    *cursor = (frame, idx + 1);
+                    done_rounds += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed && done_rounds < total_rounds {
+                return Err(SimError::Stalled {
+                    completed_rounds: done_rounds,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes every round on one thread by polling per-processor cursors.
+    pub(crate) fn compute_rounds_seq(&self) -> Result<Vec<JobRecord>, SimError> {
+        let mut completion: Vec<Vec<Option<TimeQ>>> =
+            vec![vec![None; self.n_jobs]; self.frames as usize];
+        let mut proc_avail = vec![TimeQ::ZERO; self.m_procs];
+        let mut records: Vec<JobRecord> = Vec::with_capacity(self.total_rounds());
+        self.drive_cursors(|frame, id, m| {
+            let lookup = |f: u64, p: JobId| completion[f as usize][p.index()];
+            let Some(rec) = self.try_round(frame, id, m, proc_avail[m], lookup) else {
+                return false;
+            };
+            completion[frame as usize][id.index()] = Some(rec.completion);
+            proc_avail[m] = rec.completion;
+            records.push(rec);
+            true
+        })?;
+        Ok(records)
+    }
+
+    /// Checks that the per-processor orders are consistent with the
+    /// precedence constraints — i.e. that the full round table completes —
+    /// *without* computing any times. The parallel backend runs this before
+    /// spawning workers: its blocking rendezvous would otherwise deadlock
+    /// (rather than error) on a structurally invalid schedule. The count of
+    /// completable rounds is a unique dataflow fixed point, so the error
+    /// matches the sequential backend's exactly.
+    pub(crate) fn check_order(&self) -> Result<(), SimError> {
+        let mut done: Vec<Vec<bool>> =
+            vec![vec![false; self.n_jobs]; self.frames as usize];
+        self.drive_cursors(|frame, id, _m| {
+            for p in self.graph.predecessors(id) {
+                if !done[frame as usize][p.index()] {
+                    return false;
+                }
+            }
+            if frame > 0 {
+                for p in &self.wrap_preds[id.index()] {
+                    if !done[frame as usize - 1][p.index()] {
+                        return false;
+                    }
+                }
+            }
+            done[frame as usize][id.index()] = true;
+            true
+        })
+    }
+
+    /// Sorts the records canonically, runs the behaviors, renders the Gantt
+    /// and accumulates the statistics.
+    ///
+    /// The canonical order `(completion, frame, topological position)` is a
+    /// *total* order on rounds (the topological position is unique per job
+    /// within a frame), so the result is independent of the order in which
+    /// a backend produced the records — the keystone of the bit-identity
+    /// contract between the backends.
+    pub(crate) fn finalize(
+        &self,
+        net: &Fppn,
+        bank: &BehaviorBank,
+        stimuli: &Stimuli,
+        mut records: Vec<JobRecord>,
+    ) -> Result<SimRun, SimError> {
+        let topo_pos = {
+            let order = self
+                .graph
+                .topological_order()
+                .expect("derived task graphs are acyclic");
+            let mut pos = vec![0usize; self.n_jobs];
+            for (i, id) in order.iter().enumerate() {
+                pos[id.index()] = i;
+            }
+            pos
+        };
+        // Cached keys: TimeQ comparisons cross-multiply i128s, so comparing
+        // precomputed key tuples instead of re-deriving them per comparison
+        // measurably speeds up large multi-frame runs.
+        records.sort_by_cached_key(|r| (r.completion, r.frame, topo_pos[r.job.index()]));
+
+        // Execute behaviors in the precedence-consistent canonical order.
+        let mut behaviors = bank.instantiate();
+        let mut state = ExecState::new(net, stimuli.clone());
+        for rec in records.iter_mut() {
+            if rec.skipped {
+                continue;
+            }
+            let k = state.run_next_job(&mut behaviors, rec.process, rec.invoked_at)?;
+            rec.global_k = k;
+        }
+
+        // Gantt: application rows + a runtime row when overhead is modeled.
+        let overhead_row = (!self.overhead.is_none()) as usize;
+        let mut gantt = Gantt::new(self.m_procs + overhead_row);
+        for rec in &records {
+            if rec.skipped {
+                continue;
+            }
+            gantt.push(Segment {
+                processor: rec.processor,
+                label: format!(
+                    "{}[{}]@{}",
+                    net.process(rec.process).name(),
+                    rec.global_k,
+                    rec.frame
+                ),
+                start: rec.start,
+                end: rec.completion,
+                kind: SegmentKind::Job,
+            });
+        }
+        if overhead_row == 1 {
+            for f in 0..self.frames {
+                let base = TimeQ::from_int(f as i64) * self.h;
+                gantt.push(Segment {
+                    processor: self.m_procs,
+                    label: format!("runtime@{f}"),
+                    start: base,
+                    end: base + self.overhead.frame_overhead(f),
+                    kind: SegmentKind::Overhead,
+                });
+            }
+        }
+
+        let mut stats = SimStats::default();
+        for rec in &records {
+            if rec.skipped {
+                stats.skipped += 1;
+                continue;
+            }
+            stats.executed += 1;
+            stats.makespan = stats.makespan.max(rec.completion);
+            if rec.missed {
+                stats.deadline_misses += 1;
+                stats.max_lateness =
+                    stats.max_lateness.max(rec.completion - rec.deadline);
+            }
+        }
+
+        Ok(SimRun {
+            observables: state.observables(),
+            gantt,
+            records,
+            stats,
+        })
+    }
+}
+
+/// Simulates `config.frames` frames of the static-order policy,
+/// dispatching to the sequential or parallel backend per
+/// [`SimConfig::workers`] (both produce bit-identical results).
 ///
 /// # Errors
 ///
@@ -217,215 +582,35 @@ pub fn simulate(
     schedule: &StaticSchedule,
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
-    stimuli.validate(net)?;
-    let graph = &derived.graph;
-    let h = derived.hyperperiod;
-    let frames = config.frames;
-    let n_jobs = graph.job_count();
-    let m_procs = schedule.processors();
-
-    // Static per-processor round orders.
-    let proc_orders: Vec<Vec<JobId>> = (0..m_procs)
-        .map(|m| schedule.processor_order(m))
-        .collect();
-
-    // Cross-frame wrap edges and per-instance slot resolution (shared with
-    // the threaded runtime; see fppn-taskgraph).
-    let wrap_preds = wrap_predecessors(net, derived);
-    let resolution = RoundResolution::resolve(net, derived, stimuli, frames);
-
-    // Pre-drawn execution times in canonical (frame, job-id) order, so the
-    // random draws do not depend on simulation internals.
-    let mut sampler = config.exec_time.sampler();
-    let mut exec_times: Vec<Vec<TimeQ>> = Vec::with_capacity(frames as usize);
-    for _ in 0..frames {
-        exec_times.push(graph.jobs().iter().map(|j| sampler.sample(j)).collect());
+    match config.resolved_workers() {
+        0 | 1 => simulate_seq(net, bank, stimuli, derived, schedule, config),
+        workers => crate::parallel::simulate_parallel_with(
+            net, bank, stimuli, derived, schedule, config, workers,
+        ),
     }
+}
 
-    // Round computation: per-processor cursors over (frame, position).
-    let total_rounds = frames as usize * n_jobs;
-    let mut completion: Vec<Vec<Option<TimeQ>>> =
-        vec![vec![None; n_jobs]; frames as usize];
-    let mut proc_avail = vec![TimeQ::ZERO; m_procs];
-    let mut cursors = vec![(0u64, 0usize); m_procs]; // (frame, index in order)
-    let mut done_rounds = 0usize;
-    let mut records: Vec<JobRecord> = Vec::with_capacity(total_rounds);
-
-    while done_rounds < total_rounds {
-        let mut progressed = false;
-        for m in 0..m_procs {
-            loop {
-                let (frame, idx) = cursors[m];
-                if frame >= frames {
-                    break;
-                }
-                if idx >= proc_orders[m].len() {
-                    cursors[m] = (frame + 1, 0);
-                    continue;
-                }
-                let id = proc_orders[m][idx];
-                let job = graph.job(id);
-                let pid = job.process;
-                // Precedence data available?
-                let mut ready_at = proc_avail[m];
-                let mut blocked = false;
-                for p in graph.predecessors(id) {
-                    match completion[frame as usize][p.index()] {
-                        Some(t) => ready_at = ready_at.max(t),
-                        None => {
-                            blocked = true;
-                            break;
-                        }
-                    }
-                }
-                if !blocked && frame > 0 {
-                    for p in &wrap_preds[id.index()] {
-                        match completion[frame as usize - 1][p.index()] {
-                            Some(t) => ready_at = ready_at.max(t),
-                            None => {
-                                blocked = true;
-                                break;
-                            }
-                        }
-                    }
-                }
-                if blocked {
-                    break;
-                }
-                let res = resolution.get(frame, id);
-                let (invoked_at, deadline) = (res.invoked_at, res.deadline);
-                let rec = match res.executable {
-                    false => {
-                        // False slot: resolved (and "completed") at the
-                        // window close; consumes no processor time.
-                        let t = ready_at.max(invoked_at);
-                        completion[frame as usize][id.index()] = Some(t);
-                        proc_avail[m] = t;
-                        JobRecord {
-                            process: pid,
-                            frame,
-                            job: id,
-                            global_k: 0,
-                            processor: m,
-                            invoked_at,
-                            start: t,
-                            completion: t,
-                            deadline,
-                            missed: false,
-                            skipped: true,
-                        }
-                    }
-                    true => {
-                        let gate = TimeQ::from_int(frame as i64) * h
-                            + config.overhead.frame_overhead(frame);
-                        let start = ready_at.max(invoked_at).max(gate);
-                        let end = start + exec_times[frame as usize][id.index()];
-                        completion[frame as usize][id.index()] = Some(end);
-                        proc_avail[m] = end;
-                        JobRecord {
-                            process: pid,
-                            frame,
-                            job: id,
-                            global_k: 0, // assigned during behavior execution
-                            processor: m,
-                            invoked_at,
-                            start,
-                            completion: end,
-                            deadline,
-                            missed: end > deadline,
-                            skipped: false,
-                        }
-                    }
-                };
-                records.push(rec);
-                cursors[m] = (frame, idx + 1);
-                done_rounds += 1;
-                progressed = true;
-            }
-        }
-        if !progressed && done_rounds < total_rounds {
-            return Err(SimError::Stalled {
-                completed_rounds: done_rounds,
-            });
-        }
-    }
-
-    // Execute behaviors in a precedence-consistent global order:
-    // (completion, frame, topological position).
-    let topo_pos = {
-        let order = graph
-            .topological_order()
-            .expect("derived task graphs are acyclic");
-        let mut pos = vec![0usize; n_jobs];
-        for (i, id) in order.iter().enumerate() {
-            pos[id.index()] = i;
-        }
-        pos
-    };
-    records.sort_by_key(|r| (r.completion, r.frame, topo_pos[r.job.index()]));
-    let mut behaviors = bank.instantiate();
-    let mut state = ExecState::new(net, stimuli.clone());
-    for rec in records.iter_mut() {
-        if rec.skipped {
-            continue;
-        }
-        let k = state.run_next_job(&mut behaviors, rec.process, rec.invoked_at)?;
-        rec.global_k = k;
-    }
-
-    // Gantt: application rows + a runtime row when overhead is modeled.
-    let overhead_row = (!config.overhead.is_none()) as usize;
-    let mut gantt = Gantt::new(m_procs + overhead_row);
-    for rec in &records {
-        if rec.skipped {
-            continue;
-        }
-        gantt.push(Segment {
-            processor: rec.processor,
-            label: format!(
-                "{}[{}]@{}",
-                net.process(rec.process).name(),
-                rec.global_k,
-                rec.frame
-            ),
-            start: rec.start,
-            end: rec.completion,
-            kind: SegmentKind::Job,
-        });
-    }
-    if overhead_row == 1 {
-        for f in 0..frames {
-            let base = TimeQ::from_int(f as i64) * h;
-            gantt.push(Segment {
-                processor: m_procs,
-                label: format!("runtime@{f}"),
-                start: base,
-                end: base + config.overhead.frame_overhead(f),
-                kind: SegmentKind::Overhead,
-            });
-        }
-    }
-
-    let mut stats = SimStats::default();
-    for rec in &records {
-        if rec.skipped {
-            stats.skipped += 1;
-            continue;
-        }
-        stats.executed += 1;
-        stats.makespan = stats.makespan.max(rec.completion);
-        if rec.missed {
-            stats.deadline_misses += 1;
-            stats.max_lateness = stats.max_lateness.max(rec.completion - rec.deadline);
-        }
-    }
-
-    Ok(SimRun {
-        observables: state.observables(),
-        gantt,
-        records,
-        stats,
-    })
+/// The sequential backend: one thread walks all per-processor cursors.
+///
+/// Retained (and exported) as the differential oracle for the parallel
+/// backend, exactly like `list_schedule_naive` oracles the event-driven
+/// scheduler.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid stimuli, behavior failures, or a
+/// deadlocked (structurally invalid) schedule.
+pub fn simulate_seq(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    derived: &DerivedTaskGraph,
+    schedule: &StaticSchedule,
+    config: &SimConfig,
+) -> Result<SimRun, SimError> {
+    let engine = RoundEngine::new(net, stimuli, derived, schedule, config)?;
+    let records = engine.compute_rounds_seq()?;
+    engine.finalize(net, bank, stimuli, records)
 }
 
 #[cfg(test)]
@@ -694,5 +879,22 @@ mod tests {
         assert_eq!(run.stats.skipped, 0);
         assert!(run.stats.makespan <= TimeQ::from_int(2) * derived.hyperperiod);
         assert_eq!(run.records.len(), 8);
+    }
+
+    #[test]
+    fn workers_field_resolution() {
+        let explicit = SimConfig {
+            workers: 3,
+            ..SimConfig::default()
+        };
+        assert_eq!(explicit.resolved_workers(), 3);
+        // workers == 0 resolves via the environment; in the test harness the
+        // variable is either unset (→ 1) or a positive override (→ itself).
+        let auto = SimConfig::default();
+        let resolved = auto.resolved_workers();
+        match std::env::var("FPPN_SIM_WORKERS") {
+            Ok(v) => assert_eq!(resolved, v.parse::<usize>().unwrap_or(1).max(1)),
+            Err(_) => assert_eq!(resolved, 1),
+        }
     }
 }

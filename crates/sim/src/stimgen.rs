@@ -10,6 +10,32 @@ use fppn_time::TimeQ;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// SplitMix64's finalizer: a full-avalanche 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent stream seed for `(seed, pid, port)` by chaining
+/// the SplitMix64 finalizer over each component.
+///
+/// The previous scheme (`seed ^ (pid << 16) ^ port`) was collision-prone:
+/// any process index ≥ 2¹⁶ aliased back onto the port bits, `(pid=p,
+/// port=q)` collided with `(pid=q·2¹⁶ ⊕ …)` cross-pairs, and the whole
+/// expression silently depended on `<<` binding tighter than `^`. Full
+/// avalanche after every component makes any two distinct `(seed, pid,
+/// port)` triples yield (with overwhelming probability) unrelated
+/// xoshiro256++ seedings.
+fn stream_seed(seed: u64, pid: u64, port: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed) ^ pid) ^ port)
+}
+
+/// Port index used for a process's *arrival-trace* stream, distinct from
+/// every real input-port index.
+const TRACE_STREAM: u64 = u64::MAX;
+
 /// Generates a random arrival trace for a sporadic `(m, T)` generator over
 /// `[0, horizon)`, respecting the half-open-window constraint.
 ///
@@ -59,30 +85,43 @@ pub fn random_sporadic_trace(
 /// process of a network, plus integer input streams for every declared
 /// external input port.
 ///
-/// Traces are seeded per process (`seed + process index`) so adding a
-/// process does not reshuffle the others.
+/// Every stream — each port's samples and each process's arrival trace —
+/// draws from an independently seeded RNG ([`stream_seed`]), so adding a
+/// process or port never reshuffles the others and distinct `(pid, port)`
+/// pairs get distinct streams.
+///
+/// A process consumes one input sample per *executed* job, so a sporadic
+/// process needs exactly one sample per generated arrival (a slot only
+/// executes against a matching arrival); the sample count is derived from
+/// the actual trace length rather than a closed-form bound, which a
+/// maximal-rate (density 1000, burst > 1) trace rendered fragile.
 pub fn random_stimuli(net: &Fppn, horizon: TimeQ, density_permille: u32, seed: u64) -> Stimuli {
     let mut stimuli = Stimuli::new();
     for pid in net.process_ids() {
         let spec = net.process(pid);
         let ev = spec.event();
-        if ev.kind() == EventKind::Sporadic {
+        let max_jobs = if ev.kind() == EventKind::Sporadic {
             let trace = random_sporadic_trace(
                 ev.burst(),
                 ev.period(),
                 horizon,
                 density_permille,
-                seed.wrapping_add(pid.index() as u64),
+                stream_seed(seed, pid.index() as u64, TRACE_STREAM),
             );
+            let arrivals = trace.arrivals().len() as u64;
             stimuli.arrivals(pid, trace);
-        }
-        // Input samples: enough for every possible job (period lower bound
-        // T/m jobs... be generous: horizon / (T / burst) + burst).
-        let max_jobs =
-            ((horizon / ev.period()).ceil() as u64 + 2) * ev.burst() as u64;
+            arrivals
+        } else {
+            // Periodic: exactly horizon / T jobs; keep a small margin for
+            // callers rounding the horizon up to whole frames.
+            ((horizon / ev.period()).ceil() as u64 + 2) * ev.burst() as u64
+        };
         for (port_idx, _) in spec.input_ports().iter().enumerate() {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (pid.index() as u64) << 16 ^ port_idx as u64);
+            let mut rng = StdRng::seed_from_u64(stream_seed(
+                seed,
+                pid.index() as u64,
+                port_idx as u64,
+            ));
             let samples: Vec<Value> = (0..max_jobs)
                 .map(|_| Value::Int(rng.gen_range(-1000..1000)))
                 .collect();
@@ -139,6 +178,91 @@ mod tests {
         let a = random_sporadic_trace(2, ms(300), ms(5000), 700, 11);
         let b = random_sporadic_trace(2, ms(300), ms(5000), 700, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_seeds_do_not_alias() {
+        // The old xor/shift scheme collided exactly on these pairs:
+        // (pid=1, port=0) vs (pid=0, port=1<<16) both gave seed ^ (1<<16).
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            assert_ne!(
+                stream_seed(seed, 1, 0),
+                stream_seed(seed, 0, 1 << 16),
+                "seed {seed}: pid/port cross-collision"
+            );
+            // pid and port must not be interchangeable either.
+            assert_ne!(stream_seed(seed, 2, 5), stream_seed(seed, 5, 2));
+            // The trace stream is distinct from every real port stream.
+            assert_ne!(stream_seed(seed, 3, TRACE_STREAM), stream_seed(seed, 3, 0));
+        }
+        // Pairwise-distinct over a dense grid (a collision here would be a
+        // mixer regression, not bad luck: 900 values of 2^64).
+        let mut seen = std::collections::BTreeSet::new();
+        for pid in 0..30u64 {
+            for port in 0..30u64 {
+                assert!(
+                    seen.insert(stream_seed(42, pid, port)),
+                    "collision at ({pid}, {port})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_ports_get_distinct_streams() {
+        let mut b = FppnBuilder::new();
+        let u = b.process(
+            ProcessSpec::new("u", EventSpec::periodic(ms(100)))
+                .with_input("a")
+                .with_input("b"),
+        );
+        let v = b.process(ProcessSpec::new("v", EventSpec::periodic(ms(100))).with_input("a"));
+        b.channel("c", u, v, ChannelKind::Blackboard);
+        b.priority(u, v);
+        let (net, _) = b.build().unwrap();
+        let stimuli = random_stimuli(&net, ms(10_000), 500, 99);
+        let port = fppn_core::PortId::from_index;
+        let stream = |pid, p| -> Vec<_> {
+            (1..=100)
+                .map(|k| stimuli.input_sample(pid, port(p), k).unwrap())
+                .collect()
+        };
+        let ua = stream(u, 0);
+        let ub = stream(u, 1);
+        let va = stream(v, 0);
+        assert_ne!(ua, ub, "two ports of one process share a stream");
+        assert_ne!(ua, va, "same port index of two processes share a stream");
+        assert_ne!(ub, va);
+    }
+
+    #[test]
+    fn max_density_run_never_exhausts_input_samples() {
+        // A sporadic process at the maximal admissible rate (density 1000,
+        // burst > 1) consumes one input sample per arrival; the stream must
+        // cover every executed job even in the densest windows.
+        let mut b = FppnBuilder::new();
+        let u = b.process(ProcessSpec::new("u", EventSpec::periodic(ms(100))));
+        let s = b.process(
+            ProcessSpec::new("s", EventSpec::sporadic(3, ms(250))).with_input("cmd"),
+        );
+        b.channel("c", s, u, ChannelKind::Blackboard);
+        b.priority(s, u);
+        let (net, _) = b.build().unwrap();
+        for seed in 0..20 {
+            let stimuli = random_stimuli(&net, ms(20_000), 1000, seed);
+            assert!(validate_stimuli(&net, &stimuli));
+            let arrivals = stimuli.arrival_trace(s).len() as u64;
+            assert!(arrivals > 0, "seed {seed}: max density generated no events");
+            // One sample per executed job k = 1..=arrivals.
+            for k in 1..=arrivals {
+                assert!(
+                    stimuli
+                        .input_sample(s, fppn_core::PortId::from_index(0), k)
+                        .is_some(),
+                    "seed {seed}: sample {k}/{arrivals} missing"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Differential test-suite: the parallel backend against the sequential
+//! oracle (the same pattern that proves the event-driven scheduler
+//! against `list_schedule_naive`).
+//!
+//! Bit-identity is asserted on every component of a [`SimRun`]: the
+//! per-round [`fppn_sim::JobRecord`]s (exact rational times, processors,
+//! ranks), the Gantt segments, the statistics, and the observables —
+//! across random workloads, sporadic densities, overhead models,
+//! exec-time models and worker counts.
+
+use fppn_apps::{random_workload, WorkloadConfig};
+use fppn_sched::{list_schedule, Heuristic};
+use fppn_sim::{
+    clip_stimuli, random_stimuli, simulate, simulate_parallel, simulate_seq, ExecTimeModel,
+    OverheadModel, SimConfig, SimRun,
+};
+use fppn_taskgraph::derive_task_graph;
+use fppn_time::TimeQ;
+use proptest::prelude::*;
+
+fn assert_bit_identical(seq: &SimRun, par: &SimRun, label: &str) {
+    assert_eq!(seq.records, par.records, "{label}: records diverged");
+    assert_eq!(
+        seq.observables.diff(&par.observables),
+        None,
+        "{label}: observables diverged"
+    );
+    assert_eq!(seq.observables, par.observables, "{label}: observables !=");
+    assert_eq!(seq.gantt, par.gantt, "{label}: gantt diverged");
+    assert_eq!(seq.stats, par.stats, "{label}: stats diverged");
+}
+
+/// One workload, every axis: processors × heuristics × exec-time models ×
+/// overheads × worker counts, over several frames with random stimuli.
+fn check_workload(cfg: &WorkloadConfig, density: u32, frames: u64, workers: &[usize]) {
+    let w = random_workload(cfg);
+    let derived = derive_task_graph(&w.net, &w.wcet).expect("derivable");
+    let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+    let stimuli = random_stimuli(&w.net, horizon, density, cfg.seed ^ 0x00C0_FFEE);
+    let stimuli = clip_stimuli(&w.net, &derived, &stimuli, frames);
+    for m in [1usize, 2, 4] {
+        let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+        for (exec, overhead) in [
+            (ExecTimeModel::Wcet, OverheadModel::NONE),
+            (
+                ExecTimeModel::typical_jitter(cfg.seed ^ 0xA5),
+                OverheadModel::NONE,
+            ),
+            (ExecTimeModel::Wcet, OverheadModel::constant(TimeQ::from_ms(9))),
+        ] {
+            let config = SimConfig {
+                frames,
+                overhead,
+                exec_time: exec,
+                workers: 1,
+            };
+            let seq = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &config)
+                .expect("sequential oracle");
+            for &workers in workers {
+                let par = simulate_parallel(
+                    &w.net,
+                    &w.bank,
+                    &stimuli,
+                    &derived,
+                    &schedule,
+                    &SimConfig {
+                        workers,
+                        ..config
+                    },
+                )
+                .expect("parallel backend");
+                assert_bit_identical(
+                    &seq,
+                    &par,
+                    &format!(
+                        "seed {} density {density} m {m} workers {workers} {exec:?} {overhead:?}",
+                        cfg.seed
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_seq_on_pinned_workloads() {
+    for seed in 0..4u64 {
+        let cfg = WorkloadConfig {
+            periodic: 5,
+            sporadic: 2,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        check_workload(&cfg, 500, 3, &[2, 4, 8]);
+    }
+}
+
+#[test]
+fn parallel_matches_seq_at_extreme_densities() {
+    // Density 0 (all server slots false) and 1000 (maximal admissible
+    // sporadic rate) stress the skipped-slot and invocation-wait paths.
+    for density in [0u32, 1000] {
+        let cfg = WorkloadConfig {
+            periodic: 4,
+            sporadic: 3,
+            seed: 7 + density as u64,
+            ..WorkloadConfig::default()
+        };
+        check_workload(&cfg, density, 2, &[2, 4]);
+    }
+}
+
+#[test]
+fn dispatcher_routes_on_config_workers() {
+    // `simulate` with workers pinned in the config must route identically
+    // to the explicit backend entry points. (The env-var resolution path,
+    // workers == 0 + FPPN_SIM_WORKERS, is covered by the dedicated CI job
+    // that re-runs the whole suite with the variable set — mutating the
+    // process environment from a threaded test harness would race.)
+    let cfg = WorkloadConfig {
+        periodic: 5,
+        sporadic: 1,
+        seed: 23,
+        ..WorkloadConfig::default()
+    };
+    let w = random_workload(&cfg);
+    let derived = derive_task_graph(&w.net, &w.wcet).expect("derivable");
+    let frames = 2u64;
+    let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+    let stimuli = random_stimuli(&w.net, horizon, 600, 99);
+    let stimuli = clip_stimuli(&w.net, &derived, &stimuli, frames);
+    let schedule = list_schedule(&derived.graph, 3, Heuristic::BLevel);
+    let base = SimConfig {
+        frames,
+        ..SimConfig::default()
+    };
+    let seq = simulate(
+        &w.net,
+        &w.bank,
+        &stimuli,
+        &derived,
+        &schedule,
+        &SimConfig { workers: 1, ..base },
+    )
+    .expect("seq via dispatcher");
+    let par = simulate(
+        &w.net,
+        &w.bank,
+        &stimuli,
+        &derived,
+        &schedule,
+        &SimConfig { workers: 4, ..base },
+    )
+    .expect("par via dispatcher");
+    assert_bit_identical(&seq, &par, "dispatcher");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Seed-pinned differential property: random workload shapes, random
+    /// sporadic densities, random exec-time seeds, workers ∈ {2, 4, 8}.
+    #[test]
+    fn simulate_parallel_equals_simulate_seq(
+        periodic in 2usize..6,
+        sporadic in 0usize..3,
+        density in 0u32..=1000,
+        seed in any::<u64>(),
+        exec_seed in any::<u64>(),
+        m in 1usize..4,
+        frames in 1u64..4,
+    ) {
+        let cfg = WorkloadConfig {
+            periodic,
+            sporadic,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        let w = random_workload(&cfg);
+        let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let stimuli = random_stimuli(&w.net, horizon, density, seed ^ 0x5a5a);
+        let stimuli = clip_stimuli(&w.net, &derived, &stimuli, frames);
+        let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+        let config = SimConfig {
+            frames,
+            exec_time: ExecTimeModel::typical_jitter(exec_seed),
+            ..SimConfig::default()
+        };
+        let seq = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &config)
+            .unwrap();
+        for workers in [2usize, 4, 8] {
+            let par = simulate_parallel(
+                &w.net,
+                &w.bank,
+                &stimuli,
+                &derived,
+                &schedule,
+                &SimConfig { workers, ..config },
+            )
+            .unwrap();
+            prop_assert_eq!(&seq.records, &par.records);
+            prop_assert_eq!(&seq.observables, &par.observables);
+            prop_assert_eq!(&seq.gantt, &par.gantt);
+            prop_assert_eq!(&seq.stats, &par.stats);
+        }
+    }
+}

@@ -78,40 +78,83 @@ impl RoundResolution {
             .map(|(pid, s)| (*pid, (h / s.period).floor()))
             .collect();
 
+        // Per-job templates: everything that does not depend on the frame is
+        // computed once, so the frame loop below is pure arithmetic (this is
+        // the hot path for long multi-frame simulations).
+        enum Template<'a> {
+            Periodic {
+                arrival: TimeQ,
+                deadline_rel: TimeQ,
+            },
+            Server {
+                subset_in_frame: i128,
+                subsets_per_frame: i128,
+                slot: usize,
+                period: TimeQ,
+                deadline_rel: TimeQ,
+                subsets: Option<&'a BTreeMap<i128, Vec<TimeQ>>>,
+            },
+        }
+        let templates: Vec<Template<'_>> = graph
+            .job_ids()
+            .map(|id| {
+                let job = graph.job(id);
+                let pid = job.process;
+                match derived.server(pid) {
+                    None => Template::Periodic {
+                        arrival: job.arrival,
+                        deadline_rel: net.process(pid).event().deadline(),
+                    },
+                    Some(server) => Template::Server {
+                        subset_in_frame: (job.arrival / server.period).floor(),
+                        subsets_per_frame: subsets_per_frame[&pid],
+                        slot: ((job.k - 1) % server.burst as u64) as usize,
+                        period: server.period,
+                        deadline_rel: net.process(pid).event().deadline(),
+                        subsets: subsets.get(&pid),
+                    },
+                }
+            })
+            .collect();
+
         let mut rounds = Vec::with_capacity(frames as usize);
         for frame in 0..frames {
             let frame_base = TimeQ::from_int(frame as i64) * h;
             let mut row = Vec::with_capacity(graph.job_count());
-            for id in graph.job_ids() {
-                let job = graph.job(id);
-                let pid = job.process;
-                let res = match derived.server(pid) {
-                    None => {
-                        let inv = frame_base + job.arrival;
+            for tpl in &templates {
+                let res = match tpl {
+                    Template::Periodic {
+                        arrival,
+                        deadline_rel,
+                    } => {
+                        let inv = frame_base + *arrival;
                         SlotResolution {
                             invoked_at: inv,
                             executable: true,
-                            deadline: inv + net.process(pid).event().deadline(),
+                            deadline: inv + *deadline_rel,
                         }
                     }
-                    Some(server) => {
-                        let subset_in_frame = (job.arrival / server.period).floor();
-                        let global_subset =
-                            frame as i128 * subsets_per_frame[&pid] + subset_in_frame;
-                        let slot = ((job.k - 1) % server.burst as u64) as usize;
+                    Template::Server {
+                        subset_in_frame,
+                        subsets_per_frame,
+                        slot,
+                        period,
+                        deadline_rel,
+                        subsets,
+                    } => {
+                        let global_subset = frame as i128 * subsets_per_frame + subset_in_frame;
                         let arrival = subsets
-                            .get(&pid)
                             .and_then(|m| m.get(&global_subset))
-                            .and_then(|v| v.get(slot))
+                            .and_then(|v| v.get(*slot))
                             .copied();
                         match arrival {
                             Some(t) => SlotResolution {
                                 invoked_at: t,
                                 executable: true,
-                                deadline: t + net.process(pid).event().deadline(),
+                                deadline: t + *deadline_rel,
                             },
                             None => {
-                                let close = TimeQ::from_int_i128(global_subset) * server.period;
+                                let close = TimeQ::from_int_i128(global_subset) * *period;
                                 SlotResolution {
                                     invoked_at: close,
                                     executable: false,

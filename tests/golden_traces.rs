@@ -14,8 +14,11 @@
 
 use std::fmt::Write as _;
 
-use fppn::apps::{fft_network, fig1_network};
+use fppn::apps::{fft_network, fft_wcet, fig1_network, fig1_wcet};
 use fppn::core::{run_zero_delay, Fppn, JobOrdering, Observables, SporadicTrace, Stimuli};
+use fppn::sched::{list_schedule, Heuristic};
+use fppn::sim::{clip_stimuli, simulate_parallel, SimConfig};
+use fppn::taskgraph::derive_task_graph;
 use fppn::time::TimeQ;
 
 /// Renders observables into a stable, human-auditable text form:
@@ -69,6 +72,61 @@ fn fig1_zero_delay_trace_is_pinned() {
     let run = run_zero_delay(&net, &mut behaviors, &stimuli, horizon, JobOrdering::MinRankFirst)
         .expect("fig1 reference run");
     check("fig1", &net, &run.observables, include_str!("golden/fig1.txt"));
+}
+
+/// The parallel simulation backend must reproduce the *pinned* traces —
+/// not merely agree with the reference of the same build — so a semantics
+/// drift in the parallel rounds cannot hide behind a matching drift in
+/// the zero-delay executor.
+#[test]
+fn parallel_backend_reproduces_golden_traces() {
+    // Fig. 1, same stimulus as the pinned reference, 4 frames.
+    {
+        let (net, bank, ids) = fig1_network();
+        let mut stimuli = Stimuli::new();
+        stimuli.arrivals(
+            ids.coef_b,
+            SporadicTrace::new(vec![TimeQ::from_ms(120), TimeQ::from_ms(390)]),
+        );
+        let derived = derive_task_graph(&net, &fig1_wcet()).expect("derivable");
+        let frames = 4;
+        let stimuli = clip_stimuli(&net, &derived, &stimuli, frames);
+        let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+        let run = simulate_parallel(
+            &net,
+            &bank,
+            &stimuli,
+            &derived,
+            &schedule,
+            &SimConfig {
+                frames,
+                workers: 4,
+                ..SimConfig::default()
+            },
+        )
+        .expect("fig1 parallel simulation");
+        check("fig1", &net, &run.observables, include_str!("golden/fig1.txt"));
+    }
+    // FFT pipeline, 3 frames.
+    {
+        let (net, bank, _) = fft_network();
+        let derived = derive_task_graph(&net, &fft_wcet()).expect("derivable");
+        let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+        let run = simulate_parallel(
+            &net,
+            &bank,
+            &Stimuli::new(),
+            &derived,
+            &schedule,
+            &SimConfig {
+                frames: 3,
+                workers: 4,
+                ..SimConfig::default()
+            },
+        )
+        .expect("fft parallel simulation");
+        check("fft", &net, &run.observables, include_str!("golden/fft.txt"));
+    }
 }
 
 #[test]

@@ -3,14 +3,18 @@
 //!
 //! Implemented: the [`proptest!`] macro (with `#![proptest_config(..)]`),
 //! integer-range / tuple / [`any`] / [`collection::vec`] strategies,
-//! [`Strategy::prop_map`], `prop_assert!` / `prop_assert_eq!`, and a
-//! deterministic runner.
+//! [`Strategy::prop_map`], `prop_assert!` / `prop_assert_eq!`, a
+//! deterministic runner, and **greedy shrinking** on integer, tuple and
+//! vector strategies.
 //!
 //! Differences from real proptest, by design:
 //!
-//! * **No shrinking.** A failing case reports its 64-bit seed instead of a
-//!   minimized counterexample. Re-run with `PROPTEST_RNG_SEED=<seed>` (and
-//!   `PROPTEST_CASES=1`) to reproduce it directly.
+//! * **Simple shrinking.** On failure, integer strategies shrink by
+//!   halving toward the range start (or zero for [`any`]), vectors by
+//!   truncation plus element shrinking, tuples component-wise. The
+//!   minimized counterexample is printed alongside the reproducing seed.
+//!   [`Strategy::prop_map`]ped strategies do not shrink through the map
+//!   (the shim keeps no value trees); their values pass through verbatim.
 //! * **Deterministic by default.** The base seed is a stable hash of the
 //!   test's source file and name, so every run and every CI machine
 //!   explores the same cases. `PROPTEST_RNG_SEED` overrides the base seed
@@ -70,7 +74,8 @@ impl TestRng {
     }
 }
 
-/// A generator of test-case values (proptest's core trait, sans shrinking).
+/// A generator of test-case values (proptest's core trait, with a
+/// simplified candidate-list shrinker instead of value trees).
 pub trait Strategy {
     /// The type of values this strategy produces.
     type Value;
@@ -78,7 +83,17 @@ pub trait Strategy {
     /// Draws one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes simpler variants of a failing `value`, simplest first.
+    /// The runner greedily adopts the first variant that still fails and
+    /// repeats until no candidate fails (or a step budget runs out).
+    fn shrink_value(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
+    ///
+    /// Mapped strategies do not shrink (the shim keeps no source trees).
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -92,6 +107,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn new_value(&self, rng: &mut TestRng) -> S::Value {
         (**self).new_value(rng)
+    }
+    fn shrink_value(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink_value(value)
     }
 }
 
@@ -124,6 +142,12 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// The empty-tuple strategy (zero-argument property tests).
+impl Strategy for () {
+    type Value = ();
+    fn new_value(&self, _rng: &mut TestRng) {}
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty => $wide:ty),* $(,)?) => {$(
         impl Strategy for Range<$t> {
@@ -133,6 +157,12 @@ macro_rules! int_range_strategy {
                 let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
                 let r = rng.next_u128() % span;
                 ((self.start as $wide).wrapping_add(r as $wide)) as $t
+            }
+            fn shrink_value(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*value as $wide, self.start as $wide)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -147,6 +177,12 @@ macro_rules! int_range_strategy {
                 let r = rng.next_u128() % (span + 1);
                 ((lo as $wide).wrapping_add(r as $wide)) as $t
             }
+            fn shrink_value(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*value as $wide, *self.start() as $wide)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -156,31 +192,47 @@ int_range_strategy!(
     i8 => i128, i16 => i128, i32 => i128, i64 => i128, i128 => i128, isize => i128,
 );
 
-macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
-            type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
-            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.new_value(rng),)+)
-            }
-        }
-    };
+/// Candidates between `lo` and a failing `v`, simplest first: the range
+/// start, the halfway point, and one step down. Greedy adoption over
+/// these converges to the minimal failing value (halving for distance,
+/// the decrement for the last mile).
+fn shrink_int_toward<W>(v: W, lo: W) -> Vec<W>
+where
+    W: Copy + PartialEq + PartialOrd + std::ops::Add<Output = W> + std::ops::Sub<Output = W>
+        + std::ops::Div<Output = W> + From<u8>,
+{
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    let one = W::from(1u8);
+    let two = W::from(2u8);
+    out.push(lo);
+    let mid = lo + (v - lo) / two;
+    if mid != lo && mid != v {
+        out.push(mid);
+    }
+    let dec = v - one;
+    if dec != lo && Some(&dec) != out.last() {
+        out.push(dec);
+    }
+    out
 }
-
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
-tuple_strategy!(A, B, C, D, E, F);
-tuple_strategy!(A, B, C, D, E, F, G);
 
 /// Types with a canonical whole-domain strategy (see [`any`]).
 pub trait Arbitrary {
     /// Draws an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Proposes simpler variants of a failing value (shrink-to-zero for
+    /// the integer implementations), simplest first.
+    fn shrink(value: &Self) -> Vec<Self>
+    where
+        Self: Sized,
+    {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! int_arbitrary {
@@ -188,6 +240,23 @@ macro_rules! int_arbitrary {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u128() as $t
+            }
+            fn shrink(value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v == 0 {
+                    return out;
+                }
+                out.push(0);
+                let half = v / 2;
+                if half != 0 {
+                    out.push(half);
+                }
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                if step != 0 && Some(&step) != out.last() {
+                    out.push(step);
+                }
+                out
             }
         }
     )*};
@@ -198,6 +267,13 @@ int_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -216,12 +292,48 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn new_value(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink_value(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
+    }
 }
 
 /// Returns the canonical strategy for `T` (e.g. `any::<u64>()`).
 pub fn any<T: Arbitrary>() -> Any<T> {
     Any(PhantomData)
 }
+
+macro_rules! tuple_strategy {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+            fn shrink_value(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink_value(&value.$idx) {
+                        let mut t = value.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!((A, 0));
+tuple_strategy!((A, 0), (B, 1));
+tuple_strategy!((A, 0), (B, 1), (C, 2));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
 
 /// Collection strategies (`prop::collection`).
 pub mod collection {
@@ -279,12 +391,40 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
             let len = self.size.lo + (rng.next_u64() % span) as usize;
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+        fn shrink_value(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let lo = self.size.lo;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // Length shrinking: minimal prefix, half prefix, drop-last.
+            if value.len() > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo.max(value.len() / 2);
+                if half > lo && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 > half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            // Element shrinking: every candidate at each position (the
+            // greedy runner adopts the first that still fails).
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink_value(v) {
+                    let mut w = value.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -402,38 +542,88 @@ fn persist_regression(dir_hint: &str, source_file: &str, test_name: &str, seed: 
     let _ = writeln!(f, "{test_name} {seed}");
 }
 
+/// Budget of candidate evaluations per failing case: bounds shrink time
+/// even for wide integer ranges (halving plus a final decrement walk).
+const SHRINK_EVAL_BUDGET: usize = 1024;
+
+/// Runs `case` on `value`, translating `Err` and panics into a message.
+fn run_case<V, F>(case: &mut F, value: V) -> Option<String>
+where
+    F: FnMut(V) -> Result<(), TestCaseError>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(value))) {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e.to_string()),
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    }
+}
+
+/// Greedily minimizes a failing `value`: adopt the first shrink candidate
+/// that still fails, repeat until none fails or the budget runs out.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    case: &mut F,
+    mut value: S::Value,
+    mut message: String,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut evals = 0usize;
+    let mut steps = 0usize;
+    'outer: loop {
+        for cand in strategy.shrink_value(&value) {
+            if evals >= SHRINK_EVAL_BUDGET {
+                break 'outer;
+            }
+            evals += 1;
+            if let Some(msg) = run_case(case, cand.clone()) {
+                value = cand;
+                message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, message, steps)
+}
+
 /// Executes one property test: replays persisted regression seeds, then
-/// runs fresh cases. Used via the [`proptest!`] macro, not directly.
+/// runs fresh cases; a failing case is shrunk before being reported. Used
+/// via the [`proptest!`] macro, not directly.
 ///
 /// # Panics
 ///
 /// Panics (failing the surrounding `#[test]`) on the first case whose
-/// closure returns `Err` or panics, reporting the reproducing seed.
-pub fn run_proptest<F>(
+/// closure returns `Err` or panics, reporting the reproducing seed and
+/// the minimized counterexample.
+pub fn run_proptest<S, F>(
     config: &ProptestConfig,
     manifest_dir: &str,
     source_file: &str,
     test_name: &str,
+    strategy: S,
     mut case: F,
 ) where
-    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    S: Strategy,
+    S::Value: Clone + fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
 {
     let run_one = |case: &mut F, seed: u64, origin: &str, persist: bool| {
         let mut rng = TestRng::from_seed(seed);
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
-        let failure = match outcome {
-            Ok(Ok(())) => None,
-            Ok(Err(e)) => Some(e.to_string()),
-            Err(payload) => Some(panic_message(payload.as_ref())),
-        };
-        if let Some(msg) = failure {
+        let value = strategy.new_value(&mut rng);
+        if let Some(msg) = run_case(case, value.clone()) {
             if persist {
                 persist_regression(manifest_dir, source_file, test_name, seed);
             }
+            let (min_value, min_msg, steps) = shrink_failure(&strategy, case, value, msg);
             panic!(
-                "proptest case failed ({origin}, seed {seed}): {msg}\n\
-                 reproduce with: PROPTEST_RNG_SEED={seed} PROPTEST_CASES=1"
+                "proptest case failed ({origin}, seed {seed}): {min_msg}\n\
+                 minimal failing input ({steps} shrink steps): {min_value:?}\n\
+                 reproduce the original case with: PROPTEST_RNG_SEED={seed} PROPTEST_CASES=1"
             );
         }
     };
@@ -484,13 +674,15 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)*);
             $crate::run_proptest(
                 &__config,
                 env!("CARGO_MANIFEST_DIR"),
                 file!(),
                 stringify!($name),
-                |__rng| {
-                    $(let $arg = $crate::Strategy::new_value(&($strat), __rng);)*
+                __strategy,
+                |__value| {
+                    let ($($arg,)*) = __value;
                     let mut __case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
                         $body
                         ::std::result::Result::Ok(())
@@ -573,6 +765,13 @@ mod tests {
         }
     }
 
+    fn failure_message(outcome: std::thread::Result<()>) -> String {
+        match outcome {
+            Ok(()) => panic!("expected the property to fail"),
+            Err(payload) => crate::panic_message(payload.as_ref()),
+        }
+    }
+
     #[test]
     fn failing_seed_is_persisted_then_replayed() {
         let dir = std::env::temp_dir().join(format!("proptest_shim_{}", std::process::id()));
@@ -582,7 +781,7 @@ mod tests {
         let cfg = ProptestConfig::with_cases(3);
 
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            crate::run_proptest(&cfg, &manifest, "src/demo.rs", "always_fails", |_rng| {
+            crate::run_proptest(&cfg, &manifest, "src/demo.rs", "always_fails", (0u8..10,), |_v| {
                 Err(TestCaseError::fail("boom"))
             });
         }));
@@ -594,11 +793,110 @@ mod tests {
         // After a "fix", the recorded seed is replayed before fresh cases.
         let fresh_cases = crate::env_cases().unwrap_or(cfg.cases) as usize;
         let mut calls = 0usize;
-        crate::run_proptest(&cfg, &manifest, "src/demo.rs", "always_fails", |_rng| {
+        crate::run_proptest(&cfg, &manifest, "src/demo.rs", "always_fails", (0u8..10,), |_v| {
             calls += 1;
             Ok(())
         });
         assert_eq!(calls, fresh_cases + 1, "one replayed seed plus fresh cases");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn integer_failures_shrink_to_the_boundary() {
+        // x < 10 fails for every x in [10, 100000): the minimized
+        // counterexample must be exactly the boundary 10.
+        let dir = std::env::temp_dir()
+            .join(format!("proptest_shrink_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_proptest(
+                &ProptestConfig::with_cases(50),
+                &manifest,
+                "src/demo.rs",
+                "shrinks_to_ten",
+                (0u64..100_000,),
+                |(x,)| {
+                    if x >= 10 {
+                        Err(TestCaseError::fail(format!("{x} too big")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = failure_message(outcome);
+        assert!(
+            msg.contains("minimal failing input") && msg.contains("(10,)"),
+            "expected the boundary counterexample, got:\n{msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vec_failures_shrink_by_truncation_and_elements() {
+        // "no vector containing a value >= 5" minimizes to [5] (single
+        // element, element itself at the boundary).
+        let dir = std::env::temp_dir()
+            .join(format!("proptest_shrinkv_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_proptest(
+                &ProptestConfig::with_cases(100),
+                &manifest,
+                "src/demo.rs",
+                "shrinks_vec",
+                (prop::collection::vec(0u32..1000, 0..12),),
+                |(v,)| {
+                    if v.iter().any(|&x| x >= 5) {
+                        Err(TestCaseError::fail("big element"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = failure_message(outcome);
+        assert!(
+            msg.contains("([5],)"),
+            "expected the minimal vector [5], got:\n{msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        // Failing iff a >= 3 && b >= 7: each component minimizes to its
+        // own boundary, giving (3, 7).
+        let dir = std::env::temp_dir()
+            .join(format!("proptest_shrinkt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_proptest(
+                &ProptestConfig::with_cases(200),
+                &manifest,
+                "src/demo.rs",
+                "shrinks_pair",
+                (0i32..1000, 0i32..1000),
+                |(a, b)| {
+                    if a >= 3 && b >= 7 {
+                        Err(TestCaseError::fail("both over boundary"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = failure_message(outcome);
+        assert!(
+            msg.contains("(3, 7)"),
+            "expected component-wise minimum (3, 7), got:\n{msg}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
