@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fppn_apps::{
-    fms_network, fms_wcet, random_workload, synthetic_task_graph, FmsVariant,
-    SyntheticGraphConfig, WorkloadConfig,
+    fms_network, fms_wcet, random_workload, synthetic_fppn, synthetic_task_graph, FmsVariant,
+    SyntheticFppnConfig, SyntheticGraphConfig, WorkloadConfig,
 };
 use fppn_sched::{list_schedule, Heuristic};
 use fppn_sim::{simulate_parallel, simulate_seq, SimConfig};
@@ -104,7 +104,71 @@ fn simulation_backend_sweep(c: &mut Criterion) {
                     })
                 },
             );
+            let sharded = SimConfig {
+                parallel_behaviors: true,
+                ..par
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("sharded{workers}"), frames),
+                &sharded,
+                |b, cfg| {
+                    b.iter(|| {
+                        simulate_parallel(&net, &bank, &stimuli, &derived, &schedule, cfg)
+                            .unwrap()
+                            .records
+                            .len()
+                    })
+                },
+            );
         }
+    }
+    g.finish();
+}
+
+/// The sharded data plane on the workload it exists for: behavior-heavy
+/// synthetic FPPNs whose generated kernels dominate the simulation.
+fn behavior_plane_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("behavior_plane");
+    g.sample_size(10);
+    let w = synthetic_fppn(&SyntheticFppnConfig {
+        shape: SyntheticGraphConfig {
+            jobs: 48,
+            depth: 6,
+            seed: 48,
+            ..SyntheticGraphConfig::default()
+        },
+        compute_iters: (5_000, 20_000),
+        ..SyntheticFppnConfig::default()
+    });
+    let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+    let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+    let stimuli = fppn_core::Stimuli::new();
+    let base = SimConfig {
+        frames: 4,
+        ..SimConfig::default()
+    };
+    g.bench_with_input(BenchmarkId::new("seq", 48), &base, |b, cfg| {
+        b.iter(|| {
+            simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, cfg)
+                .unwrap()
+                .records
+                .len()
+        })
+    });
+    for (label, parallel_behaviors) in [("par4_serialized", false), ("par4_sharded", true)] {
+        let cfg = SimConfig {
+            workers: 4,
+            parallel_behaviors,
+            ..base
+        };
+        g.bench_with_input(BenchmarkId::new(label, 48), &cfg, |b, cfg| {
+            b.iter(|| {
+                simulate_parallel(&w.net, &w.bank, &stimuli, &derived, &schedule, cfg)
+                    .unwrap()
+                    .records
+                    .len()
+            })
+        });
     }
     g.finish();
 }
@@ -114,6 +178,7 @@ criterion_group!(
     fms_hyperperiod_sweep,
     random_network_sweep,
     synthetic_graph_sweep,
-    simulation_backend_sweep
+    simulation_backend_sweep,
+    behavior_plane_sweep
 );
 criterion_main!(scalability);

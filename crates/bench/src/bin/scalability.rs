@@ -13,16 +13,21 @@
 //! * `--budget-ms MS` — wall-clock guard: exit non-zero if the whole run
 //!   exceeds `MS` milliseconds (default 0 = unlimited). An accidental
 //!   O(n²) regression blows straight through any sane budget.
-//! * `--workers N` — worker threads for the parallel simulation sweep
-//!   (default 4; `0` skips the simulation sweep entirely),
+//! * `--workers N` — worker threads for the parallel simulation sweeps
+//!   (default 4; `0` skips the simulation sweeps entirely),
 //! * `--sim-frames N` — schedule frames per simulation measurement
-//!   (default 8; the ~100k-round tier scales this ×4).
+//!   (default 8; the ~100k-round tier scales this ×4),
+//! * `--bench-json PATH` — where to write the machine-readable simulation
+//!   measurements (default `BENCH_sim.json`; future PRs diff this file to
+//!   track the perf trajectory).
 
-use std::time::Instant;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 use fppn_apps::{
-    fms_network, fms_sporadics, fms_wcet, random_workload, synthetic_task_graph, FmsVariant,
-    SyntheticGraphConfig, WorkloadConfig,
+    fms_network, fms_sporadics, fms_wcet, random_workload, synthetic_fppn,
+    synthetic_task_graph, FmsVariant, SyntheticFppnConfig, SyntheticGraphConfig,
+    WorkloadConfig,
 };
 use fppn_sched::{list_schedule, list_schedule_naive, Heuristic};
 use fppn_sim::{
@@ -30,6 +35,51 @@ use fppn_sim::{
 };
 use fppn_taskgraph::derive_task_graph;
 use fppn_time::TimeQ;
+
+/// One simulation measurement destined for `BENCH_sim.json`.
+struct BenchRecord {
+    name: String,
+    rounds: usize,
+    workers: usize,
+    seq: Duration,
+    par: Duration,
+    sharded: Option<Duration>,
+}
+
+/// Hand-rolled JSON (no serde in the offline container): a stable shape
+/// future PRs can parse to track the perf trajectory.
+fn write_bench_json(path: &str, records: &[BenchRecord]) {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"fppn-bench-sim/1\",");
+    let _ = writeln!(
+        out,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(out, "  \"benches\": [");
+    for (i, r) in records.iter().enumerate() {
+        let sharded = r
+            .sharded
+            .map_or("null".to_owned(), |d| format!("{:.6}", d.as_secs_f64() * 1e3));
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"rounds\": {}, \"workers\": {}, \
+             \"seq_ms\": {:.6}, \"par_ms\": {:.6}, \"sharded_ms\": {}}}",
+            r.name,
+            r.rounds,
+            r.workers,
+            r.seq.as_secs_f64() * 1e3,
+            r.par.as_secs_f64() * 1e3,
+            sharded,
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote {} simulation measurements to {path}", records.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
 
 fn measure(label: &str, net: &fppn_core::Fppn, wcet: &fppn_taskgraph::WcetModel) {
     let t0 = Instant::now();
@@ -77,7 +127,7 @@ fn fms_speedup_check() {
 /// Sequential-vs-parallel simulation wall-clock on multi-frame policy
 /// tables, with a bit-identity cross-check on every run (the parallel
 /// backend is only interesting if its output is *exactly* the oracle's).
-fn simulation_sweep(workers: usize, frames: u64) {
+fn simulation_sweep(workers: usize, frames: u64, records: &mut Vec<BenchRecord>) {
     println!("\nsimulation backends (seq vs {workers} workers, bit-identity checked):");
     let (net, bank, ids) = fms_network(FmsVariant::Original);
     let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
@@ -128,7 +178,105 @@ fn simulation_sweep(workers: usize, frames: u64) {
                 t_par,
                 t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
             );
+            records.push(BenchRecord {
+                name: format!("fms/frames{frames}/procs{m}"),
+                rounds: seq.records.len(),
+                workers,
+                seq: t_seq,
+                par: t_par,
+                sharded: None,
+            });
         }
+    }
+}
+
+/// The data-plane sweep: the behavior-heavy synthetic FPPN (generated
+/// compute kernels) under seq, parallel-with-serialized-behaviors, and the
+/// fully sharded backend — bit-identity checked on every run. This is
+/// where "Parallelize behavior execution" is measured: on the FMS-style
+/// workloads above, behaviors are a few integer folds and the data plane
+/// is noise; here it dominates.
+fn behavior_sweep(workers: usize, frames: u64, records: &mut Vec<BenchRecord>) {
+    println!(
+        "\nbehavior-heavy data plane (seq vs par vs sharded, {workers} workers, \
+         bit-identity checked):"
+    );
+    for (label, jobs, depth, iters) in [
+        ("synthetic 48p light", 48usize, 6usize, (500u32, 2_000u32)),
+        ("synthetic 48p heavy", 48, 6, (10_000, 40_000)),
+        ("synthetic 120p heavy", 120, 10, (10_000, 40_000)),
+    ] {
+        let w = synthetic_fppn(&SyntheticFppnConfig {
+            shape: SyntheticGraphConfig {
+                jobs,
+                depth,
+                seed: jobs as u64,
+                ..SyntheticGraphConfig::default()
+            },
+            compute_iters: iters,
+            ..SyntheticFppnConfig::default()
+        });
+        let derived = derive_task_graph(&w.net, &w.wcet).expect("derivable");
+        let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+        let stimuli = fppn_core::Stimuli::new();
+        let cfg = SimConfig {
+            frames,
+            ..SimConfig::default()
+        };
+        let t0 = Instant::now();
+        let seq = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &cfg)
+            .expect("sequential simulation");
+        let t_seq = t0.elapsed();
+        let t1 = Instant::now();
+        let par = simulate_parallel(
+            &w.net,
+            &w.bank,
+            &stimuli,
+            &derived,
+            &schedule,
+            &SimConfig { workers, ..cfg },
+        )
+        .expect("parallel simulation, serialized behaviors");
+        let t_par = t1.elapsed();
+        let t2 = Instant::now();
+        let sharded = simulate_parallel(
+            &w.net,
+            &w.bank,
+            &stimuli,
+            &derived,
+            &schedule,
+            &SimConfig {
+                workers,
+                parallel_behaviors: true,
+                ..cfg
+            },
+        )
+        .expect("parallel simulation, sharded behaviors");
+        let t_sharded = t2.elapsed();
+        assert_eq!(seq.records, par.records, "par records diverged");
+        assert_eq!(seq.observables, par.observables, "par observables diverged");
+        assert_eq!(seq.records, sharded.records, "sharded records diverged");
+        assert_eq!(
+            seq.observables, sharded.observables,
+            "sharded observables diverged"
+        );
+        println!(
+            "{label:<22} frames={frames:>3} | {:>6} rounds | seq {:>9.2?} | par {:>9.2?} | sharded {:>9.2?} | sharded vs seq {:.2}x, vs par {:.2}x",
+            seq.records.len(),
+            t_seq,
+            t_par,
+            t_sharded,
+            t_seq.as_secs_f64() / t_sharded.as_secs_f64().max(1e-9),
+            t_par.as_secs_f64() / t_sharded.as_secs_f64().max(1e-9),
+        );
+        records.push(BenchRecord {
+            name: format!("behavior-heavy/{}", label.replace(' ', "_")),
+            rounds: seq.records.len(),
+            workers,
+            seq: t_seq,
+            par: t_par,
+            sharded: Some(t_sharded),
+        });
     }
 }
 
@@ -171,8 +319,13 @@ fn main() {
     let mut budget_ms = 0u64;
     let mut workers = 4usize;
     let mut sim_frames = 8u64;
+    let mut bench_json = "BENCH_sim.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        if flag == "--bench-json" {
+            bench_json = args.next().expect("--bench-json needs a path argument");
+            continue;
+        }
         let mut grab = |name: &str| {
             args.next()
                 .and_then(|v| v.parse::<u64>().ok())
@@ -185,7 +338,7 @@ fn main() {
             "--sim-frames" => sim_frames = grab("--sim-frames").max(1),
             other => panic!(
                 "unknown flag {other}; known: --synthetic-jobs N, --budget-ms MS, \
-                 --workers N, --sim-frames N"
+                 --workers N, --sim-frames N, --bench-json PATH"
             ),
         }
     }
@@ -219,9 +372,12 @@ fn main() {
 
     synthetic_sweep(synthetic_jobs);
 
+    let mut records = Vec::new();
     if workers > 0 {
-        simulation_sweep(workers, sim_frames);
+        simulation_sweep(workers, sim_frames, &mut records);
+        behavior_sweep(workers, sim_frames.min(4), &mut records);
     }
+    write_bench_json(&bench_json, &records);
 
     let elapsed = wall.elapsed();
     println!("\ntotal wall time: {elapsed:.2?}");

@@ -50,17 +50,42 @@ impl Stimuli {
     }
 
     /// Sample `[k]` of an input port, if the stream is long enough.
+    ///
+    /// Convenience wrapper over [`Stimuli::input_sample_ref`] that clones
+    /// the sample; executors on the per-job hot path should prefer the
+    /// reference accessor and clone only when a value is actually consumed.
     pub fn input_sample(&self, pid: ProcessId, port: PortId, k: u64) -> Option<Value> {
+        self.input_sample_ref(pid, port, k).cloned()
+    }
+
+    /// Sample `[k]` of an input port by reference (no allocation), if the
+    /// stream is long enough.
+    pub fn input_sample_ref(&self, pid: ProcessId, port: PortId, k: u64) -> Option<&Value> {
         self.inputs
             .get(&(pid, port))
             .and_then(|s| s.get((k - 1) as usize))
-            .cloned()
     }
 
     /// The arrival trace registered for a sporadic process (empty trace if
     /// none was registered).
+    ///
+    /// Clones the whole trace; per-job/per-frame hot paths should use
+    /// [`Stimuli::arrivals_of`] instead.
     pub fn arrival_trace(&self, pid: ProcessId) -> SporadicTrace {
         self.arrivals.get(&pid).cloned().unwrap_or_default()
+    }
+
+    /// The arrival trace of a sporadic process by reference, if one was
+    /// registered.
+    pub fn arrivals_of(&self, pid: ProcessId) -> Option<&SporadicTrace> {
+        self.arrivals.get(&pid)
+    }
+
+    /// The arrival timestamps of a sporadic process (empty slice if no
+    /// trace was registered) — the allocation-free view used by the
+    /// resolution and clipping hot paths.
+    pub fn arrival_times(&self, pid: ProcessId) -> &[TimeQ] {
+        self.arrivals.get(&pid).map_or(&[], |t| t.arrivals())
     }
 
     /// Validates the stimuli against a network: arrival traces only for
@@ -275,7 +300,9 @@ impl DataAccess for AccessGuard<'_, '_> {
             "process {} read from undeclared input {port}",
             self.state.net.process(pid).name()
         );
-        let v = self.state.stimuli.input_sample(pid, port, k);
+        // Reference lookup: the clone happens once, only for a present
+        // sample, instead of once per call plus once per trace action.
+        let v = self.state.stimuli.input_sample_ref(pid, port, k).cloned();
         if self.state.trace.is_some() {
             self.state.current_actions.push(Action::ReadInput {
                 port,

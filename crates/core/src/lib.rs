@@ -60,6 +60,7 @@ pub mod lang;
 mod network;
 mod process;
 mod semantics;
+mod shard;
 mod trace;
 mod value;
 
@@ -74,5 +75,6 @@ pub use semantics::{
     invocations_by_time, linearization_ranks, run_zero_delay, Invocation, JobOrdering,
     SemanticsError, ZeroDelayRun,
 };
+pub use shard::{ProcessShard, SharedChannels, ShardedExec};
 pub use trace::{Action, JobRun, Observables, OutputLog, Trace};
 pub use value::Value;

@@ -98,9 +98,9 @@ pub fn invocations_by_time(
         let ev = net.process(pid).event();
         let times: Vec<TimeQ> = if ev.is_sporadic() {
             stimuli
-                .arrival_trace(pid)
-                .arrivals_in(TimeQ::ZERO, horizon)
-                .to_vec()
+                .arrivals_of(pid)
+                .map(|t| t.arrivals_in(TimeQ::ZERO, horizon).to_vec())
+                .unwrap_or_default()
         } else {
             ev.periodic_invocations(horizon)
         };

@@ -362,8 +362,7 @@ mod tests {
             if let Some(server) = derived.server(pid) {
                 let last = end - server.period;
                 let keep: Vec<TimeQ> = stimuli
-                    .arrival_trace(pid)
-                    .arrivals()
+                    .arrival_times(pid)
                     .iter()
                     .copied()
                     .filter(|&t| if server.priority_over_user { t <= last } else { t < last })

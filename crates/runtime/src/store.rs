@@ -106,7 +106,7 @@ impl DataAccess for StoreAccess<'_, '_> {
     }
 
     fn read_external(&mut self, pid: ProcessId, port: PortId, k: u64) -> Option<Value> {
-        self.store.stimuli.input_sample(pid, port, k)
+        self.store.stimuli.input_sample_ref(pid, port, k).cloned()
     }
 
     fn write_external(&mut self, pid: ProcessId, port: PortId, k: u64, value: Value) {

@@ -276,7 +276,10 @@ pub(crate) fn simulate_parallel_with(
     // Reject deadlocking schedules before any thread can block on them.
     engine.check_order()?;
     let m_procs = engine.m_procs;
-    // No point spinning up more workers than there are timelines.
+    // No point spinning up more workers than there are timelines. (The
+    // behavior-execution pool below is sized from the *requested* count:
+    // it shards per process, not per processor.)
+    let requested_workers = workers.max(1);
     let workers = workers.clamp(1, m_procs.max(1));
     let board = CompletionBoard::new(engine.frames, engine.n_jobs);
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<JobRecord>)>();
@@ -331,7 +334,12 @@ pub(crate) fn simulate_parallel_with(
     for recs in per_proc.into_iter() {
         records.extend(recs.expect("every processor timeline reported"));
     }
-    engine.finalize(net, bank, stimuli, records)
+    let behavior_workers = if config.resolved_parallel_behaviors() {
+        requested_workers
+    } else {
+        0
+    };
+    engine.finalize(net, bank, stimuli, records, behavior_workers)
 }
 
 #[cfg(test)]
@@ -440,15 +448,27 @@ mod tests {
                     overhead,
                     exec_time: exec,
                     workers: 1,
+                    parallel_behaviors: false,
                 };
                 let seq =
                     simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &config).unwrap();
                 for workers in [1usize, 2, 3, 8] {
-                    let par = simulate_parallel_with(
-                        &net, &bank, &stimuli, &derived, &schedule, &config, workers,
-                    )
-                    .unwrap();
-                    assert_bit_identical(&seq, &par);
+                    for parallel_behaviors in [false, true] {
+                        let par = simulate_parallel_with(
+                            &net,
+                            &bank,
+                            &stimuli,
+                            &derived,
+                            &schedule,
+                            &SimConfig {
+                                parallel_behaviors,
+                                ..config
+                            },
+                            workers,
+                        )
+                        .unwrap();
+                        assert_bit_identical(&seq, &par);
+                    }
                 }
             }
         }

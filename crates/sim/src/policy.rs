@@ -37,7 +37,7 @@ use std::fmt;
 
 use fppn_core::{
     BehaviorBank, ExecError, ExecState, Fppn, NetworkError, Observables, ProcessId,
-    Stimuli,
+    SharedChannels, Stimuli,
 };
 use fppn_taskgraph::{wrap_predecessors, DerivedTaskGraph, JobId, RoundResolution, TaskGraph};
 use fppn_sched::StaticSchedule;
@@ -61,6 +61,16 @@ pub struct SimConfig {
     /// the parallel backend with `n` workers. Every setting produces
     /// bit-identical results (Prop. 4.1 is the license to parallelize).
     pub workers: usize,
+    /// Shard the *data plane* too: when enabled (directly or through the
+    /// `FPPN_SIM_PAR_BEHAVIORS` environment variable), the parallel backend
+    /// executes process behaviors on the worker pool, rendezvousing on
+    /// per-process progress counters derived from the static
+    /// channel-dependency map, instead of funneling every `run_job` through
+    /// one sequential store. Output stays bit-identical to
+    /// [`simulate_seq`]; networks the sharded store cannot express
+    /// (bounded-capacity cross-process FIFOs) fall back to sequential
+    /// behavior execution automatically.
+    pub parallel_behaviors: bool,
 }
 
 impl SimConfig {
@@ -76,6 +86,17 @@ impl SimConfig {
             .filter(|&w| w >= 1)
             .unwrap_or(1)
     }
+
+    /// Whether behavior execution shards: the explicit field, or the
+    /// `FPPN_SIM_PAR_BEHAVIORS` environment variable (`1`/`true`) when the
+    /// field is unset — the hook the CI determinism job uses to force the
+    /// sharded data plane through the entire test-suite.
+    pub fn resolved_parallel_behaviors(&self) -> bool {
+        self.parallel_behaviors
+            || std::env::var("FPPN_SIM_PAR_BEHAVIORS")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false)
+    }
 }
 
 impl Default for SimConfig {
@@ -85,6 +106,7 @@ impl Default for SimConfig {
             overhead: OverheadModel::NONE,
             exec_time: ExecTimeModel::Wcet,
             workers: 0,
+            parallel_behaviors: false,
         }
     }
 }
@@ -210,9 +232,8 @@ pub fn clip_stimuli(
     for pid in net.process_ids() {
         if let Some(server) = derived.server(pid) {
             let last_subset = end - server.period;
-            let trace = stimuli.arrival_trace(pid);
-            let keep: Vec<TimeQ> = trace
-                .arrivals()
+            let keep: Vec<TimeQ> = stimuli
+                .arrival_times(pid)
                 .iter()
                 .copied()
                 .filter(|&t| {
@@ -467,8 +488,9 @@ impl<'a> RoundEngine<'a> {
         })
     }
 
-    /// Sorts the records canonically, runs the behaviors, renders the Gantt
-    /// and accumulates the statistics.
+    /// Sorts the records canonically, runs the behaviors (sequentially, or
+    /// sharded across `behavior_workers` threads when non-zero), renders
+    /// the Gantt and accumulates the statistics.
     ///
     /// The canonical order `(completion, frame, topological position)` is a
     /// *total* order on rounds (the topological position is unique per job
@@ -481,6 +503,7 @@ impl<'a> RoundEngine<'a> {
         bank: &BehaviorBank,
         stimuli: &Stimuli,
         mut records: Vec<JobRecord>,
+        behavior_workers: usize,
     ) -> Result<SimRun, SimError> {
         let topo_pos = {
             let order = self
@@ -498,16 +521,41 @@ impl<'a> RoundEngine<'a> {
         // measurably speeds up large multi-frame runs.
         records.sort_by_cached_key(|r| (r.completion, r.frame, topo_pos[r.job.index()]));
 
-        // Execute behaviors in the precedence-consistent canonical order.
-        let mut behaviors = bank.instantiate();
-        let mut state = ExecState::new(net, stimuli.clone());
+        // Global invocation counts are a pure function of the canonical
+        // order; assigning them up front lets the sharded executor know
+        // every job's identity before any behavior runs.
+        let mut counts = vec![0u64; net.process_count()];
         for rec in records.iter_mut() {
             if rec.skipped {
                 continue;
             }
-            let k = state.run_next_job(&mut behaviors, rec.process, rec.invoked_at)?;
-            rec.global_k = k;
+            let c = &mut counts[rec.process.index()];
+            *c += 1;
+            rec.global_k = *c;
         }
+
+        // Execute behaviors in the precedence-consistent canonical order:
+        // sharded over the worker pool when requested and expressible,
+        // else through the sequential store.
+        let observables = if behavior_workers > 0 && SharedChannels::supports(net) {
+            crate::behavior::run_behaviors_sharded(
+                net,
+                bank,
+                stimuli,
+                &records,
+                behavior_workers,
+            )?
+        } else {
+            let mut behaviors = bank.instantiate();
+            let mut state = ExecState::new(net, stimuli.clone());
+            for rec in &records {
+                if rec.skipped {
+                    continue;
+                }
+                state.run_job(&mut behaviors, rec.process, rec.global_k, rec.invoked_at)?;
+            }
+            state.observables()
+        };
 
         // Gantt: application rows + a runtime row when overhead is modeled.
         let overhead_row = (!self.overhead.is_none()) as usize;
@@ -558,7 +606,7 @@ impl<'a> RoundEngine<'a> {
         }
 
         Ok(SimRun {
-            observables: state.observables(),
+            observables,
             gantt,
             records,
             stats,
@@ -582,11 +630,22 @@ pub fn simulate(
     schedule: &StaticSchedule,
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
-    match config.resolved_workers() {
-        0 | 1 => simulate_seq(net, bank, stimuli, derived, schedule, config),
-        workers => crate::parallel::simulate_parallel_with(
-            net, bank, stimuli, derived, schedule, config, workers,
-        ),
+    let workers = config.resolved_workers();
+    // Behavior sharding routes through the parallel backend even at one
+    // worker: a 1-worker sharded run exercises the full rendezvous
+    // machinery, exactly like the 1-worker round backend.
+    if workers <= 1 && !config.resolved_parallel_behaviors() {
+        simulate_seq(net, bank, stimuli, derived, schedule, config)
+    } else {
+        crate::parallel::simulate_parallel_with(
+            net,
+            bank,
+            stimuli,
+            derived,
+            schedule,
+            config,
+            workers.max(1),
+        )
     }
 }
 
@@ -610,7 +669,8 @@ pub fn simulate_seq(
 ) -> Result<SimRun, SimError> {
     let engine = RoundEngine::new(net, stimuli, derived, schedule, config)?;
     let records = engine.compute_rounds_seq()?;
-    engine.finalize(net, bank, stimuli, records)
+    // The oracle never shards behaviors, whatever the config says.
+    engine.finalize(net, bank, stimuli, records, 0)
 }
 
 #[cfg(test)]

@@ -6,9 +6,14 @@
 //! per-round [`fppn_sim::JobRecord`]s (exact rational times, processors,
 //! ranks), the Gantt segments, the statistics, and the observables —
 //! across random workloads, sporadic densities, overhead models,
-//! exec-time models and worker counts.
+//! exec-time models and worker counts. Every parallel run is exercised
+//! twice: with behaviors replayed sequentially and with the **sharded data
+//! plane** (`parallel_behaviors`), which must also be bit-identical.
 
-use fppn_apps::{random_workload, WorkloadConfig};
+use fppn_apps::{
+    random_workload, synthetic_fppn, SyntheticFppnConfig, SyntheticGraphConfig, WorkloadConfig,
+};
+use fppn_core::Stimuli;
 use fppn_sched::{list_schedule, Heuristic};
 use fppn_sim::{
     clip_stimuli, random_stimuli, simulate, simulate_parallel, simulate_seq, ExecTimeModel,
@@ -53,30 +58,35 @@ fn check_workload(cfg: &WorkloadConfig, density: u32, frames: u64, workers: &[us
                 overhead,
                 exec_time: exec,
                 workers: 1,
+                parallel_behaviors: false,
             };
             let seq = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &config)
                 .expect("sequential oracle");
             for &workers in workers {
-                let par = simulate_parallel(
-                    &w.net,
-                    &w.bank,
-                    &stimuli,
-                    &derived,
-                    &schedule,
-                    &SimConfig {
-                        workers,
-                        ..config
-                    },
-                )
-                .expect("parallel backend");
-                assert_bit_identical(
-                    &seq,
-                    &par,
-                    &format!(
-                        "seed {} density {density} m {m} workers {workers} {exec:?} {overhead:?}",
-                        cfg.seed
-                    ),
-                );
+                for parallel_behaviors in [false, true] {
+                    let par = simulate_parallel(
+                        &w.net,
+                        &w.bank,
+                        &stimuli,
+                        &derived,
+                        &schedule,
+                        &SimConfig {
+                            workers,
+                            parallel_behaviors,
+                            ..config
+                        },
+                    )
+                    .expect("parallel backend");
+                    assert_bit_identical(
+                        &seq,
+                        &par,
+                        &format!(
+                            "seed {} density {density} m {m} workers {workers} \
+                             sharded-behaviors {parallel_behaviors} {exec:?} {overhead:?}",
+                            cfg.seed
+                        ),
+                    );
+                }
             }
         }
     }
@@ -108,6 +118,113 @@ fn parallel_matches_seq_at_extreme_densities() {
         };
         check_workload(&cfg, density, 2, &[2, 4]);
     }
+}
+
+/// The behavior-heavy synthetic FPPN — where the data plane dominates —
+/// across worker counts and shapes, sharded behaviors on.
+#[test]
+fn sharded_behaviors_match_seq_on_behavior_heavy_workloads() {
+    for (label, shape) in [
+        (
+            "layered",
+            SyntheticGraphConfig {
+                jobs: 30,
+                depth: 5,
+                seed: 11,
+                ..SyntheticGraphConfig::default()
+            },
+        ),
+        (
+            "fan-skewed",
+            SyntheticGraphConfig {
+                jobs: 24,
+                depth: 4,
+                max_fan_in: 4,
+                fan_skew_permille: 850,
+                seed: 12,
+                ..SyntheticGraphConfig::default()
+            },
+        ),
+    ] {
+        let w = synthetic_fppn(&SyntheticFppnConfig {
+            shape,
+            compute_iters: (20, 200),
+            ..SyntheticFppnConfig::default()
+        });
+        let derived = derive_task_graph(&w.net, &w.wcet).expect("derivable");
+        let frames = 3u64;
+        let config = SimConfig {
+            frames,
+            ..SimConfig::default()
+        };
+        for m in [1usize, 2, 4] {
+            let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+            let seq = simulate_seq(&w.net, &w.bank, &Stimuli::new(), &derived, &schedule, &config)
+                .expect("sequential oracle");
+            for workers in [1usize, 2, 4, 8] {
+                let par = simulate_parallel(
+                    &w.net,
+                    &w.bank,
+                    &Stimuli::new(),
+                    &derived,
+                    &schedule,
+                    &SimConfig {
+                        workers,
+                        parallel_behaviors: true,
+                        ..config
+                    },
+                )
+                .expect("sharded backend");
+                assert_bit_identical(&seq, &par, &format!("{label} m {m} workers {workers}"));
+            }
+        }
+    }
+}
+
+/// Bounded-capacity cross-process FIFOs cannot shard; the backend must
+/// fall back to sequential behavior execution, not panic or diverge.
+#[test]
+fn sharded_behaviors_fall_back_on_bounded_fifos() {
+    use fppn_core::{ChannelKind, ChannelSpec, EventSpec, FppnBuilder, JobCtx, ProcessSpec, Value};
+    let ms = TimeQ::from_ms;
+    let mut b = FppnBuilder::new();
+    let src = b.process(ProcessSpec::new("src", EventSpec::periodic(ms(100))));
+    let dst = b.process(ProcessSpec::new("dst", EventSpec::periodic(ms(100))));
+    let ch = b.channel_spec(
+        ChannelSpec::new("bounded", src, dst, ChannelKind::Fifo)
+            .with_capacity(std::num::NonZeroUsize::new(4).unwrap()),
+    );
+    b.priority(src, dst);
+    b.behavior(src, move || {
+        Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch, Value::Int(ctx.k() as i64)))
+    });
+    b.behavior(dst, move || {
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            let _ = ctx.read(ch);
+        })
+    });
+    let (net, bank) = b.build().unwrap();
+    let derived = derive_task_graph(&net, &fppn_taskgraph::WcetModel::uniform(ms(10))).unwrap();
+    let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+    let config = SimConfig {
+        frames: 4,
+        ..SimConfig::default()
+    };
+    let seq = simulate_seq(&net, &bank, &Stimuli::new(), &derived, &schedule, &config).unwrap();
+    let par = simulate_parallel(
+        &net,
+        &bank,
+        &Stimuli::new(),
+        &derived,
+        &schedule,
+        &SimConfig {
+            workers: 4,
+            parallel_behaviors: true,
+            ..config
+        },
+    )
+    .unwrap();
+    assert_bit_identical(&seq, &par, "bounded-fifo fallback");
 }
 
 #[test]
@@ -190,19 +307,21 @@ proptest! {
         let seq = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &config)
             .unwrap();
         for workers in [2usize, 4, 8] {
-            let par = simulate_parallel(
-                &w.net,
-                &w.bank,
-                &stimuli,
-                &derived,
-                &schedule,
-                &SimConfig { workers, ..config },
-            )
-            .unwrap();
-            prop_assert_eq!(&seq.records, &par.records);
-            prop_assert_eq!(&seq.observables, &par.observables);
-            prop_assert_eq!(&seq.gantt, &par.gantt);
-            prop_assert_eq!(&seq.stats, &par.stats);
+            for parallel_behaviors in [false, true] {
+                let par = simulate_parallel(
+                    &w.net,
+                    &w.bank,
+                    &stimuli,
+                    &derived,
+                    &schedule,
+                    &SimConfig { workers, parallel_behaviors, ..config },
+                )
+                .unwrap();
+                prop_assert_eq!(&seq.records, &par.records);
+                prop_assert_eq!(&seq.observables, &par.observables);
+                prop_assert_eq!(&seq.gantt, &par.gantt);
+                prop_assert_eq!(&seq.stats, &par.stats);
+            }
         }
     }
 }

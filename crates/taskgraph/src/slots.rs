@@ -57,7 +57,7 @@ impl RoundResolution {
         for pid in net.process_ids() {
             if let Some(server) = derived.server(pid) {
                 let mut map: BTreeMap<i128, Vec<TimeQ>> = BTreeMap::new();
-                for &t in stimuli.arrival_trace(pid).arrivals() {
+                for &t in stimuli.arrival_times(pid) {
                     let q = t / server.period;
                     let subset = if server.priority_over_user {
                         q.ceil()

@@ -3,11 +3,19 @@
 //! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`
 //! and `iter_batched`.
 //!
-//! It is a timing harness, not a statistics engine: each benchmark runs a
-//! small fixed number of timed iterations (after one warm-up) and reports
-//! the mean wall-clock time per iteration, so `cargo bench` remains fast
-//! and dependency-free. The `CRITERION_SHIM_ITERS` environment variable
-//! overrides the iteration count.
+//! It is a lightweight timing harness with warm-up calibration and robust
+//! summary statistics, so `cargo bench` remains fast and dependency-free:
+//!
+//! * **Warm-up calibration** — one untimed warm-up run is measured and the
+//!   iteration count is sized so each benchmark spends roughly
+//!   `CRITERION_SHIM_TARGET_MS` (default 200 ms) on the clock, clamped to
+//!   `[3, 50]` iterations. `CRITERION_SHIM_ITERS` overrides the count
+//!   outright (CI uses `1` for smoke runs).
+//! * **Robust reporting** — per-iteration samples are kept; the report is
+//!   the **median**, plus a mean over the samples surviving Tukey-fence
+//!   outlier rejection (beyond `1.5 × IQR` from the quartiles), with the
+//!   rejected count shown. A cold first iteration or a scheduler blip no
+//!   longer skews the number.
 
 #![forbid(unsafe_code)]
 
@@ -16,11 +24,31 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-fn shim_iters() -> u64 {
+/// Explicit iteration-count override (absent = calibrate from the warm-up).
+fn shim_iters_override() -> Option<u64> {
     std::env::var("CRITERION_SHIM_ITERS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(5)
+        .filter(|&n: &u64| n >= 1)
+}
+
+/// Per-benchmark time budget the calibration aims for.
+fn shim_target() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+/// Iterations to run after a warm-up that took `warm_up`: fill the target
+/// budget, clamped to `[3, 50]` so statistics exist but runs stay bounded.
+fn calibrated_iters(warm_up: Duration) -> u64 {
+    if let Some(n) = shim_iters_override() {
+        return n;
+    }
+    let per_iter = warm_up.max(Duration::from_nanos(1));
+    (shim_target().as_nanos() / per_iter.as_nanos()).clamp(3, 50) as u64
 }
 
 /// The benchmark manager handed to `criterion_group!` targets.
@@ -91,41 +119,96 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut bencher = Bencher {
-        elapsed: Duration::ZERO,
-        iters: 0,
-    };
-    f(&mut bencher);
-    let mean = if bencher.iters > 0 {
-        bencher.elapsed / bencher.iters as u32
-    } else {
-        Duration::ZERO
-    };
-    println!("  {label}: {mean:?}/iter over {} iters", bencher.iters);
+/// Robust summary of one benchmark's per-iteration samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Mean over the samples surviving outlier rejection.
+    pub trimmed_mean: Duration,
+    /// Total samples collected.
+    pub samples: usize,
+    /// Samples rejected by the Tukey fences.
+    pub outliers: usize,
 }
 
-/// Timer handle passed to benchmark closures.
+impl SampleStats {
+    /// Summarizes samples: median, plus a mean over everything within the
+    /// Tukey fences `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`. Empty input yields
+    /// zeros.
+    pub fn from_samples(samples: &[Duration]) -> SampleStats {
+        if samples.is_empty() {
+            return SampleStats {
+                median: Duration::ZERO,
+                trimmed_mean: Duration::ZERO,
+                samples: 0,
+                outliers: 0,
+            };
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+        };
+        // Nearest-rank quartiles are robust enough at bench sample sizes.
+        let q1 = sorted[(n - 1) / 4];
+        let q3 = sorted[(3 * (n - 1)) / 4];
+        let iqr = q3.saturating_sub(q1);
+        let lo = q1.saturating_sub(iqr * 3 / 2);
+        let hi = q3 + iqr * 3 / 2;
+        let kept: Vec<Duration> = sorted
+            .iter()
+            .copied()
+            .filter(|&s| s >= lo && s <= hi)
+            .collect();
+        let trimmed_mean =
+            kept.iter().sum::<Duration>() / (kept.len().max(1) as u32);
+        SampleStats {
+            median,
+            trimmed_mean,
+            samples: n,
+            outliers: n - kept.len(),
+        }
+    }
+}
+
+fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let stats = SampleStats::from_samples(&bencher.samples);
+    println!(
+        "  {label}: median {:?}/iter (trimmed mean {:?}, {} iters, {} outliers rejected)",
+        stats.median, stats.trimmed_mean, stats.samples, stats.outliers
+    );
+}
+
+/// Timer handle passed to benchmark closures; collects one timing sample
+/// per iteration so the report can use robust statistics.
 #[derive(Debug)]
 pub struct Bencher {
-    elapsed: Duration,
-    iters: u64,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times repeated calls of `routine`.
+    /// Times repeated calls of `routine`; the measured warm-up run sizes
+    /// the iteration count (see the crate docs).
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,
     {
-        black_box(routine()); // warm-up, untimed
-        let iters = shim_iters();
-        let start = Instant::now();
+        let warm_start = Instant::now();
+        black_box(routine()); // warm-up: untimed, but calibrates
+        let iters = calibrated_iters(warm_start.elapsed());
         for _ in 0..iters {
+            let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed());
         }
-        self.elapsed += start.elapsed();
-        self.iters += iters;
     }
 
     /// Times `routine` over fresh inputs from `setup`; only `routine` is
@@ -135,15 +218,16 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        black_box(routine(setup())); // warm-up, untimed
-        let iters = shim_iters();
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input)); // warm-up: untimed, but calibrates
+        let iters = calibrated_iters(warm_start.elapsed());
         for _ in 0..iters {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            self.elapsed += start.elapsed();
+            self.samples.push(start.elapsed());
         }
-        self.iters += iters;
     }
 }
 
@@ -219,4 +303,73 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        let odd = SampleStats::from_samples(&[ms(3), ms(1), ms(2)]);
+        assert_eq!(odd.median, ms(2));
+        let even = SampleStats::from_samples(&[ms(1), ms(2), ms(4), ms(3)]);
+        assert_eq!(even.median, ms(2) + Duration::from_micros(500));
+    }
+
+    #[test]
+    fn tukey_fences_reject_the_cold_outlier() {
+        // Nine tight samples plus one 100x cold run: the median and the
+        // trimmed mean must sit at the tight cluster.
+        let mut samples = vec![ms(10); 9];
+        samples.push(ms(1000));
+        let stats = SampleStats::from_samples(&samples);
+        assert_eq!(stats.median, ms(10));
+        assert_eq!(stats.outliers, 1);
+        assert_eq!(stats.trimmed_mean, ms(10));
+        // Without rejection the mean would be 109 ms.
+    }
+
+    #[test]
+    fn uniform_samples_reject_nothing() {
+        let stats = SampleStats::from_samples(&[ms(5), ms(6), ms(5), ms(7), ms(6)]);
+        assert_eq!(stats.outliers, 0);
+        assert_eq!(stats.samples, 5);
+    }
+
+    #[test]
+    fn empty_samples_are_all_zero() {
+        let stats = SampleStats::from_samples(&[]);
+        assert_eq!(stats.median, Duration::ZERO);
+        assert_eq!(stats.samples, 0);
+    }
+
+    #[test]
+    fn calibration_fills_the_target_budget_within_clamps() {
+        // 10 ms warm-up against a 200 ms default target => 20 iterations;
+        // a huge warm-up clamps to the 3-iteration floor, a tiny one to
+        // the 50-iteration ceiling. (Skip under an explicit override.)
+        if shim_iters_override().is_some() {
+            return;
+        }
+        assert_eq!(calibrated_iters(ms(10)), (shim_target().as_millis() as u64 / 10).clamp(3, 50));
+        assert_eq!(calibrated_iters(Duration::from_secs(60)), 3);
+        assert_eq!(calibrated_iters(Duration::from_nanos(1)), 50);
+    }
+
+    #[test]
+    fn bencher_collects_one_sample_per_iteration() {
+        let mut b = Bencher { samples: Vec::new() };
+        b.iter(|| black_box(1 + 1));
+        match shim_iters_override() {
+            Some(n) => assert_eq!(b.samples.len() as u64, n),
+            // The count comes from the *measured* warm-up, so only the
+            // calibration clamps are timing-independent.
+            None => assert!((3..=50).contains(&(b.samples.len() as u64))),
+        }
+    }
 }

@@ -4,17 +4,20 @@
 //! Implemented: the [`proptest!`] macro (with `#![proptest_config(..)]`),
 //! integer-range / tuple / [`any`] / [`collection::vec`] strategies,
 //! [`Strategy::prop_map`], `prop_assert!` / `prop_assert_eq!`, a
-//! deterministic runner, and **greedy shrinking** on integer, tuple and
-//! vector strategies.
+//! deterministic runner, and **greedy shrinking** on integer, tuple,
+//! vector and [`Strategy::prop_map`]ped strategies.
 //!
 //! Differences from real proptest, by design:
 //!
-//! * **Simple shrinking.** On failure, integer strategies shrink by
-//!   halving toward the range start (or zero for [`any`]), vectors by
-//!   truncation plus element shrinking, tuples component-wise. The
-//!   minimized counterexample is printed alongside the reproducing seed.
-//!   [`Strategy::prop_map`]ped strategies do not shrink through the map
-//!   (the shim keeps no value trees); their values pass through verbatim.
+//! * **Simple shrinking over a minimal value tree.** Every strategy
+//!   separates its *source* (the shrinkable seed-side representation,
+//!   [`Strategy::Source`]) from the value handed to the test, so mapped
+//!   strategies shrink **through the map**: the source is perturbed and
+//!   re-mapped, exactly like real proptest's value trees (minus laziness).
+//!   Integer sources shrink by halving toward the range start (or zero for
+//!   [`any`]), vectors by truncation plus element shrinking, tuples
+//!   component-wise. The minimized counterexample is printed alongside the
+//!   reproducing seed.
 //! * **Deterministic by default.** The base seed is a stable hash of the
 //!   test's source file and name, so every run and every CI machine
 //!   explores the same cases. `PROPTEST_RNG_SEED` overrides the base seed
@@ -74,26 +77,43 @@ impl TestRng {
     }
 }
 
-/// A generator of test-case values (proptest's core trait, with a
-/// simplified candidate-list shrinker instead of value trees).
+/// A generator of test-case values (proptest's core trait, with a minimal
+/// value tree: an explicit shrinkable *source* per strategy instead of
+/// lazily-branching trees).
 pub trait Strategy {
     /// The type of values this strategy produces.
     type Value;
 
-    /// Draws one value.
-    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    /// The seed-side representation generation draws and shrinking
+    /// perturbs. For base strategies this is the value itself; adaptors
+    /// like [`Strategy::prop_map`] reuse the underlying strategy's source,
+    /// which is what lets them shrink through the mapping function.
+    type Source: Clone;
 
-    /// Proposes simpler variants of a failing `value`, simplest first.
-    /// The runner greedily adopts the first variant that still fails and
-    /// repeats until no candidate fails (or a step budget runs out).
-    fn shrink_value(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let _ = value;
+    /// Draws one source (consuming exactly the random bits the produced
+    /// value needs, so seeds stay reproducible across shim versions).
+    fn new_source(&self, rng: &mut TestRng) -> Self::Source;
+
+    /// Materializes the value a source currently represents.
+    fn current(&self, source: &Self::Source) -> Self::Value;
+
+    /// Proposes simpler variants of a failing source, simplest first.
+    /// The runner greedily adopts the first variant whose value still
+    /// fails and repeats until none fails (or a step budget runs out).
+    fn shrink_source(&self, source: &Self::Source) -> Vec<Self::Source> {
+        let _ = source;
         Vec::new()
     }
 
-    /// Maps generated values through `f`.
-    ///
-    /// Mapped strategies do not shrink (the shim keeps no source trees).
+    /// Draws one value (the source is discarded; the runner keeps it to
+    /// shrink failures).
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let source = self.new_source(rng);
+        self.current(&source)
+    }
+
+    /// Maps generated values through `f`. Shrinking perturbs the source
+    /// strategy's source and re-applies `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -105,11 +125,15 @@ pub trait Strategy {
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
-    fn new_value(&self, rng: &mut TestRng) -> S::Value {
-        (**self).new_value(rng)
+    type Source = S::Source;
+    fn new_source(&self, rng: &mut TestRng) -> S::Source {
+        (**self).new_source(rng)
     }
-    fn shrink_value(&self, value: &S::Value) -> Vec<S::Value> {
-        (**self).shrink_value(value)
+    fn current(&self, source: &S::Source) -> S::Value {
+        (**self).current(source)
+    }
+    fn shrink_source(&self, source: &S::Source) -> Vec<S::Source> {
+        (**self).shrink_source(source)
     }
 }
 
@@ -126,8 +150,15 @@ where
     F: Fn(S::Value) -> O,
 {
     type Value = O;
-    fn new_value(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.source.new_value(rng))
+    type Source = S::Source;
+    fn new_source(&self, rng: &mut TestRng) -> S::Source {
+        self.source.new_source(rng)
+    }
+    fn current(&self, source: &S::Source) -> O {
+        (self.f)(self.source.current(source))
+    }
+    fn shrink_source(&self, source: &S::Source) -> Vec<S::Source> {
+        self.source.shrink_source(source)
     }
 }
 
@@ -137,7 +168,9 @@ pub struct Just<T: Clone>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
-    fn new_value(&self, _rng: &mut TestRng) -> T {
+    type Source = ();
+    fn new_source(&self, _rng: &mut TestRng) -> Self::Source {}
+    fn current(&self, _source: &Self::Source) -> T {
         self.0.clone()
     }
 }
@@ -145,21 +178,27 @@ impl<T: Clone> Strategy for Just<T> {
 /// The empty-tuple strategy (zero-argument property tests).
 impl Strategy for () {
     type Value = ();
-    fn new_value(&self, _rng: &mut TestRng) {}
+    type Source = ();
+    fn new_source(&self, _rng: &mut TestRng) -> Self::Source {}
+    fn current(&self, _source: &Self::Source) -> Self::Value {}
 }
 
 macro_rules! int_range_strategy {
     ($($t:ty => $wide:ty),* $(,)?) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
-            fn new_value(&self, rng: &mut TestRng) -> $t {
+            type Source = $t;
+            fn new_source(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
                 let r = rng.next_u128() % span;
                 ((self.start as $wide).wrapping_add(r as $wide)) as $t
             }
-            fn shrink_value(&self, value: &$t) -> Vec<$t> {
-                shrink_int_toward(*value as $wide, self.start as $wide)
+            fn current(&self, source: &$t) -> $t {
+                *source
+            }
+            fn shrink_source(&self, source: &$t) -> Vec<$t> {
+                shrink_int_toward(*source as $wide, self.start as $wide)
                     .into_iter()
                     .map(|v| v as $t)
                     .collect()
@@ -167,7 +206,8 @@ macro_rules! int_range_strategy {
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
-            fn new_value(&self, rng: &mut TestRng) -> $t {
+            type Source = $t;
+            fn new_source(&self, rng: &mut TestRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");
                 let span = (hi as $wide).wrapping_sub(lo as $wide) as u128;
@@ -177,8 +217,11 @@ macro_rules! int_range_strategy {
                 let r = rng.next_u128() % (span + 1);
                 ((lo as $wide).wrapping_add(r as $wide)) as $t
             }
-            fn shrink_value(&self, value: &$t) -> Vec<$t> {
-                shrink_int_toward(*value as $wide, *self.start() as $wide)
+            fn current(&self, source: &$t) -> $t {
+                *source
+            }
+            fn shrink_source(&self, source: &$t) -> Vec<$t> {
+                shrink_int_toward(*source as $wide, *self.start() as $wide)
                     .into_iter()
                     .map(|v| v as $t)
                     .collect()
@@ -287,13 +330,17 @@ impl<T> Clone for Any<T> {
     }
 }
 
-impl<T: Arbitrary> Strategy for Any<T> {
+impl<T: Arbitrary + Clone> Strategy for Any<T> {
     type Value = T;
-    fn new_value(&self, rng: &mut TestRng) -> T {
+    type Source = T;
+    fn new_source(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
-    fn shrink_value(&self, value: &T) -> Vec<T> {
-        T::shrink(value)
+    fn current(&self, source: &T) -> T {
+        source.clone()
+    }
+    fn shrink_source(&self, source: &T) -> Vec<T> {
+        T::shrink(source)
     }
 }
 
@@ -309,14 +356,18 @@ macro_rules! tuple_strategy {
             $($name::Value: Clone),+
         {
             type Value = ($($name::Value,)+);
-            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
-                ($(self.$idx.new_value(rng),)+)
+            type Source = ($($name::Source,)+);
+            fn new_source(&self, rng: &mut TestRng) -> Self::Source {
+                ($(self.$idx.new_source(rng),)+)
             }
-            fn shrink_value(&self, value: &Self::Value) -> Vec<Self::Value> {
+            fn current(&self, source: &Self::Source) -> Self::Value {
+                ($(self.$idx.current(&source.$idx),)+)
+            }
+            fn shrink_source(&self, source: &Self::Source) -> Vec<Self::Source> {
                 let mut out = Vec::new();
                 $(
-                    for cand in self.$idx.shrink_value(&value.$idx) {
-                        let mut t = value.clone();
+                    for cand in self.$idx.shrink_source(&source.$idx) {
+                        let mut t = source.clone();
                         t.$idx = cand;
                         out.push(t);
                     }
@@ -396,30 +447,34 @@ pub mod collection {
         S::Value: Clone,
     {
         type Value = Vec<S::Value>;
-        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        type Source = Vec<S::Source>;
+        fn new_source(&self, rng: &mut TestRng) -> Vec<S::Source> {
             let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
             let len = self.size.lo + (rng.next_u64() % span) as usize;
-            (0..len).map(|_| self.element.new_value(rng)).collect()
+            (0..len).map(|_| self.element.new_source(rng)).collect()
         }
-        fn shrink_value(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        fn current(&self, source: &Vec<S::Source>) -> Vec<S::Value> {
+            source.iter().map(|s| self.element.current(s)).collect()
+        }
+        fn shrink_source(&self, source: &Vec<S::Source>) -> Vec<Vec<S::Source>> {
             let lo = self.size.lo;
-            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            let mut out: Vec<Vec<S::Source>> = Vec::new();
             // Length shrinking: minimal prefix, half prefix, drop-last.
-            if value.len() > lo {
-                out.push(value[..lo].to_vec());
-                let half = lo.max(value.len() / 2);
-                if half > lo && half < value.len() {
-                    out.push(value[..half].to_vec());
+            if source.len() > lo {
+                out.push(source[..lo].to_vec());
+                let half = lo.max(source.len() / 2);
+                if half > lo && half < source.len() {
+                    out.push(source[..half].to_vec());
                 }
-                if value.len() - 1 > half {
-                    out.push(value[..value.len() - 1].to_vec());
+                if source.len() - 1 > half {
+                    out.push(source[..source.len() - 1].to_vec());
                 }
             }
             // Element shrinking: every candidate at each position (the
             // greedy runner adopts the first that still fails).
-            for (i, v) in value.iter().enumerate() {
-                for cand in self.element.shrink_value(v) {
-                    let mut w = value.clone();
+            for (i, s) in source.iter().enumerate() {
+                for cand in self.element.shrink_source(s) {
+                    let mut w = source.clone();
                     w[i] = cand;
                     out.push(w);
                 }
@@ -558,29 +613,30 @@ where
     }
 }
 
-/// Greedily minimizes a failing `value`: adopt the first shrink candidate
-/// that still fails, repeat until none fails or the budget runs out.
+/// Greedily minimizes a failing source: adopt the first shrink candidate
+/// whose (re-mapped) value still fails, repeat until none fails or the
+/// budget runs out. Operating on sources rather than values is what lets
+/// `prop_map`ped strategies minimize.
 fn shrink_failure<S, F>(
     strategy: &S,
     case: &mut F,
-    mut value: S::Value,
+    mut source: S::Source,
     mut message: String,
-) -> (S::Value, String, usize)
+) -> (S::Source, String, usize)
 where
     S: Strategy,
-    S::Value: Clone,
     F: FnMut(S::Value) -> Result<(), TestCaseError>,
 {
     let mut evals = 0usize;
     let mut steps = 0usize;
     'outer: loop {
-        for cand in strategy.shrink_value(&value) {
+        for cand in strategy.shrink_source(&source) {
             if evals >= SHRINK_EVAL_BUDGET {
                 break 'outer;
             }
             evals += 1;
-            if let Some(msg) = run_case(case, cand.clone()) {
-                value = cand;
+            if let Some(msg) = run_case(case, strategy.current(&cand)) {
+                source = cand;
                 message = msg;
                 steps += 1;
                 continue 'outer;
@@ -588,7 +644,7 @@ where
         }
         break;
     }
-    (value, message, steps)
+    (source, message, steps)
 }
 
 /// Executes one property test: replays persisted regression seeds, then
@@ -614,12 +670,13 @@ pub fn run_proptest<S, F>(
 {
     let run_one = |case: &mut F, seed: u64, origin: &str, persist: bool| {
         let mut rng = TestRng::from_seed(seed);
-        let value = strategy.new_value(&mut rng);
-        if let Some(msg) = run_case(case, value.clone()) {
+        let source = strategy.new_source(&mut rng);
+        if let Some(msg) = run_case(case, strategy.current(&source)) {
             if persist {
                 persist_regression(manifest_dir, source_file, test_name, seed);
             }
-            let (min_value, min_msg, steps) = shrink_failure(&strategy, case, value, msg);
+            let (min_source, min_msg, steps) = shrink_failure(&strategy, case, source, msg);
+            let min_value = strategy.current(&min_source);
             panic!(
                 "proptest case failed ({origin}, seed {seed}): {min_msg}\n\
                  minimal failing input ({steps} shrink steps): {min_value:?}\n\
@@ -863,6 +920,76 @@ mod tests {
         assert!(
             msg.contains("([5],)"),
             "expected the minimal vector [5], got:\n{msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mapped_failures_shrink_through_the_map() {
+        // The strategy maps x -> 2x + 1; the property fails iff the mapped
+        // value is >= 21, i.e. iff the *source* x >= 10. Shrinking must
+        // perturb the source and re-map, minimizing to exactly 21 — the
+        // value-tree behavior the old shim lacked (it reported the
+        // original unshrunk failure).
+        let dir = std::env::temp_dir()
+            .join(format!("proptest_shrinkm_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_proptest(
+                &ProptestConfig::with_cases(50),
+                &manifest,
+                "src/demo.rs",
+                "shrinks_mapped",
+                ((0u64..100_000).prop_map(|x| 2 * x + 1),),
+                |(v,)| {
+                    if v >= 21 {
+                        Err(TestCaseError::fail(format!("{v} too big")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = failure_message(outcome);
+        assert!(
+            msg.contains("minimal failing input") && msg.contains("(21,)"),
+            "expected the mapped boundary counterexample 21, got:\n{msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mapped_vec_failures_shrink_elements_through_the_map() {
+        // vec<0..1000> mapped to its sum: "sum < 50" minimizes to a
+        // single-element vector summing to exactly 50.
+        let dir = std::env::temp_dir()
+            .join(format!("proptest_shrinkmv_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_string_lossy().into_owned();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_proptest(
+                &ProptestConfig::with_cases(100),
+                &manifest,
+                "src/demo.rs",
+                "shrinks_mapped_vec",
+                (prop::collection::vec(0u32..1000, 0..10)
+                    .prop_map(|v| v.iter().sum::<u32>()),),
+                |(sum,)| {
+                    if sum >= 50 {
+                        Err(TestCaseError::fail("sum too big"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = failure_message(outcome);
+        assert!(
+            msg.contains("(50,)"),
+            "expected the minimal mapped sum 50, got:\n{msg}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
