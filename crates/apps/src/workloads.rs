@@ -9,8 +9,8 @@
 //! backends.
 
 use fppn_core::{
-    BehaviorBank, ChannelId, ChannelKind, EventSpec, Fppn, FppnBuilder, JobCtx, ProcessId,
-    ProcessSpec, Value,
+    BehaviorBank, ChannelId, ChannelKind, EventSpec, Fppn, FppnBuilder, JobCtx, PortId,
+    ProcessId, ProcessSpec, Value,
 };
 use fppn_taskgraph::{Job, JobId, TaskGraph, WcetModel};
 use fppn_time::TimeQ;
@@ -374,6 +374,27 @@ pub struct SyntheticFppnConfig {
     /// The common period (ms) of every process — one frame per period, so
     /// every process contributes exactly one job per hyperperiod.
     pub period_ms: i64,
+    /// Number of **sporadic configurator** processes: each is attached to
+    /// a random layer process through a blackboard (scaling that target's
+    /// kernel state), with a random burst/period drawn from the two ranges
+    /// below — so behavior-heavy sweeps also exercise the sporadic→server
+    /// transformation, slot windows and false-slot skipping. Configurators
+    /// carry an external input port: each executed slot folds one stimulus
+    /// sample into its write. `0` (the default) generates the exact same
+    /// network as before the knob existed.
+    pub sporadic: usize,
+    /// Burst (`m` of the sporadic `(m, T)` constraint) range, inclusive,
+    /// sampled per configurator.
+    pub sporadic_burst: (u32, u32),
+    /// Server-period multiplier range, inclusive: a configurator's period
+    /// is `period_ms · mult` (the hyperperiod grows to `period_ms ·
+    /// lcm(mults)`, so layer processes run several jobs per frame).
+    pub sporadic_period_mult: (i64, i64),
+    /// Probability (‰) that a layer process declares an **external input
+    /// port** whose per-job samples fold into its kernel state — the
+    /// streaming-stimuli analogue of the sporadic knob. Values above 1000
+    /// are clamped. `0` (the default) changes nothing.
+    pub input_permille: u32,
 }
 
 impl Default for SyntheticFppnConfig {
@@ -387,6 +408,10 @@ impl Default for SyntheticFppnConfig {
             compute_iters: (500, 4000),
             fifo_permille: 500,
             period_ms: 100,
+            sporadic: 0,
+            sporadic_burst: (1, 3),
+            sporadic_period_mult: (2, 4),
+            input_permille: 0,
         }
     }
 }
@@ -415,7 +440,8 @@ pub fn mix64(mut z: u64) -> u64 {
 /// # Panics
 ///
 /// Panics (with the offending field named) on the same shape violations as
-/// [`synthetic_task_graph`], or if `compute_iters` is inverted.
+/// [`synthetic_task_graph`], or if `compute_iters`, `sporadic_burst` or
+/// `sporadic_period_mult` is inverted (or the latter's lower bound < 1).
 pub fn synthetic_fppn(cfg: &SyntheticFppnConfig) -> Workload {
     let shape = &cfg.shape;
     assert!(shape.jobs > 0, "need at least one process");
@@ -439,19 +465,44 @@ pub fn synthetic_fppn(cfg: &SyntheticFppnConfig) -> Workload {
         shape.wcet_range_ms.0,
         shape.wcet_range_ms.1
     );
+    assert!(
+        cfg.sporadic_burst.0 >= 1 && cfg.sporadic_burst.0 <= cfg.sporadic_burst.1,
+        "sporadic_burst must be ordered with lo >= 1, got ({}, {})",
+        cfg.sporadic_burst.0,
+        cfg.sporadic_burst.1
+    );
+    assert!(
+        cfg.sporadic_period_mult.0 >= 1
+            && cfg.sporadic_period_mult.0 <= cfg.sporadic_period_mult.1,
+        "sporadic_period_mult must be ordered with lo >= 1, got ({}, {})",
+        cfg.sporadic_period_mult.0,
+        cfg.sporadic_period_mult.1
+    );
     let skew = shape.fan_skew_permille.min(1000);
     let fifo = cfg.fifo_permille.min(1000);
+    let input_permille = cfg.input_permille.min(1000);
     let ms = TimeQ::from_ms;
     let mut rng = StdRng::seed_from_u64(shape.seed);
+    // The stimulus features (inputs, sporadic configurators) draw from an
+    // independently derived stream, so enabling them never reshuffles the
+    // base topology — a seed's layered network is stable across the knobs.
+    let mut stim_rng = StdRng::seed_from_u64(mix64(shape.seed ^ 0x5710_CF6E_57A7_5EED));
     let mut b = FppnBuilder::new();
 
     let n = shape.jobs;
+    let has_input: Vec<bool> = (0..n)
+        .map(|_| input_permille > 0 && stim_rng.gen_range(0u32..1000) < input_permille)
+        .collect();
     let processes: Vec<ProcessId> = (0..n)
         .map(|i| {
-            b.process(ProcessSpec::new(
+            let mut spec = ProcessSpec::new(
                 format!("p{i}"),
                 EventSpec::periodic(ms(cfg.period_ms)),
-            ))
+            );
+            if has_input[i] {
+                spec = spec.with_input("in");
+            }
+            b.process(spec)
         })
         .collect();
 
@@ -500,18 +551,69 @@ pub fn synthetic_fppn(cfg: &SyntheticFppnConfig) -> Workload {
         }
     }
 
-    // Generated behaviors: fold reads, burn the kernel, write everywhere.
+    // Sporadic configurators: one blackboard into a random layer process,
+    // burst/period from the stimulus ranges, an external input port whose
+    // sample folds into every executed slot's write — the server-slot
+    // machinery (windows, false slots, input consumption) under a
+    // behavior-heavy load.
+    for s in 0..cfg.sporadic {
+        let target = stim_rng.gen_range(0..n);
+        let burst = stim_rng.gen_range(cfg.sporadic_burst.0..=cfg.sporadic_burst.1);
+        let mult =
+            stim_rng.gen_range(cfg.sporadic_period_mult.0..=cfg.sporadic_period_mult.1);
+        let sp = b.process(
+            ProcessSpec::new(
+                format!("cfg{s}"),
+                EventSpec::sporadic(burst, ms(cfg.period_ms * mult)),
+            )
+            .with_input("cmd"),
+        );
+        let ch = b.channel(
+            format!("ccfg{s}_{target}"),
+            sp,
+            processes[target],
+            ChannelKind::Blackboard,
+        );
+        // Either priority direction is admissible (the §III-A subclass
+        // only needs *a* total order per channel); both slot-window
+        // boundary rules get exercised across a sweep.
+        if stim_rng.gen_bool(0.5) {
+            b.priority(sp, processes[target]);
+        } else {
+            b.priority(processes[target], sp);
+        }
+        in_channels[target].push((ch, ChannelKind::Blackboard));
+        let salt = mix64(shape.seed ^ 0xCF61_0000 ^ (s as u64).wrapping_mul(0x94D0_49BB));
+        b.behavior(sp, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let x = match ctx.read_input(PortId::from_index(0)) {
+                    Some(Value::Int(v)) => v as u64,
+                    _ => 0,
+                };
+                ctx.write(ch, Value::Int(mix64(salt ^ ctx.k() ^ x) as i64));
+            })
+        });
+    }
+
+    // Generated behaviors: fold stimuli and reads, burn the kernel, write
+    // everywhere.
     let (it_lo, it_hi) = cfg.compute_iters;
     for i in 0..n {
         let ins = in_channels[i].clone();
         let outs = out_channels[i].clone();
         let iters = rng.gen_range(it_lo..=it_hi);
         let salt = mix64(shape.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let with_input = has_input[i];
         b.behavior(processes[i], move || {
             let ins = ins.clone();
             let outs = outs.clone();
             let mut state: u64 = salt;
             Box::new(move |ctx: &mut JobCtx<'_>| {
+                if with_input {
+                    if let Some(Value::Int(x)) = ctx.read_input(PortId::from_index(0)) {
+                        state = mix64(state ^ x as u64);
+                    }
+                }
                 for &(ch, kind) in &ins {
                     match kind {
                         ChannelKind::Blackboard => {
@@ -749,6 +851,128 @@ mod tests {
             compute_iters: (100, 1),
             ..SyntheticFppnConfig::default()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "sporadic_period_mult must be ordered")]
+    fn synthetic_fppn_rejects_zero_period_mult() {
+        let _ = synthetic_fppn(&SyntheticFppnConfig {
+            sporadic_period_mult: (0, 2),
+            ..SyntheticFppnConfig::default()
+        });
+    }
+
+    #[test]
+    fn synthetic_fppn_stimulus_knobs_add_sporadics_and_inputs() {
+        let base_shape = SyntheticGraphConfig {
+            jobs: 20,
+            depth: 4,
+            seed: 9,
+            ..SyntheticGraphConfig::default()
+        };
+        let plain = synthetic_fppn(&SyntheticFppnConfig {
+            shape: base_shape.clone(),
+            compute_iters: (5, 20),
+            ..SyntheticFppnConfig::default()
+        });
+        let rich = synthetic_fppn(&SyntheticFppnConfig {
+            shape: base_shape.clone(),
+            compute_iters: (5, 20),
+            sporadic: 3,
+            input_permille: 600,
+            ..SyntheticFppnConfig::default()
+        });
+        // The knobs add processes/channels without reshuffling the base
+        // layered topology (separate stimulus RNG stream).
+        assert_eq!(plain.net.process_count(), 20);
+        assert_eq!(rich.net.process_count(), 23);
+        assert_eq!(
+            rich.net.channels().len(),
+            plain.net.channels().len() + 3,
+            "one blackboard per configurator on top of the same layer wiring"
+        );
+        for i in 0..3 {
+            let sp = rich.net.process_by_name(&format!("cfg{i}")).unwrap();
+            let spec = rich.net.process(sp);
+            assert_eq!(spec.event().kind(), fppn_core::EventKind::Sporadic);
+            assert_eq!(spec.input_ports().len(), 1, "configurators take commands");
+        }
+        let with_inputs = rich
+            .net
+            .process_ids()
+            .filter(|&p| !rich.net.process(p).input_ports().is_empty())
+            .count();
+        assert!(
+            with_inputs > 3,
+            "input_permille=600 should give several layer processes input ports"
+        );
+
+        // The richer network still derives, and zero-delay execution under
+        // random stimuli is order-independent (Prop. 2.1 with servers +
+        // external inputs in play).
+        let derived = derive_task_graph(&rich.net, &rich.wcet).unwrap();
+        assert!(derived.graph.job_count() > rich.net.process_count());
+        let horizon = derived.hyperperiod;
+        let stimuli = fppn_sim_free_random_stimuli(&rich.net, horizon, 700, 42);
+        let mut b1 = rich.bank.instantiate();
+        let r1 = run_zero_delay(&rich.net, &mut b1, &stimuli, horizon, JobOrdering::MinRankFirst)
+            .unwrap();
+        let mut b2 = rich.bank.instantiate();
+        let r2 = run_zero_delay(&rich.net, &mut b2, &stimuli, horizon, JobOrdering::MaxRankFirst)
+            .unwrap();
+        assert_eq!(r1.observables.diff(&r2.observables), None);
+        // The sporadic slots actually executed and wrote.
+        assert!(r1
+            .observables
+            .channels
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| rich.net.channels()[*i].name().starts_with("ccfg"))
+            .any(|(_, log)| !log.is_empty()));
+    }
+
+    /// A dependency-free stand-in for `fppn_sim::random_stimuli` (fppn-apps
+    /// cannot depend on fppn-sim): arrival traces at the maximal admissible
+    /// rate plus constant-ish input streams for every declared port.
+    fn fppn_sim_free_random_stimuli(
+        net: &Fppn,
+        horizon: TimeQ,
+        _density: u32,
+        seed: u64,
+    ) -> Stimuli {
+        let mut stimuli = Stimuli::new();
+        for pid in net.process_ids() {
+            let spec = net.process(pid);
+            let ev = spec.event();
+            let max_jobs = if ev.kind() == fppn_core::EventKind::Sporadic {
+                // Max-rate trace: bursts of m at multiples of T.
+                let mut arrivals = Vec::new();
+                let mut t = TimeQ::ZERO;
+                while t < horizon {
+                    for _ in 0..ev.burst() {
+                        arrivals.push(t);
+                    }
+                    t += ev.period();
+                }
+                let count = arrivals.len() as u64;
+                stimuli.arrivals(pid, fppn_core::SporadicTrace::new(arrivals));
+                count
+            } else {
+                ((horizon / ev.period()).ceil() as u64 + 2) * ev.burst() as u64
+            };
+            for (port_idx, _) in spec.input_ports().iter().enumerate() {
+                let samples: Vec<Value> = (0..max_jobs)
+                    .map(|j| {
+                        Value::Int(
+                            (mix64(seed ^ (pid.index() as u64) << 16 ^ port_idx as u64 ^ j)
+                                % 1000) as i64,
+                        )
+                    })
+                    .collect();
+                stimuli.input(pid, PortId::from_index(port_idx), samples);
+            }
+        }
+        stimuli
     }
 
     #[test]

@@ -170,6 +170,19 @@ fn behavior_plane_sweep(c: &mut Criterion) {
             })
         });
     }
+    let pipelined = SimConfig {
+        workers: 4,
+        pipeline: true,
+        ..base
+    };
+    g.bench_with_input(BenchmarkId::new("pipeline4", 48), &pipelined, |b, cfg| {
+        b.iter(|| {
+            fppn_sim::simulate_pipelined(&w.net, &w.bank, &stimuli, &derived, &schedule, cfg)
+                .unwrap()
+                .records
+                .len()
+        })
+    });
     g.finish();
 }
 

@@ -1,0 +1,223 @@
+//! Perf-trajectory gate: diffs two `BENCH_sim.json` files (the committed
+//! baseline vs a fresh `scalability --bench-json` run) and fails on
+//! regressions beyond the criterion-shim noise band.
+//!
+//! ```sh
+//! bench_diff BASELINE.json NEW.json [--max-regress-pct 25] [--noise-floor-ms 20] \
+//!            [--relative-to seq_ms]
+//! ```
+//!
+//! A *regression* is a `(bench, metric)` pair present in both files whose
+//! new time exceeds the baseline by more than `--max-regress-pct` percent
+//! — but only when at least one side is above `--noise-floor-ms`:
+//! sub-floor measurements on a shared CI box swing far more than 25%
+//! from scheduler jitter alone, so they are reported but never fatal.
+//! Benches or metrics present on only one side (a renamed sweep, a new
+//! backend column, a schema bump) are informational, not errors — the
+//! gate must never punish adding coverage.
+//!
+//! `--relative-to seq_ms` compares each metric as a **ratio to that run's
+//! own reference metric** instead of absolute milliseconds: `par_ms /
+//! seq_ms` new-vs-baseline. Host speed cancels out, so a baseline
+//! committed from one machine gates runs on another — this is the mode CI
+//! uses (an absolute cross-machine diff would only measure the hardware).
+//! The reference metric itself is exempt; catastrophic *global* slowdowns
+//! are the `scalability --budget-ms` guard's job. The noise floor still
+//! applies to the underlying absolute times.
+//!
+//! The parser handles exactly the shape `scalability` emits (hand-rolled
+//! writer, one bench object per line) plus arbitrary whitespace; there is
+//! no serde in the offline container.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Per-bench metrics: metric name (`seq_ms`, `par_ms`, …) → milliseconds.
+type Metrics = BTreeMap<String, f64>;
+
+/// Extracts the next `"key": value` string field from a JSON-ish line.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Extracts every `"<name>_ms": <number>` field from a JSON-ish line
+/// (`null` metrics are skipped — that backend was not measured).
+fn ms_fields(line: &str) -> Metrics {
+    let mut out = Metrics::new();
+    let mut rest = line;
+    while let Some(start) = rest.find("_ms\"") {
+        // Walk back to the opening quote of the key.
+        let head = &rest[..start];
+        let Some(open) = head.rfind('"') else { break };
+        let key = format!("{}_ms", &head[open + 1..]);
+        let tail = rest[start + 4..].trim_start();
+        rest = tail;
+        let Some(tail) = tail.strip_prefix(':') else { continue };
+        let tail = tail.trim_start();
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].parse::<f64>() {
+            out.insert(key, v);
+        }
+        rest = &tail[end..];
+    }
+    out
+}
+
+/// Parses a `BENCH_sim.json` into bench-name → metrics.
+fn parse(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut benches = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name) = string_field(line, "name") else {
+            continue;
+        };
+        let metrics = ms_fields(line);
+        if metrics.is_empty() {
+            return Err(format!("{path}: bench {name:?} has no *_ms metrics"));
+        }
+        if benches.insert(name.clone(), metrics).is_some() {
+            return Err(format!("{path}: duplicate bench {name:?}"));
+        }
+    }
+    if benches.is_empty() {
+        return Err(format!("{path}: no benches found (schema drift?)"));
+    }
+    Ok(benches)
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regress_pct = 25.0f64;
+    let mut noise_floor_ms = 20.0f64;
+    let mut relative_to: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--relative-to" {
+            relative_to = Some(args.next().expect("--relative-to needs a metric name"));
+            continue;
+        }
+        let mut grab = |name: &str| -> f64 {
+            args.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+        };
+        match arg.as_str() {
+            "--max-regress-pct" => max_regress_pct = grab("--max-regress-pct"),
+            "--noise-floor-ms" => noise_floor_ms = grab("--noise-floor-ms"),
+            other if other.starts_with("--") => panic!(
+                "unknown flag {other}; known: --max-regress-pct PCT, --noise-floor-ms MS, \
+                 --relative-to METRIC"
+            ),
+            path => paths.push(path.to_owned()),
+        }
+    }
+    let [base_path, new_path] = &paths[..] else {
+        eprintln!(
+            "usage: bench_diff BASELINE.json NEW.json [--max-regress-pct 25] \
+             [--noise-floor-ms 20] [--relative-to seq_ms]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let (base, new) = match (parse(base_path), parse(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (b, n) => {
+            for e in [b.err(), n.err()].into_iter().flatten() {
+                eprintln!("bench_diff: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    match &relative_to {
+        Some(r) => println!(
+            "bench_diff: {base_path} vs {new_path} \
+             (fail > +{max_regress_pct}% on metric/{r} ratios above {noise_floor_ms} ms)"
+        ),
+        None => println!(
+            "bench_diff: {base_path} vs {new_path} (fail > +{max_regress_pct}% above {noise_floor_ms} ms)"
+        ),
+    }
+    for (name, new_metrics) in &new {
+        let Some(base_metrics) = base.get(name) else {
+            println!("  NEW      {name} (no baseline — informational)");
+            continue;
+        };
+        for (metric, &new_ms) in new_metrics {
+            let Some(&base_ms) = base_metrics.get(metric) else {
+                println!("  NEW      {name}/{metric} (no baseline column)");
+                continue;
+            };
+            // In relative mode, score the metric/reference ratio; the
+            // reference metric itself is exempt (host speed is not a
+            // regression). Fall back to absolute when a side lacks the
+            // reference column.
+            let (base_v, new_v, unit) = match &relative_to {
+                Some(r) if metric == r => {
+                    println!("  ref      {name}/{metric}: {base_ms:.2} ms -> {new_ms:.2} ms");
+                    continue;
+                }
+                Some(r) => match (base_metrics.get(r), new_metrics.get(r)) {
+                    (Some(&br), Some(&nr)) if br > 0.0 && nr > 0.0 => {
+                        (base_ms / br, new_ms / nr, format!("x {r}"))
+                    }
+                    _ => (base_ms, new_ms, "ms".to_owned()),
+                },
+                None => (base_ms, new_ms, "ms".to_owned()),
+            };
+            compared += 1;
+            let delta_pct = (new_v - base_v) / base_v.max(1e-9) * 100.0;
+            let in_noise_band = base_ms < noise_floor_ms && new_ms < noise_floor_ms;
+            if delta_pct > max_regress_pct && !in_noise_band {
+                regressions += 1;
+                println!(
+                    "  REGRESS  {name}/{metric}: {base_v:.2} {unit} -> {new_v:.2} {unit} ({delta_pct:+.1}%)"
+                );
+            } else if delta_pct.abs() > max_regress_pct {
+                println!(
+                    "  noise    {name}/{metric}: {base_v:.2} {unit} -> {new_v:.2} {unit} ({delta_pct:+.1}%)"
+                );
+            } else {
+                println!(
+                    "  ok       {name}/{metric}: {base_v:.2} {unit} -> {new_v:.2} {unit} ({delta_pct:+.1}%)"
+                );
+            }
+        }
+    }
+    for name in base.keys().filter(|n| !new.contains_key(*n)) {
+        println!("  GONE     {name} (present only in baseline — informational)");
+    }
+    println!("bench_diff: {compared} metrics compared, {regressions} regressions");
+    if regressions > 0 {
+        eprintln!(
+            "bench_diff: perf regression beyond the noise band — if intentional, \
+             refresh the committed baseline with `scalability --bench-json BENCH_sim.json`"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_and_ms_fields_parse_the_emitted_shape() {
+        let line = r#"    {"name": "behavior-heavy/x_y", "rounds": 480, "workers": 4, "seq_ms": 63.100000, "par_ms": 68.000000, "sharded_ms": 64.200000, "pipeline_ms": null},"#;
+        assert_eq!(string_field(line, "name").unwrap(), "behavior-heavy/x_y");
+        let ms = ms_fields(line);
+        assert_eq!(ms.get("seq_ms"), Some(&63.1));
+        assert_eq!(ms.get("par_ms"), Some(&68.0));
+        assert_eq!(ms.get("sharded_ms"), Some(&64.2));
+        assert!(!ms.contains_key("pipeline_ms"), "null metrics are skipped");
+    }
+}

@@ -17,9 +17,12 @@
 //!   (default 4; `0` skips the simulation sweeps entirely),
 //! * `--sim-frames N` — schedule frames per simulation measurement
 //!   (default 8; the ~100k-round tier scales this ×4),
+//! * `--bench-reps N` — repetitions per simulation measurement; the
+//!   **median** is reported (default 3 — single draws on a shared box are
+//!   too noisy for the `bench_diff` regression gate),
 //! * `--bench-json PATH` — where to write the machine-readable simulation
-//!   measurements (default `BENCH_sim.json`; future PRs diff this file to
-//!   track the perf trajectory).
+//!   measurements (default `BENCH_sim.json`; CI diffs this against the
+//!   committed baseline with `bench_diff --relative-to seq_ms`).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -31,7 +34,8 @@ use fppn_apps::{
 };
 use fppn_sched::{list_schedule, list_schedule_naive, Heuristic};
 use fppn_sim::{
-    clip_stimuli, random_sporadic_trace, simulate_parallel, simulate_seq, SimConfig,
+    clip_stimuli, random_sporadic_trace, simulate_parallel, simulate_pipelined, simulate_seq,
+    SimConfig,
 };
 use fppn_taskgraph::derive_task_graph;
 use fppn_time::TimeQ;
@@ -44,13 +48,18 @@ struct BenchRecord {
     seq: Duration,
     par: Duration,
     sharded: Option<Duration>,
+    pipeline: Option<Duration>,
 }
 
 /// Hand-rolled JSON (no serde in the offline container): a stable shape
-/// future PRs can parse to track the perf trajectory.
+/// `bench_diff` parses to track the perf trajectory across commits
+/// (schema `fppn-bench-sim/2` added `pipeline_ms`).
 fn write_bench_json(path: &str, records: &[BenchRecord]) {
+    let opt_ms = |d: Option<Duration>| {
+        d.map_or("null".to_owned(), |d| format!("{:.6}", d.as_secs_f64() * 1e3))
+    };
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"fppn-bench-sim/1\",");
+    let _ = writeln!(out, "  \"schema\": \"fppn-bench-sim/2\",");
     let _ = writeln!(
         out,
         "  \"host_cpus\": {},",
@@ -58,19 +67,17 @@ fn write_bench_json(path: &str, records: &[BenchRecord]) {
     );
     let _ = writeln!(out, "  \"benches\": [");
     for (i, r) in records.iter().enumerate() {
-        let sharded = r
-            .sharded
-            .map_or("null".to_owned(), |d| format!("{:.6}", d.as_secs_f64() * 1e3));
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"rounds\": {}, \"workers\": {}, \
-             \"seq_ms\": {:.6}, \"par_ms\": {:.6}, \"sharded_ms\": {}}}",
+             \"seq_ms\": {:.6}, \"par_ms\": {:.6}, \"sharded_ms\": {}, \"pipeline_ms\": {}}}",
             r.name,
             r.rounds,
             r.workers,
             r.seq.as_secs_f64() * 1e3,
             r.par.as_secs_f64() * 1e3,
-            sharded,
+            opt_ms(r.sharded),
+            opt_ms(r.pipeline),
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -79,6 +86,21 @@ fn write_bench_json(path: &str, records: &[BenchRecord]) {
         Ok(()) => println!("\nwrote {} simulation measurements to {path}", records.len()),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+}
+
+/// Runs `f` `reps` times and returns the last result with the **median**
+/// wall time — the same outlier defense as the criterion shim, so the
+/// `bench_diff` gate compares stable numbers instead of single draws.
+fn median_timed<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        last = Some(f());
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    (last.expect("reps >= 1"), times[times.len() / 2])
 }
 
 fn measure(label: &str, net: &fppn_core::Fppn, wcet: &fppn_taskgraph::WcetModel) {
@@ -127,8 +149,11 @@ fn fms_speedup_check() {
 /// Sequential-vs-parallel simulation wall-clock on multi-frame policy
 /// tables, with a bit-identity cross-check on every run (the parallel
 /// backend is only interesting if its output is *exactly* the oracle's).
-fn simulation_sweep(workers: usize, frames: u64, records: &mut Vec<BenchRecord>) {
-    println!("\nsimulation backends (seq vs {workers} workers, bit-identity checked):");
+fn simulation_sweep(workers: usize, frames: u64, reps: usize, records: &mut Vec<BenchRecord>) {
+    println!(
+        "\nsimulation backends (seq vs {workers} workers, median of {reps}, \
+         bit-identity checked):"
+    );
     let (net, bank, ids) = fms_network(FmsVariant::Original);
     let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
     // Two tiers: the base frame count and 4x (the rounds column reports
@@ -151,24 +176,21 @@ fn simulation_sweep(workers: usize, frames: u64, records: &mut Vec<BenchRecord>)
                 frames,
                 ..SimConfig::default()
             };
-            let t0 = Instant::now();
-            let seq = simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &cfg)
-                .expect("sequential simulation");
-            let t_seq = t0.elapsed();
-            let t1 = Instant::now();
-            let par = simulate_parallel(
-                &net,
-                &bank,
-                &stimuli,
-                &derived,
-                &schedule,
-                &SimConfig {
-                    workers,
-                    ..cfg
-                },
-            )
-            .expect("parallel simulation");
-            let t_par = t1.elapsed();
+            let (seq, t_seq) = median_timed(reps, || {
+                simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &cfg)
+                    .expect("sequential simulation")
+            });
+            let (par, t_par) = median_timed(reps, || {
+                simulate_parallel(
+                    &net,
+                    &bank,
+                    &stimuli,
+                    &derived,
+                    &schedule,
+                    &SimConfig { workers, ..cfg },
+                )
+                .expect("parallel simulation")
+            });
             assert_eq!(seq.records, par.records, "backends diverged");
             assert_eq!(seq.observables, par.observables, "observables diverged");
             println!(
@@ -185,74 +207,130 @@ fn simulation_sweep(workers: usize, frames: u64, records: &mut Vec<BenchRecord>)
                 seq: t_seq,
                 par: t_par,
                 sharded: None,
+                pipeline: None,
             });
         }
     }
 }
 
 /// The data-plane sweep: the behavior-heavy synthetic FPPN (generated
-/// compute kernels) under seq, parallel-with-serialized-behaviors, and the
-/// fully sharded backend — bit-identity checked on every run. This is
-/// where "Parallelize behavior execution" is measured: on the FMS-style
-/// workloads above, behaviors are a few integer folds and the data plane
-/// is noise; here it dominates.
-fn behavior_sweep(workers: usize, frames: u64, records: &mut Vec<BenchRecord>) {
+/// compute kernels) under seq, parallel-with-serialized-behaviors, the
+/// barrier sharded backend, and the streaming pipeline — bit-identity
+/// checked on every run. This is where "Parallelize behavior execution"
+/// and "Overlap behavior execution with round computation" are measured:
+/// on the FMS-style workloads above, behaviors are a few integer folds and
+/// the data plane is noise; here it dominates. The sporadic entry turns on
+/// the stimulus knobs so the server-slot machinery is in the hot loop too.
+fn behavior_sweep(workers: usize, frames: u64, reps: usize, records: &mut Vec<BenchRecord>) {
     println!(
-        "\nbehavior-heavy data plane (seq vs par vs sharded, {workers} workers, \
-         bit-identity checked):"
+        "\nbehavior-heavy data plane (seq vs par vs sharded vs pipeline, {workers} workers, \
+         median of {reps}, bit-identity checked):"
     );
-    for (label, jobs, depth, iters) in [
-        ("synthetic 48p light", 48usize, 6usize, (500u32, 2_000u32)),
-        ("synthetic 48p heavy", 48, 6, (10_000, 40_000)),
-        ("synthetic 120p heavy", 120, 10, (10_000, 40_000)),
-    ] {
-        let w = synthetic_fppn(&SyntheticFppnConfig {
-            shape: SyntheticGraphConfig {
-                jobs,
-                depth,
-                seed: jobs as u64,
-                ..SyntheticGraphConfig::default()
+    let shape = |jobs: usize, depth: usize| SyntheticGraphConfig {
+        jobs,
+        depth,
+        seed: jobs as u64,
+        ..SyntheticGraphConfig::default()
+    };
+    for (label, fppn_cfg) in [
+        (
+            "synthetic 48p light",
+            SyntheticFppnConfig {
+                shape: shape(48, 6),
+                compute_iters: (500, 2_000),
+                ..SyntheticFppnConfig::default()
             },
-            compute_iters: iters,
-            ..SyntheticFppnConfig::default()
-        });
+        ),
+        (
+            "synthetic 48p heavy",
+            SyntheticFppnConfig {
+                shape: shape(48, 6),
+                compute_iters: (10_000, 40_000),
+                ..SyntheticFppnConfig::default()
+            },
+        ),
+        (
+            "synthetic 120p heavy",
+            SyntheticFppnConfig {
+                shape: shape(120, 10),
+                compute_iters: (10_000, 40_000),
+                ..SyntheticFppnConfig::default()
+            },
+        ),
+        (
+            "synthetic 48p sporadic",
+            SyntheticFppnConfig {
+                shape: shape(48, 6),
+                compute_iters: (5_000, 20_000),
+                sporadic: 6,
+                input_permille: 400,
+                ..SyntheticFppnConfig::default()
+            },
+        ),
+    ] {
+        let w = synthetic_fppn(&fppn_cfg);
         let derived = derive_task_graph(&w.net, &w.wcet).expect("derivable");
         let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
-        let stimuli = fppn_core::Stimuli::new();
+        let horizon = fppn_time::TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let stimuli = if fppn_cfg.sporadic > 0 {
+            clip_stimuli(
+                &w.net,
+                &derived,
+                &fppn_sim::random_stimuli(&w.net, horizon, 600, 99),
+                frames,
+            )
+        } else {
+            fppn_core::Stimuli::new()
+        };
         let cfg = SimConfig {
             frames,
             ..SimConfig::default()
         };
-        let t0 = Instant::now();
-        let seq = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &cfg)
-            .expect("sequential simulation");
-        let t_seq = t0.elapsed();
-        let t1 = Instant::now();
-        let par = simulate_parallel(
-            &w.net,
-            &w.bank,
-            &stimuli,
-            &derived,
-            &schedule,
-            &SimConfig { workers, ..cfg },
-        )
-        .expect("parallel simulation, serialized behaviors");
-        let t_par = t1.elapsed();
-        let t2 = Instant::now();
-        let sharded = simulate_parallel(
-            &w.net,
-            &w.bank,
-            &stimuli,
-            &derived,
-            &schedule,
-            &SimConfig {
-                workers,
-                parallel_behaviors: true,
-                ..cfg
-            },
-        )
-        .expect("parallel simulation, sharded behaviors");
-        let t_sharded = t2.elapsed();
+        let (seq, t_seq) = median_timed(reps, || {
+            simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &cfg)
+                .expect("sequential simulation")
+        });
+        let (par, t_par) = median_timed(reps, || {
+            simulate_parallel(
+                &w.net,
+                &w.bank,
+                &stimuli,
+                &derived,
+                &schedule,
+                &SimConfig { workers, ..cfg },
+            )
+            .expect("parallel simulation, serialized behaviors")
+        });
+        let (sharded, t_sharded) = median_timed(reps, || {
+            simulate_parallel(
+                &w.net,
+                &w.bank,
+                &stimuli,
+                &derived,
+                &schedule,
+                &SimConfig {
+                    workers,
+                    parallel_behaviors: true,
+                    ..cfg
+                },
+            )
+            .expect("parallel simulation, sharded behaviors")
+        });
+        let (pipeline, t_pipeline) = median_timed(reps, || {
+            simulate_pipelined(
+                &w.net,
+                &w.bank,
+                &stimuli,
+                &derived,
+                &schedule,
+                &SimConfig {
+                    workers,
+                    pipeline: true,
+                    ..cfg
+                },
+            )
+            .expect("pipelined simulation")
+        });
         assert_eq!(seq.records, par.records, "par records diverged");
         assert_eq!(seq.observables, par.observables, "par observables diverged");
         assert_eq!(seq.records, sharded.records, "sharded records diverged");
@@ -260,14 +338,20 @@ fn behavior_sweep(workers: usize, frames: u64, records: &mut Vec<BenchRecord>) {
             seq.observables, sharded.observables,
             "sharded observables diverged"
         );
+        assert_eq!(seq.records, pipeline.records, "pipeline records diverged");
+        assert_eq!(
+            seq.observables, pipeline.observables,
+            "pipeline observables diverged"
+        );
         println!(
-            "{label:<22} frames={frames:>3} | {:>6} rounds | seq {:>9.2?} | par {:>9.2?} | sharded {:>9.2?} | sharded vs seq {:.2}x, vs par {:.2}x",
+            "{label:<22} frames={frames:>3} | {:>6} rounds | seq {:>9.2?} | par {:>9.2?} | sharded {:>9.2?} | pipeline {:>9.2?} | pipeline vs seq {:.2}x, vs sharded {:.2}x",
             seq.records.len(),
             t_seq,
             t_par,
             t_sharded,
-            t_seq.as_secs_f64() / t_sharded.as_secs_f64().max(1e-9),
-            t_par.as_secs_f64() / t_sharded.as_secs_f64().max(1e-9),
+            t_pipeline,
+            t_seq.as_secs_f64() / t_pipeline.as_secs_f64().max(1e-9),
+            t_sharded.as_secs_f64() / t_pipeline.as_secs_f64().max(1e-9),
         );
         records.push(BenchRecord {
             name: format!("behavior-heavy/{}", label.replace(' ', "_")),
@@ -276,6 +360,7 @@ fn behavior_sweep(workers: usize, frames: u64, records: &mut Vec<BenchRecord>) {
             seq: t_seq,
             par: t_par,
             sharded: Some(t_sharded),
+            pipeline: Some(t_pipeline),
         });
     }
 }
@@ -319,6 +404,7 @@ fn main() {
     let mut budget_ms = 0u64;
     let mut workers = 4usize;
     let mut sim_frames = 8u64;
+    let mut bench_reps = 3usize;
     let mut bench_json = "BENCH_sim.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -336,9 +422,10 @@ fn main() {
             "--budget-ms" => budget_ms = grab("--budget-ms"),
             "--workers" => workers = grab("--workers") as usize,
             "--sim-frames" => sim_frames = grab("--sim-frames").max(1),
+            "--bench-reps" => bench_reps = grab("--bench-reps").max(1) as usize,
             other => panic!(
                 "unknown flag {other}; known: --synthetic-jobs N, --budget-ms MS, \
-                 --workers N, --sim-frames N, --bench-json PATH"
+                 --workers N, --sim-frames N, --bench-reps N, --bench-json PATH"
             ),
         }
     }
@@ -374,8 +461,8 @@ fn main() {
 
     let mut records = Vec::new();
     if workers > 0 {
-        simulation_sweep(workers, sim_frames, &mut records);
-        behavior_sweep(workers, sim_frames.min(4), &mut records);
+        simulation_sweep(workers, sim_frames, bench_reps, &mut records);
+        behavior_sweep(workers, sim_frames.min(4), bench_reps, &mut records);
     }
     write_bench_json(&bench_json, &records);
 

@@ -41,6 +41,7 @@
 //! sequential replay, which the differential suite asserts across worker
 //! counts, workloads and models.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use fppn_core::{
@@ -54,7 +55,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::policy::{JobRecord, SimError};
 
 /// Per-process committed-job counters plus the sleep/wake monitor.
-struct ProgressBoard {
+pub(crate) struct ProgressBoard {
     /// `progress[p]` = jobs process `p` has committed. Only `p`'s owning
     /// worker stores; gates load.
     progress: Vec<AtomicU64>,
@@ -68,7 +69,7 @@ struct ProgressBoard {
 }
 
 impl ProgressBoard {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         ProgressBoard {
             progress: (0..n).map(|_| AtomicU64::new(0)).collect(),
             generation: AtomicU64::new(0),
@@ -79,16 +80,25 @@ impl ProgressBoard {
         }
     }
 
-    /// Publishes one committed job of process `p` and wakes sleepers. The
-    /// progress store precedes the `SeqCst` generation bump, so a waiter
-    /// observing the new generation re-scans against fresh counters.
-    fn publish(&self, p: usize, committed: u64) {
-        self.progress[p].store(committed, Ordering::SeqCst);
+    /// Bumps the generation and wakes sleepers — the wake half of
+    /// [`ProgressBoard::publish`], also used on its own after feed appends
+    /// (a newly *planned* job is progress a blocked worker must see, even
+    /// though no counter moved; the sequencer batches one notify per
+    /// ingested round burst).
+    pub(crate) fn notify(&self) {
         self.generation.fetch_add(1, Ordering::SeqCst);
         if self.waiters.load(Ordering::SeqCst) > 0 {
             let _guard = self.monitor.lock();
             self.cond.notify_all();
         }
+    }
+
+    /// Publishes one committed job of process `p` and wakes sleepers. The
+    /// progress store precedes the `SeqCst` generation bump, so a waiter
+    /// observing the new generation re-scans against fresh counters.
+    fn publish(&self, p: usize, committed: u64) {
+        self.progress[p].store(committed, Ordering::SeqCst);
+        self.notify();
     }
 
     fn snapshot(&self) -> u64 {
@@ -109,10 +119,14 @@ impl ProgressBoard {
         self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
-    fn abort(&self) {
+    pub(crate) fn abort(&self) {
         self.aborted.store(true, Ordering::SeqCst);
         let _guard = self.monitor.lock();
         self.cond.notify_all();
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
     }
 }
 
@@ -132,7 +146,7 @@ impl Drop for AbortOnUnwind<'_> {
 }
 
 /// The static plan of one executed job.
-struct PlannedJob {
+pub(crate) struct PlannedJob {
     k: u64,
     invoked_at: TimeQ,
     /// Committed-writer-job counts visible per read channel, aligned with
@@ -152,49 +166,88 @@ struct Timeline<'s> {
     next: usize,
 }
 
-/// Scans the canonical record order once into per-process job plans.
-fn build_plan(
-    net: &Fppn,
-    deps: &ChannelDependencyMap,
-    records: &[JobRecord],
-) -> Vec<Vec<PlannedJob>> {
-    let n = net.process_count();
-    let mut plan: Vec<Vec<PlannedJob>> = (0..n).map(|_| Vec::new()).collect();
-    let mut committed = vec![0u64; n];
-    for rec in records {
+/// Turns canonically-ordered records into [`PlannedJob`]s one record at a
+/// time — the single copy of the visibility/gate arithmetic, consumed
+/// whole-frame by [`build_plan`] (the barrier executor) and record-by-record
+/// by the streaming pipeline's sequencer.
+pub(crate) struct RecordPlanner<'n> {
+    net: &'n Fppn,
+    deps: ChannelDependencyMap,
+    committed: Vec<u64>,
+}
+
+impl<'n> RecordPlanner<'n> {
+    pub(crate) fn new(net: &'n Fppn) -> Self {
+        RecordPlanner {
+            net,
+            deps: ChannelDependencyMap::analyze(net),
+            committed: vec![0u64; net.process_count()],
+        }
+    }
+
+    pub(crate) fn deps(&self) -> &ChannelDependencyMap {
+        &self.deps
+    }
+
+    /// Plans the next record of the canonical order; `None` for skipped
+    /// slots (no behavior runs). `rec.global_k` must already be assigned.
+    pub(crate) fn plan(&mut self, rec: &JobRecord) -> Option<PlannedJob> {
         if rec.skipped {
-            continue;
+            return None;
         }
         let p = rec.process;
-        let visible: Vec<u64> = deps
+        let visible: Vec<u64> = self
+            .deps
             .reads(p)
             .iter()
-            .map(|&ch| committed[net.channel(ch).writer().index()])
+            .map(|&ch| self.committed[self.net.channel(ch).writer().index()])
             .collect();
-        let gates: Vec<(usize, u64)> = deps
+        let gates: Vec<(usize, u64)> = self
+            .deps
             .direct_writers(p)
             .iter()
-            .map(|w| (w.index(), committed[w.index()]))
+            .map(|w| (w.index(), self.committed[w.index()]))
             .filter(|&(_, j)| j > 0)
             .collect();
-        committed[p.index()] += 1;
-        debug_assert_eq!(rec.global_k, committed[p.index()], "canonical k drifted");
-        plan[p.index()].push(PlannedJob {
+        self.committed[p.index()] += 1;
+        debug_assert_eq!(
+            rec.global_k,
+            self.committed[p.index()],
+            "canonical k drifted"
+        );
+        Some(PlannedJob {
             k: rec.global_k,
             invoked_at: rec.invoked_at,
             visible,
             gates,
-        });
+        })
+    }
+}
+
+/// Scans the canonical record order once into per-process job plans.
+fn build_plan(
+    net: &Fppn,
+    planner: &mut RecordPlanner<'_>,
+    records: &[JobRecord],
+) -> Vec<Vec<PlannedJob>> {
+    let mut plan: Vec<Vec<PlannedJob>> = (0..net.process_count()).map(|_| Vec::new()).collect();
+    for rec in records {
+        if let Some(job) = planner.plan(rec) {
+            plan[rec.process.index()].push(job);
+        }
     }
     plan
 }
 
 /// Partitions processes into `workers` chunks, keeping each dependency
-/// component contiguous and balancing by job count, so cross-worker
-/// rendezvous only happens where the data actually flows.
-fn partition(
+/// component contiguous and balancing by per-process job weight, so
+/// cross-worker rendezvous only happens where the data actually flows.
+/// The barrier executor weighs by exact planned job counts; the streaming
+/// pipeline (which partitions before any record exists) weighs by the
+/// static jobs-per-frame census — the same balance up to skipped slots.
+pub(crate) fn partition(
     deps: &ChannelDependencyMap,
-    plan: &[Vec<PlannedJob>],
+    weights: &[usize],
     workers: usize,
 ) -> Vec<Vec<usize>> {
     let order: Vec<usize> = deps
@@ -202,7 +255,7 @@ fn partition(
         .iter()
         .flat_map(|c| c.iter().map(|p| p.index()))
         .collect();
-    let total: usize = plan.iter().map(Vec::len).sum();
+    let total: usize = weights.iter().sum();
     let workers = workers.clamp(1, order.len().max(1));
     let target = total.div_ceil(workers).max(1);
     let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); workers];
@@ -213,7 +266,7 @@ fn partition(
             filled = 0;
         }
         chunks[w].push(p);
-        filled += plan[p].len();
+        filled += weights[p];
     }
     chunks
 }
@@ -304,9 +357,11 @@ pub(crate) fn run_behaviors_sharded(
     records: &[JobRecord],
     workers: usize,
 ) -> Result<Observables, SimError> {
-    let deps = ChannelDependencyMap::analyze(net);
-    let plan = build_plan(net, &deps, records);
-    let chunks = partition(&deps, &plan, workers);
+    let mut planner = RecordPlanner::new(net);
+    let plan = build_plan(net, &mut planner, records);
+    let deps = planner.deps();
+    let weights: Vec<usize> = plan.iter().map(Vec::len).collect();
+    let chunks = partition(deps, &weights, workers);
 
     let exec = ShardedExec::new(net);
     let shards = exec.shards(stimuli);
@@ -382,6 +437,216 @@ pub(crate) fn run_behaviors_sharded(
     Ok(observables)
 }
 
+// ---------------------------------------------------------------------------
+// Streaming consumption: the pipeline's data plane.
+//
+// The barrier executor above receives the *complete* plan before any worker
+// starts. The streaming pipeline inverts that: the sequencer appends
+// `PlannedJob`s to this feed as round records become canonically final,
+// while behavior workers are already draining it. Everything else — shards,
+// visibility counts, gates, the progress rendezvous — is byte-for-byte the
+// same machinery.
+// ---------------------------------------------------------------------------
+
+/// Per-process queues of planned jobs, appended in canonical order by the
+/// pipeline sequencer and drained by the owning behavior worker.
+pub(crate) struct JobFeed {
+    queues: Vec<Mutex<VecDeque<PlannedJob>>>,
+    /// `planned[p]` = jobs of process `p` appended so far. Workers check it
+    /// lock-free before touching the queue mutex.
+    planned: Vec<AtomicU64>,
+    /// Set once the sequencer has planned every round: an empty queue then
+    /// means *exhausted*, not *starved*.
+    sealed: AtomicBool,
+}
+
+impl JobFeed {
+    pub(crate) fn new(n: usize) -> Self {
+        JobFeed {
+            queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            planned: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sealed: AtomicBool::new(false),
+        }
+    }
+
+    /// Appends one planned job of process `p`. The queue push precedes the
+    /// `planned` bump, so a worker observing the new count always finds
+    /// the job in the queue. **Quiet**: the caller must
+    /// [`ProgressBoard::notify`] after its append batch, or blocked
+    /// workers never see the jobs.
+    pub(crate) fn push(&self, p: usize, job: PlannedJob) {
+        self.queues[p].lock().push_back(job);
+        self.planned[p].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Marks the feed complete (no job will ever be appended again) and
+    /// wakes workers so they can drain and exit.
+    pub(crate) fn seal(&self, board: &ProgressBoard) {
+        self.sealed.store(true, Ordering::SeqCst);
+        board.notify();
+    }
+}
+
+/// One process timeline of a streaming behavior worker: like [`Timeline`],
+/// but jobs are pulled from the [`JobFeed`] instead of a prebuilt vector.
+pub(crate) struct StreamTimeline<'s> {
+    p: usize,
+    shard: ProcessShard<'s>,
+    behavior: BoxedBehavior,
+    /// The next job, pulled but not yet runnable (gate unsatisfied).
+    pending: Option<PlannedJob>,
+    exhausted: bool,
+}
+
+/// Builds the per-worker streaming timelines: processes are partitioned by
+/// dependency component (weighted by the static per-process job census in
+/// `weights`), and each worker receives its processes' shards and behavior
+/// instances.
+pub(crate) fn stream_timelines<'s>(
+    deps: &ChannelDependencyMap,
+    shards: Vec<ProcessShard<'s>>,
+    behaviors: Vec<BoxedBehavior>,
+    weights: &[usize],
+    workers: usize,
+) -> Vec<Vec<StreamTimeline<'s>>> {
+    let chunks = partition(deps, weights, workers);
+    let mut slots: Vec<Option<(ProcessShard<'s>, BoxedBehavior)>> = shards
+        .into_iter()
+        .zip(behaviors)
+        .map(Some)
+        .collect();
+    chunks
+        .iter()
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&p| {
+                    let (shard, behavior) =
+                        slots[p].take().expect("process assigned to one worker");
+                    debug_assert!(
+                        shard
+                            .read_channels()
+                            .eq(deps.reads(shard.process()).iter().copied()),
+                        "shard and dependency-map read orders must agree"
+                    );
+                    StreamTimeline {
+                        p,
+                        shard,
+                        behavior,
+                        pending: None,
+                        exhausted: false,
+                    }
+                })
+                .collect()
+        })
+        .filter(|tls: &Vec<StreamTimeline<'s>>| !tls.is_empty())
+        .collect()
+}
+
+/// Tears the streaming timelines back down into their shards for the
+/// merge, asserting every feed was drained (unless the run aborted).
+pub(crate) fn into_shards(timelines: Vec<Vec<StreamTimeline<'_>>>) -> Vec<ProcessShard<'_>> {
+    timelines
+        .into_iter()
+        .flatten()
+        .map(|tl| {
+            assert!(
+                tl.exhausted && tl.pending.is_none(),
+                "worker exited with unexecuted jobs but no error"
+            );
+            tl.shard
+        })
+        .collect()
+}
+
+/// Advances every streaming timeline owned by one worker until the feed is
+/// sealed and drained, publishing progress after each committed job.
+///
+/// The same acyclic-wait argument as [`run_worker`] applies, with one new
+/// wait reason — "my next job is not planned yet" — discharged by the
+/// sequencer: it plans records in canonical order and every gate of a
+/// planned job points at canonically-earlier jobs, which are therefore
+/// already planned (and will be executed by their owner). The feed's
+/// `seal` + notify breaks the final wait.
+pub(crate) fn run_worker_streaming(
+    board: &ProgressBoard,
+    feed: &JobFeed,
+    timelines: &mut [StreamTimeline<'_>],
+    error: &Mutex<Option<ExecError>>,
+) {
+    let mut guard = AbortOnUnwind { board, armed: true };
+    let mut remaining = timelines.len();
+    let mut idle_scans = 0u32;
+    while remaining > 0 && !board.is_aborted() {
+        let seen = board.snapshot();
+        let mut progressed = false;
+        for tl in timelines.iter_mut() {
+            if tl.exhausted {
+                continue;
+            }
+            loop {
+                if board.is_aborted() {
+                    guard.armed = false;
+                    return;
+                }
+                if tl.pending.is_none() {
+                    let executed = tl.shard.executed();
+                    if feed.planned[tl.p].load(Ordering::SeqCst) > executed {
+                        tl.pending = feed.queues[tl.p].lock().pop_front();
+                        debug_assert!(tl.pending.is_some(), "planned count exceeds queue");
+                    } else if feed.sealed.load(Ordering::SeqCst) {
+                        // Re-check after observing the seal: the sequencer
+                        // seals strictly after its last push, so a count
+                        // read *after* the seal is final.
+                        if feed.planned[tl.p].load(Ordering::SeqCst) > executed {
+                            continue;
+                        }
+                        tl.exhausted = true;
+                        remaining -= 1;
+                        progressed = true;
+                        break;
+                    } else {
+                        break; // starved: wait for the sequencer
+                    }
+                }
+                let job = tl.pending.as_ref().expect("pulled or pending");
+                if !job
+                    .gates
+                    .iter()
+                    .all(|&(w, j)| board.progress[w].load(Ordering::SeqCst) >= j)
+                {
+                    break;
+                }
+                let job = tl.pending.take().expect("gate-checked job");
+                let result =
+                    tl.shard
+                        .run_job(&mut tl.behavior, job.k, job.invoked_at, &job.visible);
+                // Publish even a failed job: its writes committed, exactly
+                // as the sequential store logs a failed job's actions.
+                board.publish(tl.p, tl.shard.executed());
+                progressed = true;
+                if let Err(e) = result {
+                    error.lock().get_or_insert(e);
+                    board.abort();
+                    guard.armed = false;
+                    return;
+                }
+            }
+        }
+        if remaining > 0 && !progressed {
+            idle_scans += 1;
+            if idle_scans < 4 {
+                std::thread::yield_now();
+            } else {
+                board.wait_for_progress(seen);
+            }
+        } else {
+            idle_scans = 0;
+        }
+    }
+    guard.armed = false;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,12 +667,13 @@ mod tests {
         }
         let (net, _) = b.build().unwrap();
         let deps = ChannelDependencyMap::analyze(&net);
-        let plan: Vec<Vec<PlannedJob>> = (0..6).map(|_| Vec::new()).collect();
-        for workers in 1..=8 {
-            let chunks = partition(&deps, &plan, workers);
-            let mut seen: Vec<usize> = chunks.iter().flatten().copied().collect();
-            seen.sort_unstable();
-            assert_eq!(seen, vec![0, 1, 2, 3, 4, 5], "workers {workers}");
+        for weights in [vec![0usize; 6], vec![5, 1, 4, 2, 3, 6]] {
+            for workers in 1..=8 {
+                let chunks = partition(&deps, &weights, workers);
+                let mut seen: Vec<usize> = chunks.iter().flatten().copied().collect();
+                seen.sort_unstable();
+                assert_eq!(seen, vec![0, 1, 2, 3, 4, 5], "workers {workers}");
+            }
         }
     }
 

@@ -1,0 +1,181 @@
+//! Unified environment-variable plumbing for the simulator.
+//!
+//! Three variables tune [`SimConfig`](crate::SimConfig) resolution without
+//! touching call sites — the hook the CI determinism jobs use to force a
+//! backend through the *entire* test-suite:
+//!
+//! * [`FPPN_SIM_WORKERS`](SimEnv::WORKERS) — worker-thread count (`≥ 1`),
+//!   consulted when `SimConfig::workers == 0`;
+//! * [`FPPN_SIM_PAR_BEHAVIORS`](SimEnv::PAR_BEHAVIORS) — boolean: shard the
+//!   data plane in the barrier backend;
+//! * [`FPPN_SIM_PIPELINE`](SimEnv::PIPELINE) — boolean: stream behaviors
+//!   behind round computation (subsumes `PAR_BEHAVIORS`).
+//!
+//! All three are parsed in one place, by one grammar, with one failure
+//! mode: an **invalid value is an error naming the variable**, never a
+//! silent fallback (the previous per-flag parsing dropped `FPPN_SIM_WORKERS=x`
+//! on the floor and read every non-`1` `FPPN_SIM_PAR_BEHAVIORS` as false —
+//! a typo'd CI job would silently test nothing). An *empty* value is
+//! treated as unset, matching shell conventions (`FPPN_SIM_PIPELINE= cmd`).
+
+use std::error::Error;
+use std::fmt;
+
+/// The simulator's environment overrides, parsed once (see module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimEnv {
+    /// `FPPN_SIM_WORKERS`: worker threads, `None` when unset/empty.
+    pub workers: Option<usize>,
+    /// `FPPN_SIM_PAR_BEHAVIORS`: barrier-mode data-plane sharding.
+    pub parallel_behaviors: Option<bool>,
+    /// `FPPN_SIM_PIPELINE`: streaming frame pipeline.
+    pub pipeline: Option<bool>,
+}
+
+/// An environment variable holding an unparseable value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimEnvError {
+    /// The offending variable's name.
+    pub var: &'static str,
+    /// The value found.
+    pub value: String,
+    /// What a valid value looks like.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for SimEnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl Error for SimEnvError {}
+
+/// Parses a worker count: a positive integer (`0` is rejected — `0` only
+/// means "auto" in the `SimConfig` *field*, where the environment is the
+/// thing being consulted).
+fn parse_workers(var: &'static str, value: &str) -> Result<usize, SimEnvError> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&w| w >= 1)
+        .ok_or(SimEnvError {
+            var,
+            value: value.to_owned(),
+            expected: "a positive worker count (e.g. 4)",
+        })
+}
+
+/// Parses a boolean flag: `1`/`true`/`yes`/`on` or `0`/`false`/`no`/`off`
+/// (ASCII case-insensitive).
+fn parse_bool(var: &'static str, value: &str) -> Result<bool, SimEnvError> {
+    let v = value.to_ascii_lowercase();
+    match v.as_str() {
+        "1" | "true" | "yes" | "on" => Ok(true),
+        "0" | "false" | "no" | "off" => Ok(false),
+        _ => Err(SimEnvError {
+            var,
+            value: value.to_owned(),
+            expected: "a boolean: 1/true/yes/on or 0/false/no/off",
+        }),
+    }
+}
+
+impl SimEnv {
+    /// Worker-thread count variable.
+    pub const WORKERS: &'static str = "FPPN_SIM_WORKERS";
+    /// Barrier-mode data-plane sharding variable.
+    pub const PAR_BEHAVIORS: &'static str = "FPPN_SIM_PAR_BEHAVIORS";
+    /// Streaming-pipeline variable.
+    pub const PIPELINE: &'static str = "FPPN_SIM_PIPELINE";
+
+    /// Reads and parses all three variables from the process environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimEnvError`] (naming the variable and the expected
+    /// grammar) on the first invalid value found.
+    pub fn from_env() -> Result<Self, SimEnvError> {
+        let read = |var: &'static str| std::env::var(var).ok().filter(|v| !v.is_empty());
+        Ok(SimEnv {
+            workers: read(Self::WORKERS)
+                .map(|v| parse_workers(Self::WORKERS, &v))
+                .transpose()?,
+            parallel_behaviors: read(Self::PAR_BEHAVIORS)
+                .map(|v| parse_bool(Self::PAR_BEHAVIORS, &v))
+                .transpose()?,
+            pipeline: read(Self::PIPELINE)
+                .map(|v| parse_bool(Self::PIPELINE, &v))
+                .transpose()?,
+        })
+    }
+
+    /// [`SimEnv::from_env`], panicking with the error's message on an
+    /// invalid value. Used by the `SimConfig::resolved_*` accessors, whose
+    /// signatures predate the unified parser: a misconfigured CI job must
+    /// fail loudly at the first simulation, not silently run the wrong
+    /// backend.
+    pub(crate) fn from_env_or_panic() -> Self {
+        match Self::from_env() {
+            Ok(env) => env,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The parsers are tested on in-memory strings, not by mutating the
+    // process environment: `std::env::set_var` from a threaded test
+    // harness races with every other test reading the same variables.
+
+    #[test]
+    fn workers_accepts_positive_integers_only() {
+        assert_eq!(parse_workers(SimEnv::WORKERS, "1"), Ok(1));
+        assert_eq!(parse_workers(SimEnv::WORKERS, "64"), Ok(64));
+        for bad in ["0", "-1", "x", "4.5", " 4", "4 "] {
+            let err = parse_workers(SimEnv::WORKERS, bad).unwrap_err();
+            assert_eq!(err.var, "FPPN_SIM_WORKERS");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("FPPN_SIM_WORKERS") && msg.contains(bad),
+                "error must name the variable and value: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn bools_accept_the_documented_grammar() {
+        for yes in ["1", "true", "TRUE", "yes", "On"] {
+            assert_eq!(parse_bool(SimEnv::PIPELINE, yes), Ok(true), "{yes}");
+        }
+        for no in ["0", "false", "False", "no", "OFF"] {
+            assert_eq!(parse_bool(SimEnv::PIPELINE, no), Ok(false), "{no}");
+        }
+        for bad in ["2", "enable", "tru", ""] {
+            let err = parse_bool(SimEnv::PIPELINE, bad).unwrap_err();
+            assert!(
+                err.to_string().contains("FPPN_SIM_PIPELINE"),
+                "error must name the variable: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_env_reflects_the_harness_environment() {
+        // Whatever the variables are set to in this harness must either
+        // parse (CI sets valid values) or be unset; `from_env` must agree
+        // with a direct read either way.
+        let env = SimEnv::from_env().expect("harness variables are valid");
+        match std::env::var(SimEnv::WORKERS).ok().filter(|v| !v.is_empty()) {
+            Some(v) => assert_eq!(env.workers, Some(v.parse::<usize>().unwrap())),
+            None => assert_eq!(env.workers, None),
+        }
+    }
+}

@@ -11,12 +11,17 @@
 //! outputs can be compared bit-for-bit against the zero-delay reference of
 //! `fppn-core` — the workspace's mechanized check of Prop. 4.1.
 //!
-//! Two backends share the round computation: [`simulate_seq`] (the
-//! single-threaded oracle) and [`simulate_parallel`] (per-processor
-//! timelines on a worker pool — Prop. 4.1 is precisely the license to
-//! parallelize, and the differential test-suite proves both backends
-//! bit-identical). [`simulate`] dispatches on [`SimConfig::workers`]
-//! (`0` = the `FPPN_SIM_WORKERS` environment variable).
+//! Three backends share the round computation: [`simulate_seq`] (the
+//! single-threaded oracle), [`simulate_parallel`] (per-processor timelines
+//! on a worker pool — Prop. 4.1 is precisely the license to parallelize,
+//! with an optional sharded data plane behind a barrier), and
+//! [`simulate_pipelined`] (the streaming frame pipeline: behaviors launch
+//! as soon as their round records are canonically committed, overlapping
+//! the data plane with round computation — no barrier at all). The
+//! differential test-suite proves all three bit-identical. [`simulate`]
+//! dispatches on [`SimConfig`] (`workers == 0` / the `pipeline` flag
+//! resolve from the `FPPN_SIM_WORKERS` / `FPPN_SIM_PIPELINE` environment
+//! variables — see [`SimEnv`]).
 //!
 //! See [`simulate`] for the entry point and `fppn-apps`/`fppn-bench` for
 //! full reproductions of the paper's Figures 4 and 6.
@@ -25,19 +30,23 @@
 #![warn(missing_docs)]
 
 mod behavior;
+mod env;
 mod exectime;
 mod gantt;
 mod metrics;
 mod overhead;
 mod parallel;
+mod pipeline;
 mod policy;
 mod stimgen;
 
+pub use env::{SimEnv, SimEnvError};
 pub use exectime::{ExecTimeModel, ExecTimeSampler};
 pub use gantt::{Gantt, Segment, SegmentKind};
 pub use metrics::{end_to_end_latency, response_stats, ResponseStats};
 pub use overhead::OverheadModel;
 pub use parallel::simulate_parallel;
+pub use pipeline::simulate_pipelined;
 pub use policy::{
     clip_stimuli, simulate, simulate_seq, JobRecord, SimConfig, SimError, SimRun, SimStats,
 };

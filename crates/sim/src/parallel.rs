@@ -60,7 +60,7 @@ use crate::policy::{JobRecord, RoundEngine, SimConfig, SimError, SimRun};
 
 /// One completion cell per round, plus the progress monitor blocked
 /// workers sleep on.
-struct CompletionBoard {
+pub(crate) struct CompletionBoard {
     /// `frame * n_jobs + job` → completion time, written exactly once.
     cells: Vec<OnceLock<TimeQ>>,
     n_jobs: usize,
@@ -76,7 +76,7 @@ struct CompletionBoard {
 }
 
 impl CompletionBoard {
-    fn new(frames: u64, n_jobs: usize) -> Self {
+    pub(crate) fn new(frames: u64, n_jobs: usize) -> Self {
         let mut cells = Vec::new();
         cells.resize_with(frames as usize * n_jobs, OnceLock::new);
         CompletionBoard {
@@ -133,9 +133,10 @@ impl CompletionBoard {
         self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Marks the run aborted (a worker is unwinding) and wakes every
-    /// blocked worker so it can observe the flag and exit.
-    fn abort(&self) {
+    /// Marks the run aborted (a worker is unwinding, or the data plane
+    /// failed and the remaining rounds are moot) and wakes every blocked
+    /// worker so it can observe the flag and exit.
+    pub(crate) fn abort(&self) {
         self.aborted.store(true, Ordering::SeqCst);
         let _guard = self.monitor.lock();
         self.cond.notify_all();
@@ -160,7 +161,7 @@ impl Drop for AbortOnUnwind<'_> {
 }
 
 /// A worker's view of one processor's frame-repeated static order.
-struct Timeline {
+pub(crate) struct Timeline {
     processor: usize,
     frame: u64,
     idx: usize,
@@ -169,13 +170,51 @@ struct Timeline {
     done: bool,
 }
 
+impl Timeline {
+    pub(crate) fn new(processor: usize) -> Self {
+        Timeline {
+            processor,
+            frame: 0,
+            idx: 0,
+            avail: TimeQ::ZERO,
+            records: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+/// Where a round worker delivers its output: whole-timeline batches (the
+/// barrier backend merges after every round exists) or per-round events
+/// (the streaming pipeline's sequencer consumes them as they commit).
+pub(crate) enum RoundSink<'a> {
+    /// One `(processor, records)` batch per exhausted timeline.
+    Batch(&'a crossbeam::channel::Sender<(usize, Vec<JobRecord>)>),
+    /// One [`RoundEvent`] per computed round, plus a terminator.
+    Stream(&'a crossbeam::channel::Sender<RoundEvent>),
+}
+
+/// One event of the streaming round plane. Each processor timeline emits
+/// its rounds in non-decreasing completion order (a round's start is at
+/// least its processor's availability), then exactly one `Done` — the
+/// monotonicity the pipeline's frontier watermark rests on. Rounds are
+/// batched per *burst* (the run of rounds a timeline completes before it
+/// blocks on a predecessor or exhausts): one channel rendezvous per burst
+/// instead of per round, flushed exactly when the timeline stops producing
+/// new information anyway.
+pub(crate) enum RoundEvent {
+    /// A burst of computed rounds on one processor timeline, in order.
+    Rounds(usize, Vec<JobRecord>),
+    /// The processor's timeline is exhausted.
+    Done(usize),
+}
+
 /// Advances every timeline owned by one worker until all are done,
-/// publishing completions and streaming each finished timeline's records.
-fn run_worker(
+/// publishing completions and delivering records through the sink.
+pub(crate) fn run_worker(
     engine: &RoundEngine<'_>,
     board: &CompletionBoard,
     mut timelines: Vec<Timeline>,
-    out: &crossbeam::channel::Sender<(usize, Vec<JobRecord>)>,
+    out: &RoundSink<'_>,
 ) {
     let mut guard = AbortOnUnwind {
         board,
@@ -193,11 +232,13 @@ fn run_worker(
             if tl.done {
                 continue;
             }
+            let burst_start = tl.records.len();
+            let mut finished = false;
             loop {
                 if tl.frame >= engine.frames {
                     tl.done = true;
                     remaining -= 1;
-                    let _ = out.send((tl.processor, std::mem::take(&mut tl.records)));
+                    finished = true;
                     progressed = true;
                     break;
                 }
@@ -221,6 +262,26 @@ fn run_worker(
                 tl.records.push(rec);
                 tl.idx += 1;
                 progressed = true;
+            }
+            // Send failures mean the consumer is gone (it aborted and
+            // dropped the receiver); the abort flag ends the outer loop,
+            // so just ignore them here.
+            match out {
+                RoundSink::Batch(tx) => {
+                    if finished {
+                        let _ = tx.send((tl.processor, std::mem::take(&mut tl.records)));
+                    }
+                }
+                RoundSink::Stream(tx) => {
+                    if tl.records.len() > burst_start {
+                        debug_assert_eq!(burst_start, 0, "stream timelines drain per burst");
+                        let _ = tx
+                            .send(RoundEvent::Rounds(tl.processor, std::mem::take(&mut tl.records)));
+                    }
+                    if finished {
+                        let _ = tx.send(RoundEvent::Done(tl.processor));
+                    }
+                }
             }
         }
         if remaining > 0 && !progressed {
@@ -288,21 +349,12 @@ pub(crate) fn simulate_parallel_with(
 
     let scope_result = crossbeam::thread::scope(|s| {
         for w in 0..workers {
-            let timelines: Vec<Timeline> = (w..m_procs)
-                .step_by(workers)
-                .map(|m| Timeline {
-                    processor: m,
-                    frame: 0,
-                    idx: 0,
-                    avail: TimeQ::ZERO,
-                    records: Vec::new(),
-                    done: false,
-                })
-                .collect();
+            let timelines: Vec<Timeline> =
+                (w..m_procs).step_by(workers).map(Timeline::new).collect();
             let tx = tx.clone();
             let engine = &engine;
             let board = &board;
-            s.spawn(move |_| run_worker(engine, board, timelines, &tx));
+            s.spawn(move |_| run_worker(engine, board, timelines, &RoundSink::Batch(&tx)));
         }
         // The workers hold the only remaining senders: once they are all
         // gone (completion or panic) `recv` disconnects.
@@ -447,8 +499,7 @@ mod tests {
                     frames: 6,
                     overhead,
                     exec_time: exec,
-                    workers: 1,
-                    parallel_behaviors: false,
+                    ..SimConfig::default()
                 };
                 let seq =
                     simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &config).unwrap();

@@ -1,0 +1,659 @@
+//! The streaming frame pipeline: behavior execution overlapped with round
+//! computation.
+//!
+//! # Why the barrier was never required
+//!
+//! The barrier backends compute *every* round record of the run, then sort
+//! them into the canonical total order `(completion, frame, topological
+//! position)` and only then fire the first behavior — the whole round
+//! computation sits on the data plane's critical path. But the paper's
+//! determinism argument never asks for that barrier: a job's behavior is a
+//! pure function of its identity (`global_k`) and the committed prefixes
+//! of its read channels (Def. 2.1 single-writer/single-reader), all of
+//! which are fixed by the canonical order of the rounds *before* it. The
+//! fixed-job-priority predictability results (Cucu-Grosjean & Goossens)
+//! and deterministic-scheduling-by-construction (Yun, Kim & Sha) make the
+//! same point one level up: executing along a fixed priority/canonical
+//! order pipelines freely without changing observable output. So a job is
+//! runnable as soon as (a) its own record is *canonically committed* and
+//! (b) its upstream writers have committed the jobs canonically before it.
+//!
+//! # The frontier board
+//!
+//! The open question is when a published record is canonically committed:
+//! its canonical position compares completion *times*, and a racing
+//! processor might still produce an earlier round. The answer is a
+//! watermark over per-processor completion **frontiers**:
+//!
+//! > each processor timeline publishes its rounds in non-decreasing
+//! > completion order (every round starts no earlier than its processor's
+//! > availability), so once *every* still-active timeline's latest
+//! > published completion exceeds time `t`, no record with completion
+//! > `≤ t` can ever appear again.
+//!
+//! The sequencer keeps one frontier per processor (monotone by
+//! construction, asserted on every event), a min-heap of published-but-
+//! uncommitted records keyed by the canonical order, and commits a record
+//! exactly when its completion drops strictly below the minimum active
+//! frontier (or every timeline is exhausted). Committed records stream out
+//! in canonical order — the same sequence `sort_by_cached_key` would have
+//! produced, but available incrementally, typically a few rounds behind
+//! the fastest producer.
+//!
+//! # One dataflow instead of two phases
+//!
+//! ```text
+//! round workers ──RoundEvent──▶ sequencer ──PlannedJob──▶ behavior workers
+//!  (parallel.rs    (record       (this module:  (JobFeed)   (behavior.rs
+//!   timelines +     stream)       frontier board,            shards +
+//!   completion                    global_k, planning)        progress
+//!   board)                                                   rendezvous)
+//! ```
+//!
+//! The sequencer runs on the calling thread. For networks the sharded
+//! store cannot express (bounded-capacity cross-process FIFOs), the
+//! behavior stage degrades to the sequential [`ExecState`] replay *inside
+//! the sequencer* — still overlapped with round computation, just not
+//! parallel among behaviors.
+//!
+//! Determinism is inherited, not re-argued: the sequencer emits the exact
+//! canonical order, `global_k` and the visibility/gate plan are computed
+//! by the same [`RecordPlanner`](crate::behavior::RecordPlanner) arithmetic
+//! as the barrier path, and rendering goes through the same
+//! `RoundEngine::render`. The differential suite asserts bit-identity
+//! against [`simulate_seq`](crate::simulate_seq) across the full matrix.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+use fppn_core::{
+    BehaviorBank, ExecError, ExecState, Fppn, SharedChannels, ShardedExec, Stimuli,
+};
+use fppn_taskgraph::DerivedTaskGraph;
+use fppn_sched::StaticSchedule;
+use fppn_time::TimeQ;
+use parking_lot::Mutex;
+
+use crate::behavior::{
+    into_shards, run_worker_streaming, stream_timelines, JobFeed, ProgressBoard, RecordPlanner,
+};
+use crate::parallel::{run_worker, CompletionBoard, RoundEvent, RoundSink, Timeline};
+use crate::policy::{JobRecord, RoundEngine, SimConfig, SimError, SimRun};
+
+/// A published round waiting for the watermark, ordered by the canonical
+/// key (reversed: [`BinaryHeap`] is a max-heap, we pop the least).
+struct Pending {
+    completion: TimeQ,
+    frame: u64,
+    topo: usize,
+    rec: JobRecord,
+}
+
+impl Pending {
+    fn key(&self) -> (TimeQ, u64, usize) {
+        (self.completion, self.frame, self.topo)
+    }
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: the heap's max is the canonically least record.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// The frontier board: per-processor completion frontiers, the watermark,
+/// and the heap of published-but-uncommitted records (see module docs).
+struct Sequencer {
+    topo_pos: Vec<usize>,
+    /// Latest published completion per processor (monotone per timeline).
+    frontier: Vec<TimeQ>,
+    /// Whether the processor's timeline can still publish.
+    active: Vec<bool>,
+    pending: BinaryHeap<Pending>,
+    /// Per-process executed-job counters: `global_k` assignment.
+    counts: Vec<u64>,
+    /// Every committed record, in canonical order.
+    records: Vec<JobRecord>,
+}
+
+impl Sequencer {
+    fn new(engine: &RoundEngine<'_>, n_procs: usize) -> Self {
+        Sequencer {
+            topo_pos: engine.topo_positions(),
+            frontier: vec![TimeQ::ZERO; engine.m_procs],
+            active: vec![true; engine.m_procs],
+            pending: BinaryHeap::with_capacity(engine.total_rounds().min(1 << 16)),
+            counts: vec![0u64; n_procs],
+            records: Vec::with_capacity(engine.total_rounds()),
+        }
+    }
+
+    /// The time strictly below which no future record can complete.
+    fn watermark(&self) -> Option<TimeQ> {
+        self.active
+            .iter()
+            .zip(&self.frontier)
+            .filter(|(a, _)| **a)
+            .map(|(_, f)| *f)
+            .min()
+    }
+
+    /// Ingests one round event and commits every record the watermark now
+    /// proves final, passing each (with `global_k` assigned) to `commit`
+    /// in canonical order. Returns how many records committed, so the
+    /// caller can batch one worker wake-up per event.
+    fn ingest(
+        &mut self,
+        ev: RoundEvent,
+        mut commit: impl FnMut(&JobRecord) -> Result<(), SimError>,
+    ) -> Result<usize, SimError> {
+        match ev {
+            RoundEvent::Rounds(m, burst) => {
+                assert!(self.active[m], "processor {m} published after Done");
+                for rec in burst {
+                    assert!(
+                        rec.completion >= self.frontier[m],
+                        "processor {m} published out of frontier order"
+                    );
+                    self.frontier[m] = rec.completion;
+                    self.pending.push(Pending {
+                        completion: rec.completion,
+                        frame: rec.frame,
+                        topo: self.topo_pos[rec.job.index()],
+                        rec,
+                    });
+                }
+            }
+            RoundEvent::Done(m) => {
+                assert!(self.active[m], "processor {m} finished twice");
+                self.active[m] = false;
+            }
+        }
+        let watermark = self.watermark();
+        let mut committed = 0usize;
+        while let Some(top) = self.pending.peek() {
+            match watermark {
+                // A record strictly below every active frontier is final:
+                // ties at the watermark are not (the frontier processor
+                // may still publish an equal-completion record that sorts
+                // earlier by (frame, topo)).
+                Some(w) if top.completion >= w => break,
+                _ => {}
+            }
+            let mut rec = self.pending.pop().expect("peeked").rec;
+            if !rec.skipped {
+                let c = &mut self.counts[rec.process.index()];
+                *c += 1;
+                rec.global_k = *c;
+            }
+            commit(&rec)?;
+            self.records.push(rec);
+            committed += 1;
+        }
+        Ok(committed)
+    }
+}
+
+/// Simulates with the streaming pipeline using
+/// `config.resolved_workers()` threads for each plane (a resolved count of
+/// 1 still exercises the full frontier/feed machinery).
+///
+/// Produces bit-identical [`SimRun`]s to [`crate::simulate_seq`] — the
+/// differential suite asserts this across worker counts, densities,
+/// models and behavior-heavy workloads.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on invalid stimuli, behavior failures, or a
+/// deadlocked (structurally invalid) schedule.
+pub fn simulate_pipelined(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    derived: &DerivedTaskGraph,
+    schedule: &StaticSchedule,
+    config: &SimConfig,
+) -> Result<SimRun, SimError> {
+    let workers = config.resolved_workers().max(1);
+    simulate_pipelined_with(net, bank, stimuli, derived, schedule, config, workers)
+}
+
+/// [`simulate_pipelined`] with an explicit worker count (the dispatch
+/// target of [`crate::simulate`]).
+pub(crate) fn simulate_pipelined_with(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    derived: &DerivedTaskGraph,
+    schedule: &StaticSchedule,
+    config: &SimConfig,
+    workers: usize,
+) -> Result<SimRun, SimError> {
+    let engine = RoundEngine::new(net, stimuli, derived, schedule, config)?;
+    // Reject deadlocking schedules before any thread can block on them.
+    engine.check_order()?;
+    if SharedChannels::supports(net) {
+        pipeline_sharded(net, bank, stimuli, &engine, workers)
+    } else {
+        pipeline_seq_behaviors(net, bank, stimuli, &engine, workers)
+    }
+}
+
+/// Spawns the round workers of one pipelined run into `scope`, streaming
+/// each published round over `tx`.
+fn spawn_round_workers<'s, 'e: 's>(
+    s: &crossbeam::thread::Scope<'s, 'e>,
+    engine: &'s RoundEngine<'_>,
+    board: &'s CompletionBoard,
+    tx: crossbeam::channel::Sender<RoundEvent>,
+    workers: usize,
+) {
+    let m_procs = engine.m_procs;
+    let round_workers = workers.clamp(1, m_procs.max(1));
+    for w in 0..round_workers {
+        let timelines: Vec<Timeline> =
+            (w..m_procs).step_by(round_workers).map(Timeline::new).collect();
+        let tx = tx.clone();
+        s.spawn(move |_| run_worker(engine, board, timelines, &RoundSink::Stream(&tx)));
+    }
+    // The spawned workers hold the only remaining senders; once they all
+    // exit (completion, abort or panic) the receiver disconnects.
+    drop(tx);
+}
+
+/// The fully-streaming path: round workers → sequencer → sharded behavior
+/// workers, all concurrent.
+fn pipeline_sharded(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    engine: &RoundEngine<'_>,
+    workers: usize,
+) -> Result<SimRun, SimError> {
+    let mut planner = RecordPlanner::new(net);
+    // Weight the process partition by the static per-frame job census —
+    // the exact per-process totals up to skipped server slots, known
+    // before any record exists.
+    let mut weights = vec![0usize; net.process_count()];
+    for job in engine.graph.jobs() {
+        weights[job.process.index()] += 1;
+    }
+
+    let exec = ShardedExec::new(net);
+    let shards = exec.shards(stimuli);
+    let behaviors = bank.instantiate();
+    let mut worker_timelines =
+        stream_timelines(planner.deps(), shards, behaviors, &weights, workers);
+
+    let round_board = CompletionBoard::new(engine.frames, engine.n_jobs);
+    let behavior_board = ProgressBoard::new(net.process_count());
+    let feed = JobFeed::new(net.process_count());
+    let error: Mutex<Option<ExecError>> = Mutex::new(None);
+    let (tx, rx) = crossbeam::channel::unbounded::<RoundEvent>();
+
+    let mut sequencer = Sequencer::new(engine, net.process_count());
+    let scope_result = crossbeam::thread::scope(|s| {
+        spawn_round_workers(s, engine, &round_board, tx, workers);
+        for timelines in worker_timelines.iter_mut() {
+            let (board, feed, error) = (&behavior_board, &feed, &error);
+            s.spawn(move |_| run_worker_streaming(board, feed, &mut timelines[..], error));
+        }
+
+        // The sequencer: consume the round stream on this thread, commit
+        // canonically-final records, feed the behavior plane.
+        let mut done = 0usize;
+        let m_procs = engine.m_procs;
+        while done < m_procs {
+            // A failed behavior aborts the behavior board; stop both
+            // planes instead of sequencing rounds nobody will run.
+            if behavior_board.is_aborted() {
+                round_board.abort();
+                break;
+            }
+            match rx.recv() {
+                Ok(ev) => {
+                    if matches!(ev, RoundEvent::Done(_)) {
+                        done += 1;
+                    }
+                    let committed = sequencer
+                        .ingest(ev, |rec| {
+                            if let Some(job) = planner.plan(rec) {
+                                feed.push(rec.process.index(), job);
+                            }
+                            Ok(())
+                        })
+                        .expect("sharded commit is infallible");
+                    if committed > 0 {
+                        // One wake-up per ingested burst, not per job.
+                        behavior_board.notify();
+                    }
+                }
+                // Disconnect with timelines outstanding: a round worker
+                // panicked; the scope join below re-raises its payload.
+                Err(_) => {
+                    behavior_board.abort();
+                    break;
+                }
+            }
+        }
+        // No more jobs will ever arrive: let the behavior workers drain
+        // their queues and exit (the scope joins them before returning).
+        feed.seal(&behavior_board);
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
+    if let Some(e) = error.into_inner() {
+        return Err(SimError::Exec(e));
+    }
+
+    assert_eq!(
+        sequencer.records.len(),
+        engine.total_rounds(),
+        "sequencer committed every round"
+    );
+    let (observables, _) = exec.merge(into_shards(worker_timelines), None);
+    Ok(engine.render(net, sequencer.records, observables))
+}
+
+/// The degraded path for networks the sharded store cannot express
+/// (bounded-capacity cross-process FIFOs): behaviors replay through the
+/// sequential [`ExecState`] *inside the sequencer* — still overlapped with
+/// round computation, just serialized among themselves.
+fn pipeline_seq_behaviors(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    engine: &RoundEngine<'_>,
+    workers: usize,
+) -> Result<SimRun, SimError> {
+    let round_board = CompletionBoard::new(engine.frames, engine.n_jobs);
+    let (tx, rx) = crossbeam::channel::unbounded::<RoundEvent>();
+
+    let mut sequencer = Sequencer::new(engine, net.process_count());
+    let mut behaviors = bank.instantiate();
+    let mut state = ExecState::new(net, stimuli.clone());
+    let mut exec_error: Option<SimError> = None;
+
+    let scope_result = crossbeam::thread::scope(|s| {
+        spawn_round_workers(s, engine, &round_board, tx, workers);
+        let mut done = 0usize;
+        let m_procs = engine.m_procs;
+        while done < m_procs {
+            match rx.recv() {
+                Ok(ev) => {
+                    if matches!(ev, RoundEvent::Done(_)) {
+                        done += 1;
+                    }
+                    let commit = sequencer.ingest(ev, |rec| {
+                        if rec.skipped {
+                            return Ok(());
+                        }
+                        state
+                            .run_job(&mut behaviors, rec.process, rec.global_k, rec.invoked_at)
+                            .map_err(SimError::from)
+                    });
+                    if let Err(e) = commit {
+                        // The remaining rounds are moot; stop the workers.
+                        exec_error = Some(e);
+                        round_board.abort();
+                        break;
+                    }
+                }
+                Err(_) => break, // worker panic; re-raised below
+            }
+        }
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
+    if let Some(e) = exec_error {
+        return Err(e);
+    }
+
+    assert_eq!(
+        sequencer.records.len(),
+        engine.total_rounds(),
+        "sequencer committed every round"
+    );
+    Ok(engine.render(net, sequencer.records, state.observables()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::simulate_seq;
+    use crate::{ExecTimeModel, OverheadModel};
+    use fppn_core::{
+        ChannelKind, ChannelSpec, EventSpec, FppnBuilder, JobCtx, PortId, ProcessSpec,
+        SporadicTrace, Value,
+    };
+    use fppn_sched::{list_schedule, Heuristic};
+    use fppn_taskgraph::{derive_task_graph, JobId, WcetModel};
+
+    fn ms(v: i64) -> TimeQ {
+        TimeQ::from_ms(v)
+    }
+
+    fn rec(frame: u64, job: usize, completion: TimeQ) -> JobRecord {
+        JobRecord {
+            process: fppn_core::ProcessId::from_index(job),
+            frame,
+            job: JobId::from_index(job),
+            global_k: 0,
+            processor: 0,
+            invoked_at: TimeQ::ZERO,
+            start: TimeQ::ZERO,
+            completion,
+            deadline: completion,
+            missed: false,
+            skipped: false,
+        }
+    }
+
+    /// The watermark must hold back records at the frontier (a tying
+    /// record may still arrive) and release them once every active
+    /// frontier moves strictly past — directly on a hand-built sequencer.
+    #[test]
+    fn watermark_releases_strictly_below_active_frontiers() {
+        let mut seq = Sequencer {
+            topo_pos: (0..4).collect(),
+            frontier: vec![TimeQ::ZERO; 2],
+            active: vec![true; 2],
+            pending: BinaryHeap::new(),
+            counts: vec![0; 4],
+            records: Vec::new(),
+        };
+        let committed: std::cell::RefCell<Vec<(u64, usize)>> = std::cell::RefCell::new(Vec::new());
+        let commit = |r: &JobRecord| {
+            committed.borrow_mut().push((r.frame, r.job.index()));
+            Ok(())
+        };
+        // Processor 0 publishes t=10; processor 1 is still at frontier 0:
+        // nothing can commit (proc 1 might still publish t < 10).
+        seq.ingest(RoundEvent::Rounds(0, vec![rec(0, 0, ms(10))]), commit)
+            .unwrap();
+        assert!(committed.borrow().is_empty());
+        // Processor 1 publishes t=10 too: both are *at* the watermark
+        // (min frontier = 10) — still held back, a 10-tie can arrive.
+        seq.ingest(RoundEvent::Rounds(1, vec![rec(0, 1, ms(10))]), commit)
+            .unwrap();
+        assert!(committed.borrow().is_empty());
+        // Processor 1 moves to 25: only records strictly below 10 exist —
+        // none — so the two t=10 records still wait on processor 0.
+        seq.ingest(RoundEvent::Rounds(1, vec![rec(0, 2, ms(25))]), commit)
+            .unwrap();
+        assert!(committed.borrow().is_empty());
+        // Processor 0 moves to 30: watermark = min(30, 25) = 25, so both
+        // t=10 records commit, in canonical (topo tie-break) order.
+        seq.ingest(RoundEvent::Rounds(0, vec![rec(0, 3, ms(30))]), commit)
+            .unwrap();
+        assert_eq!(*committed.borrow(), vec![(0, 0), (0, 1)]);
+        // Exhausting both timelines flushes the rest in canonical order.
+        seq.ingest(RoundEvent::Done(0), commit).unwrap();
+        assert_eq!(committed.borrow().len(), 2, "one timeline still active");
+        seq.ingest(RoundEvent::Done(1), commit).unwrap();
+        assert_eq!(*committed.borrow(), vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
+        assert_eq!(seq.records.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "published out of frontier order")]
+    fn non_monotone_frontier_is_rejected() {
+        let mut seq = Sequencer {
+            topo_pos: (0..2).collect(),
+            frontier: vec![TimeQ::ZERO; 1],
+            active: vec![true; 1],
+            pending: BinaryHeap::new(),
+            counts: vec![0; 2],
+            records: Vec::new(),
+        };
+        let commit = |_: &JobRecord| Ok(());
+        seq.ingest(RoundEvent::Rounds(0, vec![rec(0, 0, ms(20))]), commit)
+            .unwrap();
+        let _ = seq.ingest(RoundEvent::Rounds(0, vec![rec(0, 1, ms(10))]), commit);
+    }
+
+    /// End-to-end: a behavior failure inside the pipelined sharded path
+    /// surfaces as `SimError::Exec`, not a hang or a panic.
+    #[test]
+    fn behavior_error_aborts_the_pipeline() {
+        let mut b = FppnBuilder::new();
+        let src = b.process(ProcessSpec::new("src", EventSpec::periodic(ms(100))));
+        let dst =
+            b.process(ProcessSpec::new("dst", EventSpec::periodic(ms(100))).with_output("o"));
+        let ch = b.channel("c", src, dst, ChannelKind::Fifo);
+        b.priority(src, dst);
+        b.behavior(src, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch, Value::Int(ctx.k() as i64)))
+        });
+        b.behavior(dst, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let _ = ctx.read(ch);
+                // An undeclared output port: a recoverable ExecError in
+                // the core executor... none exist via JobCtx (endpoint
+                // misuse panics), so fail through the input path instead.
+                let _ = ctx.read_input(PortId::from_index(99));
+            })
+        });
+        let (net, bank) = b.build().unwrap();
+        let derived = derive_task_graph(&net, &WcetModel::uniform(ms(10))).unwrap();
+        let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+        let config = SimConfig {
+            frames: 3,
+            ..SimConfig::default()
+        };
+        // Whatever the failure mode (ExecError or panic), the pipeline
+        // must terminate; a panic is re-raised, an error is returned.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            simulate_pipelined_with(
+                &net,
+                &bank,
+                &Stimuli::new(),
+                &derived,
+                &schedule,
+                &config,
+                4,
+            )
+        }));
+        match result {
+            Ok(Ok(_)) => panic!("undeclared input read must not succeed"),
+            Ok(Err(e)) => assert!(matches!(e, SimError::Exec(_)), "unexpected error {e}"),
+            Err(_) => {} // panic propagated — also a clean termination
+        }
+    }
+
+    /// The pipelined backend against the oracle on a small matrix (the
+    /// full matrix lives in the integration differential suite).
+    #[test]
+    fn pipelined_matches_sequential() {
+        let mut b = FppnBuilder::new();
+        let src = b.process(ProcessSpec::new("src", EventSpec::periodic(ms(100))));
+        let mid = b.process(ProcessSpec::new("mid", EventSpec::periodic(ms(200))));
+        let dst =
+            b.process(ProcessSpec::new("dst", EventSpec::periodic(ms(200))).with_output("o"));
+        let cfg = b.process(ProcessSpec::new("cfg", EventSpec::sporadic(2, ms(500))));
+        let c1 = b.channel("c1", src, mid, ChannelKind::Fifo);
+        let c2 = b.channel("c2", mid, dst, ChannelKind::Fifo);
+        let k = b.channel("k", cfg, mid, ChannelKind::Blackboard);
+        let state = b.channel_spec(
+            ChannelSpec::new("state", mid, mid, ChannelKind::Blackboard)
+                .with_initial(Value::Int(1)),
+        );
+        b.priority(src, mid);
+        b.priority(mid, dst);
+        b.priority(cfg, mid);
+        b.behavior(src, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(c1, Value::Int(ctx.k() as i64)))
+        });
+        b.behavior(mid, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let mut acc = match ctx.read(state) {
+                    Some(Value::Int(v)) => v,
+                    _ => 0,
+                };
+                if let Some(Value::Int(s)) = ctx.read(k) {
+                    acc = acc.wrapping_mul(s);
+                }
+                while let Some(Value::Int(v)) = ctx.read(c1) {
+                    acc = acc.wrapping_add(v * 3);
+                }
+                ctx.write(state, Value::Int(acc));
+                ctx.write(c2, Value::Int(acc));
+            })
+        });
+        b.behavior(dst, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let v = ctx.read_value(c2);
+                ctx.write_output(PortId::from_index(0), v);
+            })
+        });
+        b.behavior(cfg, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(k, Value::Int(ctx.k() as i64 + 2)))
+        });
+        let (net, bank) = b.build().unwrap();
+        let cfg_pid = net.process_by_name("cfg").unwrap();
+        let derived = derive_task_graph(&net, &WcetModel::uniform(ms(9))).unwrap();
+        let mut stimuli = Stimuli::new();
+        stimuli.arrivals(cfg_pid, SporadicTrace::new(vec![ms(30), ms(260), ms(700)]));
+        let stimuli = crate::clip_stimuli(&net, &derived, &stimuli, 5);
+        for m in [1usize, 2, 3] {
+            let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+            for (exec, overhead) in [
+                (ExecTimeModel::Wcet, OverheadModel::NONE),
+                (ExecTimeModel::typical_jitter(3), OverheadModel::constant(ms(5))),
+            ] {
+                let config = SimConfig {
+                    frames: 5,
+                    overhead,
+                    exec_time: exec,
+                    ..SimConfig::default()
+                };
+                let seq =
+                    simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &config).unwrap();
+                for workers in [1usize, 2, 4] {
+                    let pipe = simulate_pipelined_with(
+                        &net, &bank, &stimuli, &derived, &schedule, &config, workers,
+                    )
+                    .unwrap();
+                    assert_eq!(seq.records, pipe.records, "m {m} workers {workers}");
+                    assert_eq!(seq.observables, pipe.observables, "m {m} workers {workers}");
+                    assert_eq!(seq.gantt, pipe.gantt, "m {m} workers {workers}");
+                    assert_eq!(seq.stats, pipe.stats, "m {m} workers {workers}");
+                }
+            }
+        }
+    }
+}

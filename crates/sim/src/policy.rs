@@ -43,6 +43,7 @@ use fppn_taskgraph::{wrap_predecessors, DerivedTaskGraph, JobId, RoundResolution
 use fppn_sched::StaticSchedule;
 use fppn_time::TimeQ;
 
+use crate::env::{SimEnv, SimEnvError};
 use crate::exectime::ExecTimeModel;
 use crate::gantt::{Gantt, Segment, SegmentKind};
 use crate::overhead::OverheadModel;
@@ -71,31 +72,79 @@ pub struct SimConfig {
     /// (bounded-capacity cross-process FIFOs) fall back to sequential
     /// behavior execution automatically.
     pub parallel_behaviors: bool,
+    /// Stream the data plane behind round computation: when enabled
+    /// (directly or through the `FPPN_SIM_PIPELINE` environment variable),
+    /// [`simulate`] dispatches to the pipelined backend
+    /// ([`simulate_pipelined`](crate::simulate_pipelined)): round records
+    /// are published incrementally through a per-processor completion
+    /// frontier, and each behavior launches as soon as its own record and
+    /// its upstream writers' records are canonically committed — no
+    /// "all rounds first" barrier. Subsumes [`SimConfig::parallel_behaviors`]
+    /// (the pipeline shards the data plane whenever the network supports
+    /// it, and streams behaviors through the sequential store otherwise).
+    /// Output stays bit-identical to [`simulate_seq`].
+    pub pipeline: bool,
 }
 
 impl SimConfig {
+    /// The default configuration with every environment override applied:
+    /// `FPPN_SIM_WORKERS` → [`SimConfig::workers`], `FPPN_SIM_PAR_BEHAVIORS`
+    /// → [`SimConfig::parallel_behaviors`], `FPPN_SIM_PIPELINE` →
+    /// [`SimConfig::pipeline`] (see [`crate::SimEnv`] for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimEnvError`] — naming the offending variable — on an
+    /// invalid value; unset/empty variables keep the defaults.
+    pub fn from_env() -> Result<Self, SimEnvError> {
+        let env = SimEnv::from_env()?;
+        Ok(SimConfig {
+            workers: env.workers.unwrap_or(0),
+            parallel_behaviors: env.parallel_behaviors.unwrap_or(false),
+            pipeline: env.pipeline.unwrap_or(false),
+            ..SimConfig::default()
+        })
+    }
+
     /// The worker count after resolving `workers == 0` against the
-    /// `FPPN_SIM_WORKERS` environment variable (absent/invalid → 1).
+    /// `FPPN_SIM_WORKERS` environment variable (absent/empty → 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message naming the variable if it holds an invalid
+    /// value (use [`SimConfig::from_env`] for a `Result`).
     pub fn resolved_workers(&self) -> usize {
         if self.workers != 0 {
             return self.workers;
         }
-        std::env::var("FPPN_SIM_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&w| w >= 1)
-            .unwrap_or(1)
+        SimEnv::from_env_or_panic().workers.unwrap_or(1)
     }
 
-    /// Whether behavior execution shards: the explicit field, or the
-    /// `FPPN_SIM_PAR_BEHAVIORS` environment variable (`1`/`true`) when the
-    /// field is unset — the hook the CI determinism job uses to force the
-    /// sharded data plane through the entire test-suite.
+    /// Whether behavior execution shards in the barrier backend: the
+    /// explicit field, or the `FPPN_SIM_PAR_BEHAVIORS` environment variable
+    /// when the field is unset — the hook the CI determinism job uses to
+    /// force the sharded data plane through the entire test-suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message naming the variable on an invalid value.
     pub fn resolved_parallel_behaviors(&self) -> bool {
         self.parallel_behaviors
-            || std::env::var("FPPN_SIM_PAR_BEHAVIORS")
-                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            || SimEnv::from_env_or_panic()
+                .parallel_behaviors
                 .unwrap_or(false)
+    }
+
+    /// Whether the streaming pipeline is requested: the explicit field, or
+    /// the `FPPN_SIM_PIPELINE` environment variable when the field is
+    /// unset — the hook the CI pipeline job uses to force the streaming
+    /// backend through the entire test-suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message naming the variable on an invalid value.
+    pub fn resolved_pipeline(&self) -> bool {
+        self.pipeline || SimEnv::from_env_or_panic().pipeline.unwrap_or(false)
     }
 }
 
@@ -107,6 +156,7 @@ impl Default for SimConfig {
             exec_time: ExecTimeModel::Wcet,
             workers: 0,
             parallel_behaviors: false,
+            pipeline: false,
         }
     }
 }
@@ -488,34 +538,27 @@ impl<'a> RoundEngine<'a> {
         })
     }
 
-    /// Sorts the records canonically, runs the behaviors (sequentially, or
-    /// sharded across `behavior_workers` threads when non-zero), renders
-    /// the Gantt and accumulates the statistics.
-    ///
-    /// The canonical order `(completion, frame, topological position)` is a
-    /// *total* order on rounds (the topological position is unique per job
-    /// within a frame), so the result is independent of the order in which
-    /// a backend produced the records — the keystone of the bit-identity
-    /// contract between the backends.
-    pub(crate) fn finalize(
-        &self,
-        net: &Fppn,
-        bank: &BehaviorBank,
-        stimuli: &Stimuli,
-        mut records: Vec<JobRecord>,
-        behavior_workers: usize,
-    ) -> Result<SimRun, SimError> {
-        let topo_pos = {
-            let order = self
-                .graph
-                .topological_order()
-                .expect("derived task graphs are acyclic");
-            let mut pos = vec![0usize; self.n_jobs];
-            for (i, id) in order.iter().enumerate() {
-                pos[id.index()] = i;
-            }
-            pos
-        };
+    /// The topological position of every job — the third component of the
+    /// canonical record key `(completion, frame, topo)`.
+    pub(crate) fn topo_positions(&self) -> Vec<usize> {
+        let order = self
+            .graph
+            .topological_order()
+            .expect("derived task graphs are acyclic");
+        let mut pos = vec![0usize; self.n_jobs];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        pos
+    }
+
+    /// Sorts `records` into the canonical total order `(completion, frame,
+    /// topological position)` and assigns each executed round its global
+    /// invocation count — a pure function of that order, so every backend
+    /// (and the streaming sequencer, which never materializes an unsorted
+    /// vector at all) computes identical identities.
+    pub(crate) fn canonicalize(&self, net: &Fppn, records: &mut [JobRecord]) {
+        let topo_pos = self.topo_positions();
         // Cached keys: TimeQ comparisons cross-multiply i128s, so comparing
         // precomputed key tuples instead of re-deriving them per comparison
         // measurably speeds up large multi-frame runs.
@@ -533,6 +576,29 @@ impl<'a> RoundEngine<'a> {
             *c += 1;
             rec.global_k = *c;
         }
+    }
+
+    /// Sorts the records canonically, runs the behaviors (sequentially, or
+    /// sharded across `behavior_workers` threads when non-zero), renders
+    /// the Gantt and accumulates the statistics.
+    ///
+    /// The canonical order `(completion, frame, topological position)` is a
+    /// *total* order on rounds (the topological position is unique per job
+    /// within a frame), so the result is independent of the order in which
+    /// a backend produced the records — the keystone of the bit-identity
+    /// contract between the backends. This is the **barrier** finalization:
+    /// every record exists before the first behavior fires. The streaming
+    /// backend (`crate::pipeline`) instead interleaves the same three steps
+    /// per record and calls [`RoundEngine::render`] directly.
+    pub(crate) fn finalize(
+        &self,
+        net: &Fppn,
+        bank: &BehaviorBank,
+        stimuli: &Stimuli,
+        mut records: Vec<JobRecord>,
+        behavior_workers: usize,
+    ) -> Result<SimRun, SimError> {
+        self.canonicalize(net, &mut records);
 
         // Execute behaviors in the precedence-consistent canonical order:
         // sharded over the worker pool when requested and expressible,
@@ -557,6 +623,20 @@ impl<'a> RoundEngine<'a> {
             state.observables()
         };
 
+        Ok(self.render(net, records, observables))
+    }
+
+    /// Renders the [`SimRun`] from canonically-ordered records (with
+    /// `global_k` assigned) and already-computed observables: the Gantt,
+    /// then the aggregate statistics. Shared by the barrier finalization
+    /// above and the streaming pipeline, so presentation can never drift
+    /// between backends.
+    pub(crate) fn render(
+        &self,
+        net: &Fppn,
+        records: Vec<JobRecord>,
+        observables: Observables,
+    ) -> SimRun {
         // Gantt: application rows + a runtime row when overhead is modeled.
         let overhead_row = (!self.overhead.is_none()) as usize;
         let mut gantt = Gantt::new(self.m_procs + overhead_row);
@@ -605,18 +685,20 @@ impl<'a> RoundEngine<'a> {
             }
         }
 
-        Ok(SimRun {
+        SimRun {
             observables,
             gantt,
             records,
             stats,
-        })
+        }
     }
 }
 
 /// Simulates `config.frames` frames of the static-order policy,
-/// dispatching to the sequential or parallel backend per
-/// [`SimConfig::workers`] (both produce bit-identical results).
+/// dispatching on [`SimConfig`]: the streaming pipeline when
+/// [`SimConfig::pipeline`] resolves true, else the sequential or barrier
+/// parallel backend per [`SimConfig::workers`] (all backends produce
+/// bit-identical results).
 ///
 /// # Errors
 ///
@@ -631,6 +713,20 @@ pub fn simulate(
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
     let workers = config.resolved_workers();
+    // The pipeline routes even at one worker, exactly like behavior
+    // sharding below: a 1-worker pipelined run exercises the full
+    // frontier/feed machinery.
+    if config.resolved_pipeline() {
+        return crate::pipeline::simulate_pipelined_with(
+            net,
+            bank,
+            stimuli,
+            derived,
+            schedule,
+            config,
+            workers.max(1),
+        );
+    }
     // Behavior sharding routes through the parallel backend even at one
     // worker: a 1-worker sharded run exercises the full rendezvous
     // machinery, exactly like the 1-worker round backend.
@@ -949,12 +1045,25 @@ mod tests {
         };
         assert_eq!(explicit.resolved_workers(), 3);
         // workers == 0 resolves via the environment; in the test harness the
-        // variable is either unset (→ 1) or a positive override (→ itself).
+        // variable is either unset/empty (→ 1) or a valid positive override
+        // (→ itself; invalid values now panic with the variable's name).
         let auto = SimConfig::default();
         let resolved = auto.resolved_workers();
-        match std::env::var("FPPN_SIM_WORKERS") {
-            Ok(v) => assert_eq!(resolved, v.parse::<usize>().unwrap_or(1).max(1)),
-            Err(_) => assert_eq!(resolved, 1),
+        match std::env::var("FPPN_SIM_WORKERS").ok().filter(|v| !v.is_empty()) {
+            Some(v) => assert_eq!(resolved, v.parse::<usize>().unwrap()),
+            None => assert_eq!(resolved, 1),
         }
+    }
+
+    #[test]
+    fn from_env_agrees_with_resolved_accessors() {
+        let cfg = SimConfig::from_env().expect("harness env vars are valid");
+        assert_eq!(cfg.workers.max(1), SimConfig::default().resolved_workers());
+        assert_eq!(
+            cfg.parallel_behaviors,
+            SimConfig::default().resolved_parallel_behaviors()
+        );
+        assert_eq!(cfg.pipeline, SimConfig::default().resolved_pipeline());
+        assert_eq!(cfg.frames, 1, "from_env starts from the defaults");
     }
 }

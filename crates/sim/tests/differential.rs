@@ -1,14 +1,16 @@
-//! Differential test-suite: the parallel backend against the sequential
-//! oracle (the same pattern that proves the event-driven scheduler
-//! against `list_schedule_naive`).
+//! Differential test-suite: the parallel and pipelined backends against
+//! the sequential oracle (the same pattern that proves the event-driven
+//! scheduler against `list_schedule_naive`).
 //!
 //! Bit-identity is asserted on every component of a [`SimRun`]: the
 //! per-round [`fppn_sim::JobRecord`]s (exact rational times, processors,
 //! ranks), the Gantt segments, the statistics, and the observables —
 //! across random workloads, sporadic densities, overhead models,
 //! exec-time models and worker counts. Every parallel run is exercised
-//! twice: with behaviors replayed sequentially and with the **sharded data
-//! plane** (`parallel_behaviors`), which must also be bit-identical.
+//! three ways: with behaviors replayed sequentially, with the **sharded
+//! data plane** behind the barrier (`parallel_behaviors`), and with the
+//! **streaming pipeline** (`pipeline`), which overlaps behavior execution
+//! with round computation — all of which must be bit-identical.
 
 use fppn_apps::{
     random_workload, synthetic_fppn, SyntheticFppnConfig, SyntheticGraphConfig, WorkloadConfig,
@@ -16,8 +18,8 @@ use fppn_apps::{
 use fppn_core::Stimuli;
 use fppn_sched::{list_schedule, Heuristic};
 use fppn_sim::{
-    clip_stimuli, random_stimuli, simulate, simulate_parallel, simulate_seq, ExecTimeModel,
-    OverheadModel, SimConfig, SimRun,
+    clip_stimuli, random_stimuli, simulate, simulate_parallel, simulate_pipelined, simulate_seq,
+    ExecTimeModel, OverheadModel, SimConfig, SimRun,
 };
 use fppn_taskgraph::derive_task_graph;
 use fppn_time::TimeQ;
@@ -57,8 +59,7 @@ fn check_workload(cfg: &WorkloadConfig, density: u32, frames: u64, workers: &[us
                 frames,
                 overhead,
                 exec_time: exec,
-                workers: 1,
-                parallel_behaviors: false,
+                ..SimConfig::default()
             };
             let seq = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &config)
                 .expect("sequential oracle");
@@ -87,6 +88,28 @@ fn check_workload(cfg: &WorkloadConfig, density: u32, frames: u64, workers: &[us
                         ),
                     );
                 }
+                let pipe = simulate_pipelined(
+                    &w.net,
+                    &w.bank,
+                    &stimuli,
+                    &derived,
+                    &schedule,
+                    &SimConfig {
+                        workers,
+                        pipeline: true,
+                        ..config
+                    },
+                )
+                .expect("pipelined backend");
+                assert_bit_identical(
+                    &seq,
+                    &pipe,
+                    &format!(
+                        "seed {} density {density} m {m} workers {workers} \
+                         pipeline {exec:?} {overhead:?}",
+                        cfg.seed
+                    ),
+                );
             }
         }
     }
@@ -121,51 +144,76 @@ fn parallel_matches_seq_at_extreme_densities() {
 }
 
 /// The behavior-heavy synthetic FPPN — where the data plane dominates —
-/// across worker counts and shapes, sharded behaviors on.
+/// across worker counts and shapes, sharded behaviors on. The third shape
+/// turns on the stimulus knobs (sporadic configurators + external input
+/// streams), so the server-slot machinery (windows, false slots, input
+/// consumption) runs under every backend too.
 #[test]
 fn sharded_behaviors_match_seq_on_behavior_heavy_workloads() {
-    for (label, shape) in [
+    for (label, fppn_cfg) in [
         (
             "layered",
-            SyntheticGraphConfig {
-                jobs: 30,
-                depth: 5,
-                seed: 11,
-                ..SyntheticGraphConfig::default()
+            SyntheticFppnConfig {
+                shape: SyntheticGraphConfig {
+                    jobs: 30,
+                    depth: 5,
+                    seed: 11,
+                    ..SyntheticGraphConfig::default()
+                },
+                compute_iters: (20, 200),
+                ..SyntheticFppnConfig::default()
             },
         ),
         (
             "fan-skewed",
-            SyntheticGraphConfig {
-                jobs: 24,
-                depth: 4,
-                max_fan_in: 4,
-                fan_skew_permille: 850,
-                seed: 12,
-                ..SyntheticGraphConfig::default()
+            SyntheticFppnConfig {
+                shape: SyntheticGraphConfig {
+                    jobs: 24,
+                    depth: 4,
+                    max_fan_in: 4,
+                    fan_skew_permille: 850,
+                    seed: 12,
+                    ..SyntheticGraphConfig::default()
+                },
+                compute_iters: (20, 200),
+                ..SyntheticFppnConfig::default()
+            },
+        ),
+        (
+            "sporadic+inputs",
+            SyntheticFppnConfig {
+                shape: SyntheticGraphConfig {
+                    jobs: 18,
+                    depth: 4,
+                    seed: 13,
+                    ..SyntheticGraphConfig::default()
+                },
+                compute_iters: (20, 200),
+                sporadic: 3,
+                input_permille: 500,
+                ..SyntheticFppnConfig::default()
             },
         ),
     ] {
-        let w = synthetic_fppn(&SyntheticFppnConfig {
-            shape,
-            compute_iters: (20, 200),
-            ..SyntheticFppnConfig::default()
-        });
+        let w = synthetic_fppn(&fppn_cfg);
         let derived = derive_task_graph(&w.net, &w.wcet).expect("derivable");
         let frames = 3u64;
+        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let stimuli = random_stimuli(&w.net, horizon, 700, 0xBEEF ^ fppn_cfg.shape.seed);
+        let stimuli = clip_stimuli(&w.net, &derived, &stimuli, frames);
         let config = SimConfig {
             frames,
             ..SimConfig::default()
         };
         for m in [1usize, 2, 4] {
             let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
-            let seq = simulate_seq(&w.net, &w.bank, &Stimuli::new(), &derived, &schedule, &config)
+            let seq = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &config)
                 .expect("sequential oracle");
             for workers in [1usize, 2, 4, 8] {
                 let par = simulate_parallel(
                     &w.net,
                     &w.bank,
-                    &Stimuli::new(),
+                    &stimuli,
                     &derived,
                     &schedule,
                     &SimConfig {
@@ -176,31 +224,63 @@ fn sharded_behaviors_match_seq_on_behavior_heavy_workloads() {
                 )
                 .expect("sharded backend");
                 assert_bit_identical(&seq, &par, &format!("{label} m {m} workers {workers}"));
+                let pipe = simulate_pipelined(
+                    &w.net,
+                    &w.bank,
+                    &stimuli,
+                    &derived,
+                    &schedule,
+                    &SimConfig {
+                        workers,
+                        pipeline: true,
+                        ..config
+                    },
+                )
+                .expect("pipelined backend");
+                assert_bit_identical(
+                    &seq,
+                    &pipe,
+                    &format!("{label} m {m} workers {workers} pipeline"),
+                );
             }
         }
     }
 }
 
-/// Bounded-capacity cross-process FIFOs cannot shard; the backend must
-/// fall back to sequential behavior execution, not panic or diverge.
+/// Bounded-capacity cross-process FIFOs cannot shard; both the barrier
+/// backend and the streaming pipeline must fall back to sequential
+/// behavior execution (the pipeline keeps the round/behavior *overlap*,
+/// only the behaviors serialize), not panic or diverge.
 #[test]
 fn sharded_behaviors_fall_back_on_bounded_fifos() {
     use fppn_core::{ChannelKind, ChannelSpec, EventSpec, FppnBuilder, JobCtx, ProcessSpec, Value};
     let ms = TimeQ::from_ms;
     let mut b = FppnBuilder::new();
     let src = b.process(ProcessSpec::new("src", EventSpec::periodic(ms(100))));
+    let mid = b.process(ProcessSpec::new("mid", EventSpec::periodic(ms(200))));
     let dst = b.process(ProcessSpec::new("dst", EventSpec::periodic(ms(100))));
     let ch = b.channel_spec(
-        ChannelSpec::new("bounded", src, dst, ChannelKind::Fifo)
+        ChannelSpec::new("bounded", src, mid, ChannelKind::Fifo)
             .with_capacity(std::num::NonZeroUsize::new(4).unwrap()),
     );
-    b.priority(src, dst);
+    let c2 = b.channel("c2", mid, dst, ChannelKind::Blackboard);
+    b.priority(src, mid);
+    b.priority(mid, dst);
     b.behavior(src, move || {
         Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch, Value::Int(ctx.k() as i64)))
     });
+    b.behavior(mid, move || {
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            let mut acc = 0i64;
+            while let Some(Value::Int(v)) = ctx.read(ch) {
+                acc = acc.wrapping_mul(31).wrapping_add(v);
+            }
+            ctx.write(c2, Value::Int(acc));
+        })
+    });
     b.behavior(dst, move || {
         Box::new(move |ctx: &mut JobCtx<'_>| {
-            let _ = ctx.read(ch);
+            let _ = ctx.read(c2);
         })
     });
     let (net, bank) = b.build().unwrap();
@@ -224,7 +304,102 @@ fn sharded_behaviors_fall_back_on_bounded_fifos() {
         },
     )
     .unwrap();
-    assert_bit_identical(&seq, &par, "bounded-fifo fallback");
+    assert_bit_identical(&seq, &par, "bounded-fifo fallback (barrier)");
+    for workers in [1usize, 2, 4] {
+        let pipe = simulate_pipelined(
+            &net,
+            &bank,
+            &Stimuli::new(),
+            &derived,
+            &schedule,
+            &SimConfig {
+                workers,
+                pipeline: true,
+                ..config
+            },
+        )
+        .unwrap();
+        assert_bit_identical(
+            &seq,
+            &pipe,
+            &format!("bounded-fifo fallback (pipelined, {workers} workers)"),
+        );
+    }
+}
+
+/// Forces the pipeline's frontier watermark to *stall*: one upstream
+/// writer has an enormous WCET, so its processor's completion frontier
+/// lags every other timeline by orders of magnitude. Records piling up on
+/// the fast processors must stay uncommitted (their completions are above
+/// the watermark) until the slow writer publishes — and the final run must
+/// still be bit-identical to the oracle.
+#[test]
+fn pipeline_stalls_on_late_upstream_writer_without_diverging() {
+    use fppn_core::{ChannelKind, EventSpec, FppnBuilder, JobCtx, PortId, ProcessSpec, Value};
+    let ms = TimeQ::from_ms;
+    let mut b = FppnBuilder::new();
+    // `slow` feeds every consumer; consumers tick 8x faster, so dozens of
+    // their rounds complete (and queue in the sequencer) while slow[1] is
+    // still executing.
+    let slow = b.process(ProcessSpec::new("slow", EventSpec::periodic(ms(800))));
+    let fast: Vec<_> = (0..3)
+        .map(|i| {
+            b.process(
+                ProcessSpec::new(format!("fast{i}"), EventSpec::periodic(ms(100)))
+                    .with_output("o"),
+            )
+        })
+        .collect();
+    let mut chans = Vec::new();
+    for (i, &f) in fast.iter().enumerate() {
+        let ch = b.channel(format!("c{i}"), slow, f, ChannelKind::Blackboard);
+        chans.push(ch);
+        b.priority(slow, f);
+        b.behavior(f, move || {
+            Box::new(move |ctx: &mut JobCtx<'_>| {
+                let v = ctx.read_value(ch);
+                ctx.write_output(PortId::from_index(0), v);
+            })
+        });
+    }
+    b.behavior(slow, move || {
+        let chans = chans.clone();
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            for (i, &ch) in chans.iter().enumerate() {
+                ctx.write(ch, Value::Int(1000 * ctx.k() as i64 + i as i64));
+            }
+        })
+    });
+    let (net, bank) = b.build().unwrap();
+    // slow's WCET fills most of the hyperperiod: its round completes after
+    // every fast round of the frame has already been *computed*.
+    let mut wcet = fppn_taskgraph::WcetModel::uniform(ms(5));
+    wcet.set(net.process_by_name("slow").unwrap(), ms(700));
+    let derived = derive_task_graph(&net, &wcet).unwrap();
+    // 4 processors: slow owns one timeline outright, the fast processes
+    // race ahead on the others.
+    let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+    let config = SimConfig {
+        frames: 5,
+        ..SimConfig::default()
+    };
+    let seq = simulate_seq(&net, &bank, &Stimuli::new(), &derived, &schedule, &config).unwrap();
+    for workers in [2usize, 4] {
+        let pipe = simulate_pipelined(
+            &net,
+            &bank,
+            &Stimuli::new(),
+            &derived,
+            &schedule,
+            &SimConfig {
+                workers,
+                pipeline: true,
+                ..config
+            },
+        )
+        .unwrap();
+        assert_bit_identical(&seq, &pipe, &format!("late-writer stall, {workers} workers"));
+    }
 }
 
 #[test]
@@ -270,6 +445,20 @@ fn dispatcher_routes_on_config_workers() {
     )
     .expect("par via dispatcher");
     assert_bit_identical(&seq, &par, "dispatcher");
+    let pipe = simulate(
+        &w.net,
+        &w.bank,
+        &stimuli,
+        &derived,
+        &schedule,
+        &SimConfig {
+            workers: 4,
+            pipeline: true,
+            ..base
+        },
+    )
+    .expect("pipeline via dispatcher");
+    assert_bit_identical(&seq, &pipe, "dispatcher (pipeline)");
 }
 
 proptest! {
@@ -322,6 +511,19 @@ proptest! {
                 prop_assert_eq!(&seq.gantt, &par.gantt);
                 prop_assert_eq!(&seq.stats, &par.stats);
             }
+            let pipe = simulate_pipelined(
+                &w.net,
+                &w.bank,
+                &stimuli,
+                &derived,
+                &schedule,
+                &SimConfig { workers, pipeline: true, ..config },
+            )
+            .unwrap();
+            prop_assert_eq!(&seq.records, &pipe.records);
+            prop_assert_eq!(&seq.observables, &pipe.observables);
+            prop_assert_eq!(&seq.gantt, &pipe.gantt);
+            prop_assert_eq!(&seq.stats, &pipe.stats);
         }
     }
 }
