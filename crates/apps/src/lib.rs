@@ -25,6 +25,7 @@ pub use fft::{dft4, fft_network, fft_wcet, test_signal, FftIds};
 pub use fig1::{fig1_network, fig1_wcet, Fig1Ids};
 pub use fms::{fms_network, fms_sporadics, fms_wcet, FmsIds, FmsVariant};
 pub use workloads::{
-    mix64, random_workload, synthetic_fppn, synthetic_task_graph, SyntheticFppnConfig,
+    adversarial_presets, mix64, random_workload, synthetic_fppn, synthetic_task_graph,
+    SyntheticFppnConfig,
     SyntheticGraphConfig, Workload, WorkloadConfig,
 };

@@ -655,6 +655,78 @@ pub fn synthetic_fppn(cfg: &SyntheticFppnConfig) -> Workload {
     Workload { net, bank, wcet }
 }
 
+/// Named `synthetic_fppn` presets for the adversarial-stimulus campaign:
+/// sporadic-rich shapes where window boundaries, arrival ties and
+/// external-input streams all exist to be attacked. Every preset turns on
+/// both stimulus knobs (`sporadic` and `input_permille`), since the
+/// adversarial classes target exactly the server-slot and input-stream
+/// machinery; they differ in how crowded the window structure is.
+///
+/// The `&'static str` is a stable label for test/golden-trace names.
+pub fn adversarial_presets() -> Vec<(&'static str, SyntheticFppnConfig)> {
+    vec![
+        // Many configurators on a small frame: subsets collide, bursts
+        // overlap, and tie storms find several processes to align.
+        (
+            "crowded-windows",
+            SyntheticFppnConfig {
+                shape: SyntheticGraphConfig {
+                    jobs: 14,
+                    depth: 3,
+                    seed: 0xADA1,
+                    ..SyntheticGraphConfig::default()
+                },
+                compute_iters: (10, 80),
+                sporadic: 4,
+                sporadic_burst: (2, 3),
+                sporadic_period_mult: (2, 3),
+                input_permille: 400,
+                ..SyntheticFppnConfig::default()
+            },
+        ),
+        // Long server periods (big windows): boundary-aligned arrivals
+        // are maximally distant from the uniform sampler's typical draw.
+        (
+            "wide-windows",
+            SyntheticFppnConfig {
+                shape: SyntheticGraphConfig {
+                    jobs: 12,
+                    depth: 4,
+                    seed: 0xADA2,
+                    ..SyntheticGraphConfig::default()
+                },
+                compute_iters: (10, 80),
+                sporadic: 2,
+                sporadic_burst: (1, 2),
+                sporadic_period_mult: (4, 6),
+                input_permille: 700,
+                ..SyntheticFppnConfig::default()
+            },
+        ),
+        // Deep layered data plane fed by saturating configurators: flood
+        // stimuli keep every server slot executable while the layer
+        // processes contend for processors.
+        (
+            "flood-fodder",
+            SyntheticFppnConfig {
+                shape: SyntheticGraphConfig {
+                    jobs: 18,
+                    depth: 5,
+                    max_fan_in: 4,
+                    seed: 0xADA3,
+                    ..SyntheticGraphConfig::default()
+                },
+                compute_iters: (10, 60),
+                sporadic: 3,
+                sporadic_burst: (1, 3),
+                sporadic_period_mult: (2, 4),
+                input_permille: 500,
+                ..SyntheticFppnConfig::default()
+            },
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,17 +4,23 @@
 //!
 //! ```sh
 //! bench_diff BASELINE.json NEW.json [--max-regress-pct 25] [--noise-floor-ms 20] \
-//!            [--relative-to seq_ms]
+//!            [--noise-floor-ratio 0.10] [--relative-to seq_ms]
 //! ```
 //!
 //! A *regression* is a `(bench, metric)` pair present in both files whose
-//! new time exceeds the baseline by more than `--max-regress-pct` percent
-//! — but only when at least one side is above `--noise-floor-ms`:
-//! sub-floor measurements on a shared CI box swing far more than 25%
-//! from scheduler jitter alone, so they are reported but never fatal.
-//! Benches or metrics present on only one side (a renamed sweep, a new
-//! backend column, a schema bump) are informational, not errors — the
-//! gate must never punish adding coverage.
+//! new value exceeds the baseline by more than the **noise band**: the
+//! larger of an absolute floor and the proportional band
+//! `--max-regress-pct` grants (`new > base + max(floor, base * pct/100)`).
+//! The absolute floor absorbs scheduler jitter on a shared CI box, which
+//! swings small measurements far more than 25%; the proportional band
+//! scales with the bench so large entries are still held to the
+//! percentage. Crucially the floor is *additive slack*, not a dead zone:
+//! a bench that lives below the floor can still regress once its delta
+//! clears the floor (the old "both sides under the floor" rule silently
+//! exempted every sub-floor bench from the gate, no matter how large the
+//! blowup). Benches or metrics present on only one side (a renamed sweep,
+//! a new backend column, a schema bump) are informational, not errors —
+//! the gate must never punish adding coverage.
 //!
 //! `--relative-to seq_ms` compares each metric as a **ratio to that run's
 //! own reference metric** instead of absolute milliseconds: `par_ms /
@@ -22,8 +28,11 @@
 //! committed from one machine gates runs on another — this is the mode CI
 //! uses (an absolute cross-machine diff would only measure the hardware).
 //! The reference metric itself is exempt; catastrophic *global* slowdowns
-//! are the `scalability --budget-ms` guard's job. The noise floor still
-//! applies to the underlying absolute times.
+//! are the `scalability --budget-ms` guard's job. In this mode the
+//! absolute floor is `--noise-floor-ratio` (in ratio points), since the
+//! scored values are ratios; `--noise-floor-ms` still applies to pairs
+//! that fall back to absolute times when a side lacks the reference
+//! column.
 //!
 //! The parser handles exactly the shape `scalability` emits (hand-rolled
 //! writer, one bench object per line) plus arbitrary whitespace; there is
@@ -34,6 +43,21 @@ use std::process::ExitCode;
 
 /// Per-bench metrics: metric name (`seq_ms`, `par_ms`, …) → milliseconds.
 type Metrics = BTreeMap<String, f64>;
+
+/// The additive slack below which a delta counts as measurement noise,
+/// in the same unit as the scored values: the larger of the absolute
+/// `floor` and the proportional band `max_regress_pct` grants on `base`.
+fn noise_band(base: f64, floor: f64, max_regress_pct: f64) -> f64 {
+    floor.max(base * max_regress_pct / 100.0)
+}
+
+/// Regression verdict for one `(bench, metric)` pair: the new value
+/// regresses iff it exceeds the baseline by more than the noise band.
+/// `base`/`new_v` are scored values — milliseconds, or ratios in
+/// `--relative-to` mode with `floor` in ratio points.
+fn is_regression(base: f64, new_v: f64, floor: f64, max_regress_pct: f64) -> bool {
+    new_v > base + noise_band(base, floor, max_regress_pct)
+}
 
 /// Extracts the next `"key": value` string field from a JSON-ish line.
 fn string_field(line: &str, key: &str) -> Option<String> {
@@ -95,6 +119,7 @@ fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut max_regress_pct = 25.0f64;
     let mut noise_floor_ms = 20.0f64;
+    let mut noise_floor_ratio = 0.10f64;
     let mut relative_to: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -110,9 +135,10 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--max-regress-pct" => max_regress_pct = grab("--max-regress-pct"),
             "--noise-floor-ms" => noise_floor_ms = grab("--noise-floor-ms"),
+            "--noise-floor-ratio" => noise_floor_ratio = grab("--noise-floor-ratio"),
             other if other.starts_with("--") => panic!(
                 "unknown flag {other}; known: --max-regress-pct PCT, --noise-floor-ms MS, \
-                 --relative-to METRIC"
+                 --noise-floor-ratio R, --relative-to METRIC"
             ),
             path => paths.push(path.to_owned()),
         }
@@ -120,7 +146,7 @@ fn main() -> ExitCode {
     let [base_path, new_path] = &paths[..] else {
         eprintln!(
             "usage: bench_diff BASELINE.json NEW.json [--max-regress-pct 25] \
-             [--noise-floor-ms 20] [--relative-to seq_ms]"
+             [--noise-floor-ms 20] [--noise-floor-ratio 0.10] [--relative-to seq_ms]"
         );
         return ExitCode::FAILURE;
     };
@@ -139,11 +165,12 @@ fn main() -> ExitCode {
     let mut compared = 0usize;
     match &relative_to {
         Some(r) => println!(
-            "bench_diff: {base_path} vs {new_path} \
-             (fail > +{max_regress_pct}% on metric/{r} ratios above {noise_floor_ms} ms)"
+            "bench_diff: {base_path} vs {new_path} (fail on metric/{r} ratios beyond \
+             max(+{max_regress_pct}%, +{noise_floor_ratio} ratio points))"
         ),
         None => println!(
-            "bench_diff: {base_path} vs {new_path} (fail > +{max_regress_pct}% above {noise_floor_ms} ms)"
+            "bench_diff: {base_path} vs {new_path} \
+             (fail beyond max(+{max_regress_pct}%, +{noise_floor_ms} ms))"
         ),
     }
     for (name, new_metrics) in &new {
@@ -156,27 +183,27 @@ fn main() -> ExitCode {
                 println!("  NEW      {name}/{metric} (no baseline column)");
                 continue;
             };
-            // In relative mode, score the metric/reference ratio; the
-            // reference metric itself is exempt (host speed is not a
-            // regression). Fall back to absolute when a side lacks the
+            // In relative mode, score the metric/reference ratio with the
+            // floor in ratio points; the reference metric itself is
+            // exempt (host speed is not a regression). Fall back to
+            // absolute ms (and the ms floor) when a side lacks the
             // reference column.
-            let (base_v, new_v, unit) = match &relative_to {
+            let (base_v, new_v, unit, floor) = match &relative_to {
                 Some(r) if metric == r => {
                     println!("  ref      {name}/{metric}: {base_ms:.2} ms -> {new_ms:.2} ms");
                     continue;
                 }
                 Some(r) => match (base_metrics.get(r), new_metrics.get(r)) {
                     (Some(&br), Some(&nr)) if br > 0.0 && nr > 0.0 => {
-                        (base_ms / br, new_ms / nr, format!("x {r}"))
+                        (base_ms / br, new_ms / nr, format!("x {r}"), noise_floor_ratio)
                     }
-                    _ => (base_ms, new_ms, "ms".to_owned()),
+                    _ => (base_ms, new_ms, "ms".to_owned(), noise_floor_ms),
                 },
-                None => (base_ms, new_ms, "ms".to_owned()),
+                None => (base_ms, new_ms, "ms".to_owned(), noise_floor_ms),
             };
             compared += 1;
             let delta_pct = (new_v - base_v) / base_v.max(1e-9) * 100.0;
-            let in_noise_band = base_ms < noise_floor_ms && new_ms < noise_floor_ms;
-            if delta_pct > max_regress_pct && !in_noise_band {
+            if is_regression(base_v, new_v, floor, max_regress_pct) {
                 regressions += 1;
                 println!(
                     "  REGRESS  {name}/{metric}: {base_v:.2} {unit} -> {new_v:.2} {unit} ({delta_pct:+.1}%)"
@@ -219,5 +246,43 @@ mod tests {
         assert_eq!(ms.get("par_ms"), Some(&68.0));
         assert_eq!(ms.get("sharded_ms"), Some(&64.2));
         assert!(!ms.contains_key("pipeline_ms"), "null metrics are skipped");
+    }
+
+    #[test]
+    fn noise_band_is_max_of_floor_and_proportional() {
+        // Small base: the absolute floor dominates.
+        assert_eq!(noise_band(1.5, 20.0, 25.0), 20.0);
+        // Large base: the proportional band dominates (25% of 200 ms).
+        assert_eq!(noise_band(200.0, 20.0, 25.0), 50.0);
+        // Ratio mode: floor in ratio points.
+        assert_eq!(noise_band(0.12, 0.10, 25.0), 0.10);
+    }
+
+    #[test]
+    fn sub_floor_benches_still_regress_once_the_delta_clears_the_floor() {
+        // The old rule ("both sides < floor ⇒ noise") exempted this pair
+        // entirely; the additive band flags it: 1.5 -> 30 ms clears the
+        // 20 ms slack.
+        assert!(is_regression(1.5, 30.0, 20.0, 25.0));
+        // ...while genuine sub-floor jitter stays in the band.
+        assert!(!is_regression(1.5, 15.0, 20.0, 25.0));
+    }
+
+    #[test]
+    fn large_benches_are_held_to_the_percentage() {
+        assert!(is_regression(100.0, 126.0, 20.0, 25.0));
+        assert!(!is_regression(100.0, 124.0, 20.0, 25.0));
+        // Exactly on the band edge is not a regression.
+        assert!(!is_regression(100.0, 125.0, 20.0, 25.0));
+    }
+
+    #[test]
+    fn ratio_mode_floor_absorbs_small_ratio_wobble_but_not_blowups() {
+        // +67% but only +0.08 ratio points: within the 0.10 floor.
+        assert!(!is_regression(0.12, 0.20, 0.10, 25.0));
+        // A sharded-data-plane blowup on a tiny bench: 1.24x -> 10x seq.
+        assert!(is_regression(1.24, 10.0, 0.10, 25.0));
+        // Improvements never regress.
+        assert!(!is_regression(1.24, 0.9, 0.10, 25.0));
     }
 }

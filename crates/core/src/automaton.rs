@@ -608,11 +608,21 @@ mod tests {
         let mut st = ExecState::new(&net, Stimuli::new());
         let src = net.process_by_name("src").unwrap();
         let flt = net.process_by_name("flt").unwrap();
-        st.run_next_job(&mut behaviors, src, ms(0)).unwrap();
-        st.run_next_job(&mut behaviors, flt, ms(0)).unwrap();
-        st.run_next_job(&mut behaviors, flt, ms(100)).unwrap(); // empty read
-        st.run_next_job(&mut behaviors, src, ms(100)).unwrap();
-        st.run_next_job(&mut behaviors, flt, ms(200)).unwrap();
+        let mut run = |pid, at_ms: i64| {
+            st.run_next_job(&mut behaviors, pid, ms(at_ms))
+                .unwrap_or_else(|e| {
+                    panic!("job of {} at {at_ms} ms failed: {e}", net.process(pid).name())
+                })
+        };
+        assert_eq!(run(src, 0), 1);
+        assert_eq!(run(flt, 0), 1);
+        // flt's second job runs before src produced its second sample: the
+        // read comes up Absent and the automaton must take its
+        // not-IsPresent transition back to the initial location, writing
+        // nothing — not error out, and not stall in location 1.
+        assert_eq!(run(flt, 100), 2, "empty read is still a completed job");
+        assert_eq!(run(src, 100), 2);
+        assert_eq!(run(flt, 200), 3);
         let obs = st.observables();
         // Filter doubled samples 1 and 2; the empty read wrote nothing.
         assert_eq!(

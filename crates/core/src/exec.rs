@@ -377,10 +377,10 @@ mod tests {
         let mut st = ExecState::new(&net, Stimuli::new()).record_trace();
         let src = net.process_by_name("src").unwrap();
         let dst = net.process_by_name("dst").unwrap();
-        st.run_next_job(&mut behaviors, src, ms(0)).unwrap();
-        st.run_next_job(&mut behaviors, dst, ms(0)).unwrap();
-        st.run_next_job(&mut behaviors, src, ms(100)).unwrap();
-        st.run_next_job(&mut behaviors, dst, ms(100)).unwrap();
+        assert_eq!(st.run_next_job(&mut behaviors, src, ms(0)).expect("src[1]"), 1);
+        assert_eq!(st.run_next_job(&mut behaviors, dst, ms(0)).expect("dst[1]"), 1);
+        assert_eq!(st.run_next_job(&mut behaviors, src, ms(100)).expect("src[2]"), 2);
+        assert_eq!(st.run_next_job(&mut behaviors, dst, ms(100)).expect("dst[2]"), 2);
         let obs = st.observables();
         assert_eq!(obs.channels[ch.index()], vec![Value::Int(1), Value::Int(4)]);
         assert_eq!(
@@ -397,7 +397,11 @@ mod tests {
         let mut behaviors = bank.instantiate();
         let mut st = ExecState::new(&net, Stimuli::new());
         let dst = net.process_by_name("dst").unwrap();
-        st.run_next_job(&mut behaviors, dst, ms(0)).unwrap();
+        assert_eq!(
+            st.run_next_job(&mut behaviors, dst, ms(0))
+                .expect("a read racing ahead of its writer sees Absent, not an error"),
+            1
+        );
         let obs = st.observables();
         assert_eq!(obs.outputs[0].1, vec![(1, Value::Absent)]);
     }

@@ -643,7 +643,8 @@ mod tests {
         let mut behaviors = bank.instantiate();
         let mut seq = ExecState::new(&net, Stimuli::new()).record_trace();
         for (i, &pid) in order.iter().enumerate() {
-            seq.run_next_job(&mut behaviors, pid, ms(i as i64)).unwrap();
+            seq.run_next_job(&mut behaviors, pid, ms(i as i64))
+                .unwrap_or_else(|e| panic!("sequential job {i} ({:?}) failed: {e}", pid));
         }
 
         let stimuli = Stimuli::new();

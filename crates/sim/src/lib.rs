@@ -43,11 +43,15 @@ mod stimgen;
 pub use env::{SimEnv, SimEnvError};
 pub use exectime::{ExecTimeModel, ExecTimeSampler};
 pub use gantt::{Gantt, Segment, SegmentKind};
-pub use metrics::{end_to_end_latency, response_stats, ResponseStats};
+pub use metrics::{
+    completion_table, end_to_end_latency, missed_jobs, response_stats, response_table,
+    ResponseStats,
+};
 pub use overhead::OverheadModel;
 pub use parallel::simulate_parallel;
 pub use pipeline::simulate_pipelined;
 pub use policy::{
     clip_stimuli, simulate, simulate_seq, JobRecord, SimConfig, SimError, SimRun, SimStats,
 };
+pub use stimgen::adversarial::{adversarial_stimuli, max_density_flood_trace, AdversarialClass};
 pub use stimgen::{random_sporadic_trace, random_stimuli, sporadic_processes, validate_stimuli};

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 
 use fppn_core::{Fppn, ProcessId};
+use fppn_taskgraph::JobId;
 use fppn_time::TimeQ;
 
 use crate::policy::JobRecord;
@@ -58,6 +59,60 @@ pub fn response_stats(records: &[JobRecord]) -> BTreeMap<ProcessId, ResponseStat
         e.total += resp;
     }
     out
+}
+
+/// Per-job completion times keyed by the stable slot identity
+/// `(frame, job)`.
+///
+/// Two runs of the *same network, schedule and stimuli* produce records
+/// for exactly the same `(frame, job)` slots, so this table supports
+/// pointwise cross-run comparison — the predictability property compares
+/// the tables of an execution-time-shrunk run against the original.
+/// Skipped (false) server slots are included: their completion is the
+/// round's resolution time, which must be just as monotone under
+/// execution-time shrinking as a real completion.
+pub fn completion_table(records: &[JobRecord]) -> BTreeMap<(u64, JobId), TimeQ> {
+    records
+        .iter()
+        .map(|r| ((r.frame, r.job), r.completion))
+        .collect()
+}
+
+/// Per-executed-job response times grouped by `(process, invocation
+/// instant)`, each group sorted ascending.
+///
+/// This is the cross-run identity that survives *different arrival
+/// traces*: an executed sporadic job is identified by its arrival
+/// instant, a periodic job by its release. Simultaneous arrivals (bursts)
+/// share a key, so the value is the sorted multiset of their response
+/// times; the sustainability property compares groups rank-by-rank
+/// (`i`-th smallest vs `i`-th smallest). Skipped slots are excluded —
+/// they execute nothing and have no response time.
+pub fn response_table(records: &[JobRecord]) -> BTreeMap<(ProcessId, TimeQ), Vec<TimeQ>> {
+    let mut out: BTreeMap<(ProcessId, TimeQ), Vec<TimeQ>> = BTreeMap::new();
+    for r in records {
+        if r.skipped {
+            continue;
+        }
+        out.entry((r.process, r.invoked_at))
+            .or_default()
+            .push(r.completion - r.invoked_at);
+    }
+    for v in out.values_mut() {
+        v.sort();
+    }
+    out
+}
+
+/// The executed jobs that missed their deadline, as `(process, invoked
+/// at)` pairs in record order. The sustainability property asserts that
+/// sparsifying arrivals never *adds* entries to this set.
+pub fn missed_jobs(records: &[JobRecord]) -> Vec<(ProcessId, TimeQ)> {
+    records
+        .iter()
+        .filter(|r| !r.skipped && r.missed)
+        .map(|r| (r.process, r.invoked_at))
+        .collect()
 }
 
 /// The measured end-to-end latency of a source→…→sink process chain:

@@ -10,8 +10,10 @@ use fppn_time::TimeQ;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub mod adversarial;
+
 /// SplitMix64's finalizer: a full-avalanche 64-bit mixer.
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -28,13 +30,13 @@ fn splitmix64(mut z: u64) -> u64 {
 /// avalanche after every component makes any two distinct `(seed, pid,
 /// port)` triples yield (with overwhelming probability) unrelated
 /// xoshiro256++ seedings.
-fn stream_seed(seed: u64, pid: u64, port: u64) -> u64 {
+pub(crate) fn stream_seed(seed: u64, pid: u64, port: u64) -> u64 {
     splitmix64(splitmix64(splitmix64(seed) ^ pid) ^ port)
 }
 
 /// Port index used for a process's *arrival-trace* stream, distinct from
 /// every real input-port index.
-const TRACE_STREAM: u64 = u64::MAX;
+pub(crate) const TRACE_STREAM: u64 = u64::MAX;
 
 /// Generates a random arrival trace for a sporadic `(m, T)` generator over
 /// `[0, horizon)`, respecting the half-open-window constraint.

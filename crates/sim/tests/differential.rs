@@ -13,13 +13,15 @@
 //! with round computation — all of which must be bit-identical.
 
 use fppn_apps::{
-    random_workload, synthetic_fppn, SyntheticFppnConfig, SyntheticGraphConfig, WorkloadConfig,
+    adversarial_presets, random_workload, synthetic_fppn, SyntheticFppnConfig,
+    SyntheticGraphConfig, WorkloadConfig,
 };
 use fppn_core::Stimuli;
 use fppn_sched::{list_schedule, Heuristic};
 use fppn_sim::{
-    clip_stimuli, random_stimuli, simulate, simulate_parallel, simulate_pipelined, simulate_seq,
-    ExecTimeModel, OverheadModel, SimConfig, SimRun,
+    adversarial_stimuli, clip_stimuli, random_stimuli, simulate, simulate_parallel,
+    simulate_pipelined, simulate_seq, AdversarialClass, ExecTimeModel, OverheadModel, SimConfig,
+    SimRun,
 };
 use fppn_taskgraph::derive_task_graph;
 use fppn_time::TimeQ;
@@ -242,6 +244,71 @@ fn sharded_behaviors_match_seq_on_behavior_heavy_workloads() {
                     &pipe,
                     &format!("{label} m {m} workers {workers} pipeline"),
                 );
+            }
+        }
+    }
+}
+
+/// Every adversarial stimulus class (boundary-aligned bursts,
+/// maximal-density floods, arrival-tie storms, late/extreme inputs)
+/// against every backend, *with a runtime-overhead model active* — the
+/// axis the property campaign (`tests/properties.rs`) leaves to this
+/// suite. Window-edge arrivals under overhead-shifted completions are
+/// exactly where a subset-mapping or frontier bug would surface.
+#[test]
+fn backends_agree_on_adversarial_stimuli_with_overheads() {
+    for (label, fppn_cfg) in adversarial_presets() {
+        let w = synthetic_fppn(&fppn_cfg);
+        let derived = derive_task_graph(&w.net, &w.wcet).expect("derivable");
+        let frames = 2u64;
+        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+        for class in AdversarialClass::ALL {
+            let raw = adversarial_stimuli(&w.net, &derived, horizon, class, 0xD1FF);
+            let stimuli = clip_stimuli(&w.net, &derived, &raw, frames);
+            for (exec, overhead) in [
+                (ExecTimeModel::Wcet, OverheadModel::constant(TimeQ::from_ms(9))),
+                (ExecTimeModel::typical_jitter(0xD1FF), OverheadModel::NONE),
+            ] {
+                let config = SimConfig {
+                    frames,
+                    overhead,
+                    exec_time: exec,
+                    ..SimConfig::default()
+                };
+                let tag = format!("{label} {} {exec:?} {overhead:?}", class.name());
+                let seq = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &config)
+                    .expect("sequential oracle");
+                for parallel_behaviors in [false, true] {
+                    let par = simulate_parallel(
+                        &w.net,
+                        &w.bank,
+                        &stimuli,
+                        &derived,
+                        &schedule,
+                        &SimConfig {
+                            workers: 4,
+                            parallel_behaviors,
+                            ..config
+                        },
+                    )
+                    .expect("parallel backend");
+                    assert_bit_identical(&seq, &par, &format!("{tag} sharded {parallel_behaviors}"));
+                }
+                let pipe = simulate_pipelined(
+                    &w.net,
+                    &w.bank,
+                    &stimuli,
+                    &derived,
+                    &schedule,
+                    &SimConfig {
+                        workers: 4,
+                        pipeline: true,
+                        ..config
+                    },
+                )
+                .expect("pipelined backend");
+                assert_bit_identical(&seq, &pipe, &format!("{tag} pipeline"));
             }
         }
     }

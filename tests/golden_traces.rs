@@ -17,7 +17,10 @@ use std::fmt::Write as _;
 use fppn::apps::{fft_network, fft_wcet, fig1_network, fig1_wcet};
 use fppn::core::{run_zero_delay, Fppn, JobOrdering, Observables, SporadicTrace, Stimuli};
 use fppn::sched::{list_schedule, Heuristic};
-use fppn::sim::{clip_stimuli, simulate_parallel, SimConfig};
+use fppn::sim::{
+    adversarial_stimuli, clip_stimuli, simulate_parallel, simulate_pipelined, simulate_seq,
+    AdversarialClass, SimConfig,
+};
 use fppn::taskgraph::derive_task_graph;
 use fppn::time::TimeQ;
 
@@ -126,6 +129,77 @@ fn parallel_backend_reproduces_golden_traces() {
         )
         .expect("fft parallel simulation");
         check("fft", &net, &run.observables, include_str!("golden/fft.txt"));
+    }
+}
+
+/// Adversarial-stimulus golden traces on the paper's Fig. 1 network: the
+/// observable sequences under a boundary-aligned burst, a maximal-density
+/// flood and an arrival-tie storm (seed-pinned) are snapshot-pinned, and
+/// every backend — sequential oracle, parallel, sharded data plane,
+/// streaming pipeline — must reproduce them exactly. This extends the
+/// uniform-stimulus snapshots above to the stimuli that actually sit on
+/// the server-window edge cases.
+#[test]
+fn adversarial_traces_are_pinned_across_backends() {
+    for (class, expected) in [
+        (
+            AdversarialClass::BoundaryBurst,
+            include_str!("golden/fig1_boundary_burst.txt"),
+        ),
+        (
+            AdversarialClass::MaxDensityFlood,
+            include_str!("golden/fig1_max_density_flood.txt"),
+        ),
+        (
+            AdversarialClass::ArrivalTieStorm,
+            include_str!("golden/fig1_arrival_tie_storm.txt"),
+        ),
+    ] {
+        let (net, bank, _) = fig1_network();
+        let derived = derive_task_graph(&net, &fig1_wcet()).expect("derivable");
+        let frames = 4u64;
+        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let stimuli = adversarial_stimuli(&net, &derived, horizon, class, 0x601D);
+        let stimuli = clip_stimuli(&net, &derived, &stimuli, frames);
+        let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+        let config = SimConfig {
+            frames,
+            ..SimConfig::default()
+        };
+        let label = format!("fig1_{}", class.name());
+        let seq = simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &config)
+            .expect("sequential oracle");
+        check(&label, &net, &seq.observables, expected);
+        for parallel_behaviors in [false, true] {
+            let par = simulate_parallel(
+                &net,
+                &bank,
+                &stimuli,
+                &derived,
+                &schedule,
+                &SimConfig {
+                    workers: 4,
+                    parallel_behaviors,
+                    ..config
+                },
+            )
+            .expect("parallel backend");
+            check(&label, &net, &par.observables, expected);
+        }
+        let pipe = simulate_pipelined(
+            &net,
+            &bank,
+            &stimuli,
+            &derived,
+            &schedule,
+            &SimConfig {
+                workers: 4,
+                pipeline: true,
+                ..config
+            },
+        )
+        .expect("pipelined backend");
+        check(&label, &net, &pipe.observables, expected);
     }
 }
 
