@@ -100,7 +100,7 @@ pub fn fft_network() -> (Fppn, BehaviorBank, FftIds) {
             *slot = b.process(ProcessSpec::new(format!("FFT2_{s}_{i}"), period.clone()));
         }
     }
-    let consumer = b.process(ProcessSpec::new("consumer", period.clone()).with_output("spectrum"));
+    let consumer = b.process(ProcessSpec::new("consumer", period).with_output("spectrum"));
 
     // Column 0 loads bit-reversed samples: node i <- x[br(i)],
     // br = [0, 2, 1, 3].
@@ -229,7 +229,7 @@ pub fn fft_network() -> (Fppn, BehaviorBank, FftIds) {
         });
     }
     // Consumer: gather the spectrum.
-    let spectrum_in = out_ch.clone();
+    let spectrum_in = out_ch;
     b.behavior(consumer, move || {
         let spectrum_in = spectrum_in.clone();
         Box::new(move |ctx: &mut JobCtx<'_>| {

@@ -948,7 +948,7 @@ mod tests {
             ..SyntheticFppnConfig::default()
         });
         let rich = synthetic_fppn(&SyntheticFppnConfig {
-            shape: base_shape.clone(),
+            shape: base_shape,
             compute_iters: (5, 20),
             sporadic: 3,
             input_permille: 600,

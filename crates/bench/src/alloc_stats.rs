@@ -1,0 +1,48 @@
+//! A counting wrapper around the system allocator.
+//!
+//! Register [`CountingAlloc`] as the `#[global_allocator]` and read
+//! [`allocations`] / [`bytes_allocated`] deltas around the code under
+//! measurement. Counters are monotonic (deallocations are not subtracted):
+//! a delta of zero means *no heap traffic at all*, which is exactly the
+//! claim the zero-alloc steady-state round loop makes.
+
+// The one place in the workspace that touches `unsafe`: implementing
+// `GlobalAlloc` requires it (see the crate's Cargo.toml lint note).
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to [`System`], counting every allocation and reallocation.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total heap allocations (including reallocations) since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the heap since process start.
+pub fn bytes_allocated() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}

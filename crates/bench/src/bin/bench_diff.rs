@@ -36,13 +36,23 @@
 //!
 //! The parser handles exactly the shape `scalability` emits (hand-rolled
 //! writer, one bench object per line) plus arbitrary whitespace; there is
-//! no serde in the offline container.
+//! no serde in the offline container. Both the `fppn-bench-sim/2` and `/3`
+//! schemas parse: `/3` adds `rounds_per_sec`, which is reported as an
+//! **informational** higher-is-better ratio and never gated — it is the
+//! inverse of the exempt `seq_ms` reference and just as host-dependent.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Per-bench metrics: metric name (`seq_ms`, `par_ms`, …) → milliseconds.
 type Metrics = BTreeMap<String, f64>;
+
+/// One parsed bench line: the gated `*_ms` metrics plus the informational
+/// throughput counter (absent in schema-2 files).
+struct Bench {
+    metrics: Metrics,
+    rounds_per_sec: Option<f64>,
+}
 
 /// The additive slack below which a delta counts as measurement noise,
 /// in the same unit as the scored values: the larger of the absolute
@@ -66,6 +76,17 @@ fn string_field(line: &str, key: &str) -> Option<String> {
     let rest = rest.trim_start().strip_prefix(':')?.trim_start();
     let rest = rest.strip_prefix('"')?;
     Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Extracts a single `"key": <number>` field from a JSON-ish line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok()
 }
 
 /// Extracts every `"<name>_ms": <number>` field from a JSON-ish line
@@ -94,7 +115,7 @@ fn ms_fields(line: &str) -> Metrics {
 }
 
 /// Parses a `BENCH_sim.json` into bench-name → metrics.
-fn parse(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
+fn parse(path: &str) -> Result<BTreeMap<String, Bench>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut benches = BTreeMap::new();
     for line in text.lines() {
@@ -105,7 +126,11 @@ fn parse(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
         if metrics.is_empty() {
             return Err(format!("{path}: bench {name:?} has no *_ms metrics"));
         }
-        if benches.insert(name.clone(), metrics).is_some() {
+        let bench = Bench {
+            metrics,
+            rounds_per_sec: number_field(line, "rounds_per_sec"),
+        };
+        if benches.insert(name.clone(), bench).is_some() {
             return Err(format!("{path}: duplicate bench {name:?}"));
         }
     }
@@ -173,11 +198,21 @@ fn main() -> ExitCode {
              (fail beyond max(+{max_regress_pct}%, +{noise_floor_ms} ms))"
         ),
     }
-    for (name, new_metrics) in &new {
-        let Some(base_metrics) = base.get(name) else {
+    for (name, new_bench) in &new {
+        let Some(base_bench) = base.get(name) else {
             println!("  NEW      {name} (no baseline — informational)");
             continue;
         };
+        let (new_metrics, base_metrics) = (&new_bench.metrics, &base_bench.metrics);
+        // Throughput is reported, never gated: it is host-dependent (the
+        // inverse of the exempt reference in ratio mode). Schema-2 files
+        // simply lack the column.
+        if let (Some(b), Some(n)) = (base_bench.rounds_per_sec, new_bench.rounds_per_sec) {
+            println!(
+                "  thru     {name}/rounds_per_sec: {b:.0} -> {n:.0} ({:.2}x, higher is better — informational)",
+                n / b.max(1e-9)
+            );
+        }
         for (metric, &new_ms) in new_metrics {
             let Some(&base_ms) = base_metrics.get(metric) else {
                 println!("  NEW      {name}/{metric} (no baseline column)");
@@ -246,6 +281,18 @@ mod tests {
         assert_eq!(ms.get("par_ms"), Some(&68.0));
         assert_eq!(ms.get("sharded_ms"), Some(&64.2));
         assert!(!ms.contains_key("pipeline_ms"), "null metrics are skipped");
+        // Schema-2 line: no throughput column.
+        assert_eq!(number_field(line, "rounds_per_sec"), None);
+    }
+
+    #[test]
+    fn schema_3_lines_carry_the_throughput_column() {
+        let line = r#"    {"name": "fms/frames32/procs4", "rounds": 89536, "workers": 4, "seq_ms": 80.500000, "par_ms": 120.100000, "sharded_ms": null, "pipeline_ms": null, "rounds_per_sec": 1112248.4},"#;
+        assert_eq!(number_field(line, "rounds_per_sec"), Some(1_112_248.4));
+        // The throughput column must NOT leak into the gated ms metrics.
+        let ms = ms_fields(line);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms.get("seq_ms"), Some(&80.5));
     }
 
     #[test]

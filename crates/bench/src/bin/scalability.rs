@@ -23,6 +23,11 @@
 //! * `--bench-json PATH` — where to write the machine-readable simulation
 //!   measurements (default `BENCH_sim.json`; CI diffs this against the
 //!   committed baseline with `bench_diff --relative-to seq_ms`).
+//!
+//! With `FPPN_ALLOC_STATS=1` and the `alloc-stats` feature, the bin also
+//! reports heap-allocation counts for the steady-state round loop (the
+//! zero-alloc claim of the SoA round engine), via a counting global
+//! allocator — kept off by default so normal runs measure the real one.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -40,6 +45,48 @@ use fppn_sim::{
 use fppn_taskgraph::derive_task_graph;
 use fppn_time::TimeQ;
 
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static ALLOC: fppn_bench::alloc_stats::CountingAlloc = fppn_bench::alloc_stats::CountingAlloc;
+
+/// `FPPN_ALLOC_STATS=1`: count heap traffic of the steady-state round loop
+/// on the FMS workload. After one warm-up compute the SoA `RoundEngine`
+/// reuses its scratch buffers, so the per-iteration delta should be zero —
+/// the same invariant the `alloc_zero` regression test pins.
+#[cfg(feature = "alloc-stats")]
+fn alloc_stats_report(frames: u64) {
+    use fppn_bench::alloc_stats::{allocations, bytes_allocated};
+    let (net, _, ids) = fms_network(FmsVariant::Original);
+    let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
+    let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+    let stimuli = fppn_core::Stimuli::new();
+    let cfg = SimConfig {
+        frames,
+        ..SimConfig::default()
+    };
+    let mut rounds = fppn_sim::hotpath::SeqRounds::new(&net, &stimuli, &derived, &schedule, &cfg)
+        .expect("round tables");
+    let n = rounds.compute().expect("warm-up compute");
+    let (a0, b0) = (allocations(), bytes_allocated());
+    let iters = 10;
+    for _ in 0..iters {
+        rounds.compute().expect("steady-state compute");
+    }
+    let (da, db) = (allocations() - a0, bytes_allocated() - b0);
+    println!(
+        "\nalloc stats (FMS frames={frames}, {n} rounds/iter, {iters} steady-state iters): \
+         {da} allocations, {db} bytes — expected 0/0"
+    );
+}
+
+#[cfg(not(feature = "alloc-stats"))]
+fn alloc_stats_report(_frames: u64) {
+    println!(
+        "\nFPPN_ALLOC_STATS=1 set, but the counting allocator is compiled out; \
+         rebuild with `--features alloc-stats` to measure heap traffic"
+    );
+}
+
 /// One simulation measurement destined for `BENCH_sim.json`.
 struct BenchRecord {
     name: String,
@@ -53,13 +100,14 @@ struct BenchRecord {
 
 /// Hand-rolled JSON (no serde in the offline container): a stable shape
 /// `bench_diff` parses to track the perf trajectory across commits
-/// (schema `fppn-bench-sim/2` added `pipeline_ms`).
+/// (schema `fppn-bench-sim/2` added `pipeline_ms`; `/3` added
+/// `rounds_per_sec`, the sequential round-computation throughput).
 fn write_bench_json(path: &str, records: &[BenchRecord]) {
     let opt_ms = |d: Option<Duration>| {
         d.map_or("null".to_owned(), |d| format!("{:.6}", d.as_secs_f64() * 1e3))
     };
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"fppn-bench-sim/2\",");
+    let _ = writeln!(out, "  \"schema\": \"fppn-bench-sim/3\",");
     let _ = writeln!(
         out,
         "  \"host_cpus\": {},",
@@ -70,7 +118,8 @@ fn write_bench_json(path: &str, records: &[BenchRecord]) {
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"rounds\": {}, \"workers\": {}, \
-             \"seq_ms\": {:.6}, \"par_ms\": {:.6}, \"sharded_ms\": {}, \"pipeline_ms\": {}}}",
+             \"seq_ms\": {:.6}, \"par_ms\": {:.6}, \"sharded_ms\": {}, \"pipeline_ms\": {}, \
+             \"rounds_per_sec\": {:.1}}}",
             r.name,
             r.rounds,
             r.workers,
@@ -78,6 +127,7 @@ fn write_bench_json(path: &str, records: &[BenchRecord]) {
             r.par.as_secs_f64() * 1e3,
             opt_ms(r.sharded),
             opt_ms(r.pipeline),
+            r.rounds as f64 / r.seq.as_secs_f64().max(1e-9),
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -465,6 +515,10 @@ fn main() {
         behavior_sweep(workers, sim_frames.min(4), bench_reps, &mut records);
     }
     write_bench_json(&bench_json, &records);
+
+    if std::env::var("FPPN_ALLOC_STATS").is_ok_and(|v| v == "1") {
+        alloc_stats_report(sim_frames);
+    }
 
     let elapsed = wall.elapsed();
     println!("\ntotal wall time: {elapsed:.2?}");

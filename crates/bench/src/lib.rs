@@ -17,8 +17,12 @@
 //! | `scalability` | the §V-B hyperperiod-reduction motivation |
 //! | `paper_report` | every row above, in paper-vs-measured form |
 
-#![forbid(unsafe_code)]
+// `unsafe_code` is denied (not forbidden) via Cargo.toml so the one
+// `GlobalAlloc` impl in `alloc_stats` can carve out a scoped `#[allow]`.
 #![warn(missing_docs)]
+
+#[cfg(feature = "alloc-stats")]
+pub mod alloc_stats;
 
 use fppn_core::Fppn;
 use fppn_sched::StaticSchedule;

@@ -1,0 +1,78 @@
+//! Regression test for the SoA round engine's zero-alloc steady state:
+//! after one warm-up pass, recomputing every round of a pinned FMS
+//! workload into the reused [`fppn_sim::hotpath::SeqRounds`] scratch
+//! buffers must perform **zero** heap allocations.
+//!
+//! The test binary installs its own counting `#[global_allocator]` (an
+//! integration test is a separate crate root, so this never affects the
+//! library or other tests) and therefore runs under a plain
+//! `cargo test -q` — no feature flags needed. The scoped `#[allow]`
+//! overrides the crate's `unsafe_code = "deny"` lint for the one
+//! `GlobalAlloc` impl.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+#[allow(unsafe_code)]
+mod counting_impl {
+    use super::{CountingAlloc, ALLOCATIONS, Ordering};
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_round_computation_allocates_nothing() {
+    use fppn_apps::{fms_network, fms_wcet, FmsVariant};
+    use fppn_sched::{list_schedule, Heuristic};
+    use fppn_sim::hotpath::SeqRounds;
+    use fppn_sim::SimConfig;
+    use fppn_taskgraph::derive_task_graph;
+
+    let (net, _, ids) = fms_network(FmsVariant::Original);
+    let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
+    let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+    let stimuli = fppn_core::Stimuli::new();
+    let cfg = SimConfig {
+        frames: 8,
+        ..SimConfig::default()
+    };
+    let mut rounds =
+        SeqRounds::new(&net, &stimuli, &derived, &schedule, &cfg).expect("round tables");
+
+    // Warm-up: grows every scratch buffer to its final capacity.
+    let n = rounds.compute().expect("warm-up compute");
+    assert!(n > 1_000, "pinned workload should be non-trivial, got {n} rounds");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..3 {
+        let again = rounds.compute().expect("steady-state compute");
+        assert_eq!(again, n, "round count must be stable across recomputes");
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state round loop allocated {delta} times; the RoundScratch \
+         buffers are supposed to be fully reused after warm-up"
+    );
+}

@@ -605,7 +605,8 @@ mod tests {
     fn automaton_runs_job_and_returns_to_initial() {
         let (net, bank, _c_in, c_out) = harness();
         let mut behaviors = bank.instantiate();
-        let mut st = ExecState::new(&net, Stimuli::new());
+        let stimuli = Stimuli::new();
+        let mut st = ExecState::new(&net, &stimuli);
         let src = net.process_by_name("src").unwrap();
         let flt = net.process_by_name("flt").unwrap();
         let mut run = |pid, at_ms: i64| {
@@ -646,7 +647,8 @@ mod tests {
         b.behavior(p, move || Box::new(AutomatonBehavior::new(Arc::clone(&arc))));
         let (net, bank) = b.build().unwrap();
         let mut behaviors = bank.instantiate();
-        let mut st = ExecState::new(&net, Stimuli::new());
+        let stimuli = Stimuli::new();
+        let mut st = ExecState::new(&net, &stimuli);
         let err = st.run_next_job(&mut behaviors, p, ms(0)).unwrap_err();
         assert!(matches!(err, ExecError::AutomatonNondeterministic { .. }));
     }
@@ -664,7 +666,8 @@ mod tests {
         b.behavior(p, move || Box::new(AutomatonBehavior::new(Arc::clone(&arc))));
         let (net, bank) = b.build().unwrap();
         let mut behaviors = bank.instantiate();
-        let mut st = ExecState::new(&net, Stimuli::new());
+        let stimuli = Stimuli::new();
+        let mut st = ExecState::new(&net, &stimuli);
         let err = st.run_next_job(&mut behaviors, p, ms(0)).unwrap_err();
         assert!(matches!(err, ExecError::AutomatonStuck { .. }));
     }
@@ -686,7 +689,8 @@ mod tests {
         b.behavior(p, move || Box::new(AutomatonBehavior::new(Arc::clone(&arc))));
         let (net, bank) = b.build().unwrap();
         let mut behaviors = bank.instantiate();
-        let mut st = ExecState::new(&net, Stimuli::new());
+        let stimuli = Stimuli::new();
+        let mut st = ExecState::new(&net, &stimuli);
         let err = st.run_next_job(&mut behaviors, p, ms(0)).unwrap_err();
         assert!(matches!(err, ExecError::AutomatonDiverged { bound: 100, .. }));
     }

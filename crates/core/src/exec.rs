@@ -13,6 +13,7 @@ use crate::channel::ChannelState;
 use crate::error::{ExecError, NetworkError};
 use crate::event::SporadicTrace;
 use crate::ids::{ChannelId, PortId, ProcessId};
+use crate::intern::{ValueId, ValuePool};
 use crate::network::Fppn;
 use crate::process::{BoxedBehavior, DataAccess, JobCtx};
 use crate::trace::{Action, JobRun, Observables, Trace};
@@ -115,14 +116,18 @@ impl Stimuli {
 
 /// Sequential data store + job runner for one execution of a network.
 ///
-/// Holds every channel's state, the external-output logs, per-channel write
-/// logs (the observables), per-process job counters and (optionally) a full
-/// action [`Trace`].
+/// Holds every channel's state, the external-output logs, the flat
+/// channel-write log (the observables, as index records over an interned
+/// [`ValuePool`] rather than nested value clones), per-process job counters
+/// and (optionally) a full action [`Trace`].
 pub struct ExecState<'n> {
     net: &'n Fppn,
-    stimuli: Stimuli,
+    stimuli: &'n Stimuli,
     channels: Vec<ChannelState>,
-    channel_log: Vec<Vec<Value>>,
+    /// `(channel index, interned value)` per write, in global write order;
+    /// materialized into per-channel sequences on demand.
+    writes: Vec<(u32, ValueId)>,
+    pool: ValuePool,
     outputs: BTreeMap<(ProcessId, PortId), Vec<(u64, Value)>>,
     job_counts: Vec<u64>,
     trace: Option<Trace>,
@@ -133,10 +138,11 @@ impl<'n> ExecState<'n> {
     /// Creates a fresh execution state (all channels at their initial
     /// values, all job counters at zero). Trace recording is off; enable it
     /// with [`ExecState::record_trace`].
-    pub fn new(net: &'n Fppn, stimuli: Stimuli) -> Self {
+    pub fn new(net: &'n Fppn, stimuli: &'n Stimuli) -> Self {
         ExecState {
             channels: net.channels().iter().map(ChannelState::new).collect(),
-            channel_log: vec![Vec::new(); net.channels().len()],
+            writes: Vec::new(),
+            pool: ValuePool::new(),
             outputs: BTreeMap::new(),
             job_counts: vec![0; net.process_count()],
             trace: None,
@@ -227,16 +233,52 @@ impl<'n> ExecState<'n> {
         result
     }
 
-    /// The per-channel write logs and external-output logs.
+    /// Materializes the flat write log into per-channel value sequences.
+    fn channel_sequences(&self) -> Vec<Vec<Value>> {
+        let mut counts = vec![0usize; self.net.channels().len()];
+        for &(c, _) in &self.writes {
+            counts[c as usize] += 1;
+        }
+        let mut channels: Vec<Vec<Value>> =
+            counts.iter().map(|&n| Vec::with_capacity(n)).collect();
+        for &(c, id) in &self.writes {
+            channels[c as usize].push(self.pool.resolve(id));
+        }
+        channels
+    }
+
+    /// The per-channel write logs and external-output logs, materialized
+    /// from the interned write arena. Usable mid-execution; an executor
+    /// done with the state should prefer [`ExecState::into_observables`],
+    /// which moves the output logs instead of cloning them.
     pub fn observables(&self) -> Observables {
         Observables {
-            channels: self.channel_log.clone(),
+            channels: self.channel_sequences(),
             outputs: self
                 .outputs
                 .iter()
                 .map(|(k, v)| (*k, v.clone()))
                 .collect(),
         }
+    }
+
+    /// Consumes the state into its observables (no output-log clone).
+    pub fn into_observables(self) -> Observables {
+        self.into_parts().0
+    }
+
+    /// Consumes the state into its observables and recorded trace (if
+    /// recording was enabled) — the end-of-run form of
+    /// [`ExecState::observables`] + [`ExecState::trace`].
+    pub fn into_parts(self) -> (Observables, Option<Trace>) {
+        let channels = self.channel_sequences();
+        (
+            Observables {
+                channels,
+                outputs: self.outputs.into_iter().collect(),
+            },
+            self.trace,
+        )
     }
 
     /// The recorded action trace, if recording was enabled.
@@ -284,14 +326,17 @@ impl DataAccess for AccessGuard<'_, '_> {
             spec.name(),
             self.state.net.process(spec.writer()).name()
         );
-        self.state.channels[ch.index()].write(value.clone());
         if self.state.trace.is_some() {
             self.state.current_actions.push(Action::Write {
                 channel: ch,
                 value: value.clone(),
             });
         }
-        self.state.channel_log[ch.index()].push(value);
+        // Log the interned id, then move the value into the channel store:
+        // with tracing off the write path performs no clone at all.
+        let id = self.state.pool.intern(&value);
+        self.state.writes.push((ch.index() as u32, id));
+        self.state.channels[ch.index()].write(value);
     }
 
     fn read_external(&mut self, pid: ProcessId, port: PortId, k: u64) -> Option<Value> {
@@ -374,7 +419,8 @@ mod tests {
     fn run_jobs_and_observe() {
         let (net, bank, ch) = pipeline();
         let mut behaviors = bank.instantiate();
-        let mut st = ExecState::new(&net, Stimuli::new()).record_trace();
+        let stimuli = Stimuli::new();
+        let mut st = ExecState::new(&net, &stimuli).record_trace();
         let src = net.process_by_name("src").unwrap();
         let dst = net.process_by_name("dst").unwrap();
         assert_eq!(st.run_next_job(&mut behaviors, src, ms(0)).expect("src[1]"), 1);
@@ -395,7 +441,8 @@ mod tests {
     fn dst_sees_absent_when_src_did_not_run() {
         let (net, bank, _ch) = pipeline();
         let mut behaviors = bank.instantiate();
-        let mut st = ExecState::new(&net, Stimuli::new());
+        let stimuli = Stimuli::new();
+        let mut st = ExecState::new(&net, &stimuli);
         let dst = net.process_by_name("dst").unwrap();
         assert_eq!(
             st.run_next_job(&mut behaviors, dst, ms(0))
@@ -411,7 +458,8 @@ mod tests {
     fn out_of_order_job_panics() {
         let (net, bank, _) = pipeline();
         let mut behaviors = bank.instantiate();
-        let mut st = ExecState::new(&net, Stimuli::new());
+        let stimuli = Stimuli::new();
+        let mut st = ExecState::new(&net, &stimuli);
         let src = net.process_by_name("src").unwrap();
         st.run_job(&mut behaviors, src, 2, ms(0)).unwrap();
     }
@@ -430,7 +478,8 @@ mod tests {
         });
         let (net, bank) = b.build().unwrap();
         let mut behaviors = bank.instantiate();
-        let mut st = ExecState::new(&net, Stimuli::new());
+        let stimuli = Stimuli::new();
+        let mut st = ExecState::new(&net, &stimuli);
         let _ = st.run_next_job(&mut behaviors, c, ms(0));
     }
 

@@ -1,0 +1,284 @@
+//! Compact value interning: [`ValueId`] handles over a hash-consing
+//! [`ValuePool`].
+//!
+//! The execution hot paths (channel-write logs, trace action records) used
+//! to store full [`Value`] clones in nested `Vec<Vec<Value>>` structures.
+//! Interning replaces each stored value by a 4-byte id: trivially small
+//! scalars (`Absent`, `Unit`, booleans and small integers) are tagged
+//! *inline* in the id space and never touch the pool at all, while
+//! everything else is hash-consed into one arena so repeated values are
+//! stored once.
+//!
+//! Id layout (most ids are inline — FPPN behaviors overwhelmingly exchange
+//! small integers and unit tokens):
+//!
+//! ```text
+//! 0x0000_0000 .. 0xF000_0000   pool indices (arena slots)
+//! 0xF000_0000 .. 0xFFFF_FFF8   inline Int(v), v in [-2^27, 2^27 - 8)
+//! 0xFFFF_FFFC                  inline Bool(true)
+//! 0xFFFF_FFFD                  inline Bool(false)
+//! 0xFFFF_FFFE                  inline Unit
+//! 0xFFFF_FFFF                  inline Absent
+//! ```
+//!
+//! Within one pool, id equality is value equality: equal values always take
+//! the same encoding path (the inline predicate is deterministic and the
+//! pool deduplicates), so two ids from the same pool compare equal iff the
+//! values they denote are equal — the property the round-trip proptests
+//! pin.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::value::Value;
+
+/// Compact handle to an interned [`Value`]; resolve it against the
+/// [`ValuePool`] that produced it (see the module docs for the encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+/// First id above the pool-index range; inline encodings live at or above
+/// this, so the pool can hold at most `SMALL_INT_BASE` distinct values.
+const SMALL_INT_BASE: u32 = 0xF000_0000;
+/// Bias added to an inline integer: id = `SMALL_INT_BASE + (v + BIAS)`.
+const SMALL_INT_BIAS: i64 = 1 << 27;
+/// Exclusive upper bound of the inline-int payload range (the top eight
+/// slots of the id space are reserved for the scalar tags below).
+const SMALL_INT_SPAN: i64 = (1 << 28) - 8;
+const ID_TRUE: u32 = u32::MAX - 3;
+const ID_FALSE: u32 = u32::MAX - 2;
+const ID_UNIT: u32 = u32::MAX - 1;
+const ID_ABSENT: u32 = u32::MAX;
+
+impl ValueId {
+    /// The inline encoding of a value, if it has one. Deterministic, so
+    /// equal values either both encode inline (to equal ids) or both pool.
+    fn inline(v: &Value) -> Option<ValueId> {
+        match *v {
+            Value::Absent => Some(ValueId(ID_ABSENT)),
+            Value::Unit => Some(ValueId(ID_UNIT)),
+            Value::Bool(b) => Some(ValueId(if b { ID_TRUE } else { ID_FALSE })),
+            Value::Int(i) => {
+                let biased = i.checked_add(SMALL_INT_BIAS)?;
+                if (0..SMALL_INT_SPAN).contains(&biased) {
+                    Some(ValueId(SMALL_INT_BASE + biased as u32))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this id is an inline-tagged scalar (no pool slot).
+    pub fn is_inline(self) -> bool {
+        self.0 >= SMALL_INT_BASE
+    }
+}
+
+/// Hash-consing arena for non-inline [`Value`]s.
+///
+/// [`ValuePool::intern`] maps equal values to equal [`ValueId`]s and stores
+/// each distinct value once; [`ValuePool::resolve`] maps ids back. The
+/// index maps a value's hash to the candidate arena slots with that hash,
+/// so lookups never clone and insertion clones a new value exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct ValuePool {
+    values: Vec<Value>,
+    index: HashMap<u64, Vec<u32>>,
+}
+
+fn hash_value(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+impl ValuePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of pooled (non-inline) distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values have been pooled (inline ids need no pool).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The arena slot holding an already-interned value, if the value is
+    /// not inline-encodable and has been seen before.
+    fn lookup(&self, v: &Value, hash: u64) -> Option<u32> {
+        self.index
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&i| self.values[i as usize] == *v)
+    }
+
+    fn insert(&mut self, v: Value, hash: u64) -> ValueId {
+        let slot = u32::try_from(self.values.len()).expect("value pool overflow");
+        assert!(slot < SMALL_INT_BASE, "value pool overflow");
+        self.values.push(v);
+        self.index.entry(hash).or_default().push(slot);
+        ValueId(slot)
+    }
+
+    /// Interns by reference: inline scalars never touch the pool, known
+    /// values return their existing id, and only a genuinely new value is
+    /// cloned into the arena.
+    pub fn intern(&mut self, v: &Value) -> ValueId {
+        if let Some(id) = ValueId::inline(v) {
+            return id;
+        }
+        let hash = hash_value(v);
+        match self.lookup(v, hash) {
+            Some(slot) => ValueId(slot),
+            None => self.insert(v.clone(), hash),
+        }
+    }
+
+    /// Interns an owned value: like [`ValuePool::intern`] but a new value
+    /// is moved into the arena instead of cloned.
+    pub fn intern_owned(&mut self, v: Value) -> ValueId {
+        if let Some(id) = ValueId::inline(&v) {
+            return id;
+        }
+        let hash = hash_value(&v);
+        match self.lookup(&v, hash) {
+            Some(slot) => ValueId(slot),
+            None => self.insert(v, hash),
+        }
+    }
+
+    /// Materializes the value an id denotes. Inline ids decode without
+    /// touching the pool; pooled ids clone their arena slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pooled id is out of range for this pool (an id from a
+    /// different pool).
+    pub fn resolve(&self, id: ValueId) -> Value {
+        match id.0 {
+            ID_ABSENT => Value::Absent,
+            ID_UNIT => Value::Unit,
+            ID_FALSE => Value::Bool(false),
+            ID_TRUE => Value::Bool(true),
+            i if i >= SMALL_INT_BASE => {
+                Value::Int(i64::from(i - SMALL_INT_BASE) - SMALL_INT_BIAS)
+            }
+            i => self.values[i as usize].clone(),
+        }
+    }
+
+    /// The pooled value behind an id, by reference (`None` for inline ids).
+    fn pooled(&self, id: ValueId) -> Option<&Value> {
+        (!id.is_inline()).then(|| &self.values[id.0 as usize])
+    }
+
+    /// Whether `id` (from this pool) and `other_id` (from `other`) denote
+    /// equal values — the cross-pool equality used when comparing traces
+    /// assembled by different executors.
+    pub fn value_eq(&self, id: ValueId, other: &ValuePool, other_id: ValueId) -> bool {
+        match (self.pooled(id), other.pooled(other_id)) {
+            // Both inline: the encoding is injective, compare ids directly.
+            (None, None) => id == other_id,
+            (Some(a), Some(b)) => a == b,
+            // Mixed inline/pooled can only mean unequal values (the inline
+            // predicate is deterministic), but compare anyway for clarity.
+            (Some(a), None) => *a == other.resolve(other_id),
+            (None, Some(b)) => self.resolve(id) == *b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_time::TimeQ;
+
+    #[test]
+    fn inline_scalars_bypass_the_pool() {
+        let mut pool = ValuePool::new();
+        for v in [
+            Value::Absent,
+            Value::Unit,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-7),
+            Value::Int(123_456),
+        ] {
+            let id = pool.intern(&v);
+            assert!(id.is_inline(), "{v:?} should be inline");
+            assert_eq!(pool.resolve(id), v);
+        }
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn huge_ints_and_structured_values_pool_and_dedupe() {
+        let mut pool = ValuePool::new();
+        let vals = [
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(1.5),
+            Value::Time(TimeQ::from_ms(250)),
+            Value::Str("hello".into()),
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+        ];
+        let ids: Vec<ValueId> = vals.iter().map(|v| pool.intern(v)).collect();
+        assert_eq!(pool.len(), vals.len());
+        // Re-interning returns the same ids and grows nothing.
+        for (v, &id) in vals.iter().zip(&ids) {
+            assert_eq!(pool.intern(v), id);
+            assert_eq!(pool.intern_owned(v.clone()), id);
+            assert_eq!(pool.resolve(id), *v);
+        }
+        assert_eq!(pool.len(), vals.len());
+    }
+
+    #[test]
+    fn id_equality_is_value_equality_within_a_pool() {
+        let mut pool = ValuePool::new();
+        let a = pool.intern(&Value::Str("a".into()));
+        let b = pool.intern(&Value::Str("b".into()));
+        let a2 = pool.intern(&Value::Str("a".into()));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cross_pool_value_eq() {
+        let mut p1 = ValuePool::new();
+        let mut p2 = ValuePool::new();
+        // Different interning orders give different slot numbers...
+        let x1 = p1.intern(&Value::Str("x".into()));
+        let _pad = p2.intern(&Value::Str("pad".into()));
+        let x2 = p2.intern(&Value::Str("x".into()));
+        assert_ne!(x1, x2);
+        // ...but cross-pool comparison sees through the ids.
+        assert!(p1.value_eq(x1, &p2, x2));
+        assert!(!p1.value_eq(x1, &p2, _pad));
+        // Inline ids compare across pools too.
+        let i1 = p1.intern(&Value::Int(42));
+        let i2 = p2.intern(&Value::Int(42));
+        assert!(p1.value_eq(i1, &p2, i2));
+    }
+
+    #[test]
+    fn float_values_intern_by_bits() {
+        let mut pool = ValuePool::new();
+        let nz = pool.intern(&Value::Float(-0.0));
+        let pz = pool.intern(&Value::Float(0.0));
+        // Value's Eq is bitwise for floats, so -0.0 and 0.0 are distinct.
+        assert_ne!(nz, pz);
+        let nan = pool.intern(&Value::Float(f64::NAN));
+        assert_eq!(pool.intern(&Value::Float(f64::NAN)), nan);
+    }
+}

@@ -56,6 +56,7 @@ mod error;
 mod event;
 mod exec;
 mod ids;
+mod intern;
 pub mod lang;
 mod network;
 mod process;
@@ -69,6 +70,7 @@ pub use error::{ExecError, NetworkError};
 pub use event::{EventKind, EventSpec, SporadicTrace};
 pub use exec::{ExecState, Stimuli};
 pub use ids::{ChannelId, PortId, ProcessId};
+pub use intern::{ValueId, ValuePool};
 pub use network::{BehaviorBank, Fppn, FppnBuilder};
 pub use process::{Behavior, BehaviorFactory, BoxedBehavior, DataAccess, JobCtx, ProcessSpec};
 pub use semantics::{

@@ -212,7 +212,7 @@ pub fn run_zero_delay(
     let ranks = linearization_ranks(net, ordering);
     let by_time = invocations_by_time(net, stimuli, horizon);
 
-    let mut state = ExecState::new(net, stimuli.clone()).record_trace();
+    let mut state = ExecState::new(net, stimuli).record_trace();
     let mut executed = Vec::new();
     for (_t, mut group) in by_time {
         // Order the multiset Pⁱ: FP-linearization rank, then k.
@@ -222,9 +222,10 @@ pub fn run_zero_delay(
             executed.push(inv);
         }
     }
+    let (observables, trace) = state.into_parts();
     Ok(ZeroDelayRun {
-        observables: state.observables(),
-        trace: state.trace().cloned().unwrap_or_default(),
+        observables,
+        trace: trace.unwrap_or_default(),
         executed,
     })
 }

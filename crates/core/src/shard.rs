@@ -641,7 +641,8 @@ mod tests {
         let order = [src, src, mid, dst, src, mid, mid, dst, dst];
 
         let mut behaviors = bank.instantiate();
-        let mut seq = ExecState::new(&net, Stimuli::new()).record_trace();
+        let stimuli = Stimuli::new();
+        let mut seq = ExecState::new(&net, &stimuli).record_trace();
         for (i, &pid) in order.iter().enumerate() {
             seq.run_next_job(&mut behaviors, pid, ms(i as i64))
                 .unwrap_or_else(|e| panic!("sequential job {i} ({:?}) failed: {e}", pid));

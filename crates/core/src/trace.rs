@@ -12,6 +12,7 @@ use std::fmt;
 use fppn_time::TimeQ;
 
 use crate::ids::{ChannelId, PortId, ProcessId};
+use crate::intern::{ValueId, ValuePool};
 use crate::value::Value;
 
 /// One zero-delay action inside a job execution run (`Act` in §II-A).
@@ -64,11 +65,40 @@ pub struct JobRun {
     pub actions: Vec<Action>,
 }
 
+/// Interned twin of [`Action`]: a fixed-size record whose values are
+/// [`ValueId`]s into the owning trace's [`ValuePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActionRec {
+    Read { channel: ChannelId, value: Option<ValueId> },
+    Write { channel: ChannelId, value: ValueId },
+    ReadInput { port: PortId, k: u64, value: Option<ValueId> },
+    WriteOutput { port: PortId, k: u64, value: ValueId },
+}
+
+/// Interned twin of [`JobRun`]: run metadata plus a `[start, start + len)`
+/// window into the trace's flat action arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RunRec {
+    process: ProcessId,
+    k: u64,
+    invoked_at: TimeQ,
+    actions_start: u32,
+    actions_len: u32,
+}
+
 /// A full execution trace: job runs in execution order, with their
 /// timestamps (the `w(t)` waits are implicit in `invoked_at`).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Internally the trace is index-based: one flat arena of fixed-size action
+/// records over an interned [`ValuePool`], instead of a `Vec` of runs each
+/// owning a `Vec` of cloned [`Value`]s. Pushing a [`JobRun`] interns its
+/// values; the accessors materialize runs back on demand, so the public
+/// vocabulary ([`Action`], [`JobRun`]) is unchanged.
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
-    runs: Vec<JobRun>,
+    runs: Vec<RunRec>,
+    actions: Vec<ActionRec>,
+    pool: ValuePool,
 }
 
 impl Trace {
@@ -77,14 +107,92 @@ impl Trace {
         Self::default()
     }
 
-    /// Appends a job run.
+    /// Appends a job run, interning its action values.
     pub fn push(&mut self, run: JobRun) {
-        self.runs.push(run);
+        let actions_start = u32::try_from(self.actions.len()).expect("trace arena overflow");
+        for action in run.actions {
+            let rec = match action {
+                Action::Read { channel, value } => ActionRec::Read {
+                    channel,
+                    value: value.map(|v| self.pool.intern_owned(v)),
+                },
+                Action::Write { channel, value } => ActionRec::Write {
+                    channel,
+                    value: self.pool.intern_owned(value),
+                },
+                Action::ReadInput { port, k, value } => ActionRec::ReadInput {
+                    port,
+                    k,
+                    value: value.map(|v| self.pool.intern_owned(v)),
+                },
+                Action::WriteOutput { port, k, value } => ActionRec::WriteOutput {
+                    port,
+                    k,
+                    value: self.pool.intern_owned(value),
+                },
+            };
+            self.actions.push(rec);
+        }
+        let actions_len = u32::try_from(self.actions.len()).expect("trace arena overflow")
+            - actions_start;
+        self.runs.push(RunRec {
+            process: run.process,
+            k: run.k,
+            invoked_at: run.invoked_at,
+            actions_start,
+            actions_len,
+        });
     }
 
-    /// The recorded job runs, in execution order.
-    pub fn runs(&self) -> &[JobRun] {
-        &self.runs
+    fn materialize_action(&self, rec: &ActionRec) -> Action {
+        match *rec {
+            ActionRec::Read { channel, value } => Action::Read {
+                channel,
+                value: value.map(|id| self.pool.resolve(id)),
+            },
+            ActionRec::Write { channel, value } => Action::Write {
+                channel,
+                value: self.pool.resolve(value),
+            },
+            ActionRec::ReadInput { port, k, value } => Action::ReadInput {
+                port,
+                k,
+                value: value.map(|id| self.pool.resolve(id)),
+            },
+            ActionRec::WriteOutput { port, k, value } => Action::WriteOutput {
+                port,
+                k,
+                value: self.pool.resolve(value),
+            },
+        }
+    }
+
+    fn materialize(&self, rec: &RunRec) -> JobRun {
+        let start = rec.actions_start as usize;
+        let end = start + rec.actions_len as usize;
+        JobRun {
+            process: rec.process,
+            k: rec.k,
+            invoked_at: rec.invoked_at,
+            actions: self.actions[start..end]
+                .iter()
+                .map(|a| self.materialize_action(a))
+                .collect(),
+        }
+    }
+
+    /// The recorded job runs, materialized in execution order.
+    pub fn runs(&self) -> impl Iterator<Item = JobRun> + '_ {
+        self.runs.iter().map(|r| self.materialize(r))
+    }
+
+    /// Materializes the `i`-th recorded job run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn run(&self, i: usize) -> JobRun {
+        self.materialize(&self.runs[i])
     }
 
     /// The number of recorded job runs.
@@ -97,11 +205,71 @@ impl Trace {
         self.runs.is_empty()
     }
 
-    /// Job runs of one process, in execution order.
-    pub fn runs_of(&self, pid: ProcessId) -> impl Iterator<Item = &JobRun> + '_ {
-        self.runs.iter().filter(move |r| r.process == pid)
+    /// Job runs of one process, materialized in execution order.
+    pub fn runs_of(&self, pid: ProcessId) -> impl Iterator<Item = JobRun> + '_ {
+        self.runs
+            .iter()
+            .filter(move |r| r.process == pid)
+            .map(|r| self.materialize(r))
     }
 }
+
+/// Semantic equality: run metadata and resolved action values must match;
+/// the arena slot numbers (which depend on interning order) do not — two
+/// traces assembled by different executors compare equal iff they denote
+/// the same action sequences.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        fn opt_eq(
+            a_pool: &ValuePool,
+            a: Option<ValueId>,
+            b_pool: &ValuePool,
+            b: Option<ValueId>,
+        ) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a_pool.value_eq(a, b_pool, b),
+                _ => false,
+            }
+        }
+        let action_eq = |a: &ActionRec, b: &ActionRec| match (*a, *b) {
+            (
+                ActionRec::Read { channel: ca, value: va },
+                ActionRec::Read { channel: cb, value: vb },
+            ) => ca == cb && opt_eq(&self.pool, va, &other.pool, vb),
+            (
+                ActionRec::Write { channel: ca, value: va },
+                ActionRec::Write { channel: cb, value: vb },
+            ) => ca == cb && self.pool.value_eq(va, &other.pool, vb),
+            (
+                ActionRec::ReadInput { port: pa, k: ka, value: va },
+                ActionRec::ReadInput { port: pb, k: kb, value: vb },
+            ) => pa == pb && ka == kb && opt_eq(&self.pool, va, &other.pool, vb),
+            (
+                ActionRec::WriteOutput { port: pa, k: ka, value: va },
+                ActionRec::WriteOutput { port: pb, k: kb, value: vb },
+            ) => pa == pb && ka == kb && self.pool.value_eq(va, &other.pool, vb),
+            _ => false,
+        };
+        // Equal per-run action lengths imply equal (cumulative) starts, so
+        // comparing the flat arenas position-by-position lines up.
+        self.runs.len() == other.runs.len()
+            && self.actions.len() == other.actions.len()
+            && self.runs.iter().zip(&other.runs).all(|(a, b)| {
+                a.process == b.process
+                    && a.k == b.k
+                    && a.invoked_at == b.invoked_at
+                    && a.actions_len == b.actions_len
+            })
+            && self
+                .actions
+                .iter()
+                .zip(&other.actions)
+                .all(|(a, b)| action_eq(a, b))
+    }
+}
+
+impl Eq for Trace {}
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -111,7 +279,7 @@ impl fmt::Display for Trace {
                 writeln!(f, "w({})", run.invoked_at)?;
                 last_time = Some(run.invoked_at);
             }
-            writeln!(f, "  {}[{}]: {} actions", run.process, run.k, run.actions.len())?;
+            writeln!(f, "  {}[{}]: {} actions", run.process, run.k, run.actions_len)?;
         }
         Ok(())
     }
@@ -205,6 +373,68 @@ mod tests {
         let display = t.to_string();
         assert!(display.contains("w(0)"));
         assert!(display.contains("w(100)"));
+    }
+
+    #[test]
+    fn interned_runs_materialize_losslessly() {
+        let mut t = Trace::new();
+        let original = JobRun {
+            process: ProcessId::from_index(3),
+            k: 7,
+            invoked_at: TimeQ::from_ms(250),
+            actions: vec![
+                Action::Read {
+                    channel: ChannelId::from_index(1),
+                    value: Some(Value::Str("big".into())),
+                },
+                Action::Read {
+                    channel: ChannelId::from_index(2),
+                    value: None,
+                },
+                Action::Write {
+                    channel: ChannelId::from_index(1),
+                    value: Value::List(vec![Value::Int(i64::MAX), Value::Unit]),
+                },
+                Action::ReadInput {
+                    port: PortId::from_index(0),
+                    k: 7,
+                    value: Some(Value::Int(-5)),
+                },
+                Action::WriteOutput {
+                    port: PortId::from_index(0),
+                    k: 7,
+                    value: Value::Bool(true),
+                },
+            ],
+        };
+        t.push(original.clone());
+        assert_eq!(t.run(0), original);
+        assert_eq!(t.runs().next().unwrap(), original);
+    }
+
+    #[test]
+    fn trace_equality_compares_resolved_values() {
+        let w = |s: &str| Action::Write {
+            channel: ChannelId::from_index(0),
+            value: Value::Str(s.into()),
+        };
+        let mk = |actions: Vec<Action>| JobRun {
+            process: ProcessId::from_index(0),
+            k: 1,
+            invoked_at: TimeQ::from_ms(0),
+            actions,
+        };
+        let mut a = Trace::new();
+        a.push(JobRun { k: 0, ..mk(vec![w("x"), w("y")]) });
+        a.push(mk(vec![w("y"), w("x")]));
+        let mut b = Trace::new();
+        b.push(JobRun { k: 0, ..mk(vec![w("x"), w("y")]) });
+        b.push(mk(vec![w("y"), w("x")]));
+        assert_eq!(a, b);
+        let mut c = Trace::new();
+        c.push(JobRun { k: 0, ..mk(vec![w("x"), w("y")]) });
+        c.push(mk(vec![w("x"), w("y")]));
+        assert_ne!(a, c);
     }
 
     #[test]

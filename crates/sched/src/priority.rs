@@ -53,7 +53,7 @@ impl Heuristic {
     pub fn priority_order(self, graph: &TaskGraph) -> Vec<JobId> {
         let times = AsapAlap::compute(graph);
         let key: Vec<TimeQ> = match self {
-            Heuristic::AlapEdf => times.alap_completion.clone(),
+            Heuristic::AlapEdf => times.alap_completion,
             Heuristic::Edf => graph.jobs().iter().map(|j| j.deadline).collect(),
             Heuristic::BLevel => {
                 // Negate so that *larger* b-level sorts first.
@@ -64,7 +64,7 @@ impl Heuristic {
                 .iter()
                 .map(|j| j.deadline - j.arrival)
                 .collect(),
-            Heuristic::Asap => times.asap_start.clone(),
+            Heuristic::Asap => times.asap_start,
         };
         let mut order: Vec<JobId> = graph.job_ids().collect();
         order.sort_by_key(|j| (key[j.index()], *j));

@@ -145,16 +145,69 @@ impl Drop for AbortOnUnwind<'_> {
     }
 }
 
+/// A tiny inline-first buffer for `Copy` plan entries: up to `N` elements
+/// live in the struct itself and only a (rare) overflow spills to the heap.
+/// `PlannedJob` is built once per executed round, and a process's read /
+/// writer fan-in is almost always small, so inlining removes two heap
+/// allocations per round from the planning hot path.
+#[derive(Debug, Clone)]
+pub(crate) struct SmallBuf<T: Copy + Default, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    /// Holds *all* elements once `len > N`; empty while inline.
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallBuf<T, N> {
+    pub(crate) fn new() -> Self {
+        SmallBuf {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, v: T) {
+        if self.len < N {
+            self.inline[self.len] = v;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    pub(crate) fn as_slice(&self) -> &[T] {
+        if self.len <= N {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallBuf<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut buf = Self::new();
+        for v in iter {
+            buf.push(v);
+        }
+        buf
+    }
+}
+
 /// The static plan of one executed job.
 pub(crate) struct PlannedJob {
     k: u64,
     invoked_at: TimeQ,
     /// Committed-writer-job counts visible per read channel, aligned with
     /// [`ProcessShard::read_channels`].
-    visible: Vec<u64>,
+    visible: SmallBuf<u64, 4>,
     /// Distinct rendezvous gates: `(writer process index, required
     /// committed count)`. Zero-count gates are dropped at plan time.
-    gates: Vec<(usize, u64)>,
+    gates: SmallBuf<(usize, u64), 4>,
 }
 
 /// One process timeline owned by a worker.
@@ -196,13 +249,13 @@ impl<'n> RecordPlanner<'n> {
             return None;
         }
         let p = rec.process;
-        let visible: Vec<u64> = self
+        let visible: SmallBuf<u64, 4> = self
             .deps
             .reads(p)
             .iter()
             .map(|&ch| self.committed[self.net.channel(ch).writer().index()])
             .collect();
-        let gates: Vec<(usize, u64)> = self
+        let gates: SmallBuf<(usize, u64), 4> = self
             .deps
             .direct_writers(p)
             .iter()
@@ -299,6 +352,7 @@ fn run_worker(
                 let job = &tl.jobs[tl.next];
                 if !job
                     .gates
+                    .as_slice()
                     .iter()
                     .all(|&(w, j)| board.progress[w].load(Ordering::SeqCst) >= j)
                 {
@@ -306,7 +360,7 @@ fn run_worker(
                 }
                 let result =
                     tl.shard
-                        .run_job(&mut tl.behavior, job.k, job.invoked_at, &job.visible);
+                        .run_job(&mut tl.behavior, job.k, job.invoked_at, job.visible.as_slice());
                 tl.next += 1;
                 // Publish even a failed job: its writes committed, exactly
                 // as the sequential store logs a failed job's actions.
@@ -612,6 +666,7 @@ pub(crate) fn run_worker_streaming(
                 let job = tl.pending.as_ref().expect("pulled or pending");
                 if !job
                     .gates
+                    .as_slice()
                     .iter()
                     .all(|&(w, j)| board.progress[w].load(Ordering::SeqCst) >= j)
                 {
@@ -620,7 +675,7 @@ pub(crate) fn run_worker_streaming(
                 let job = tl.pending.take().expect("gate-checked job");
                 let result =
                     tl.shard
-                        .run_job(&mut tl.behavior, job.k, job.invoked_at, &job.visible);
+                        .run_job(&mut tl.behavior, job.k, job.invoked_at, job.visible.as_slice());
                 // Publish even a failed job: its writes committed, exactly
                 // as the sequential store logs a failed job's actions.
                 board.publish(tl.p, tl.shard.executed());

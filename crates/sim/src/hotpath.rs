@@ -1,0 +1,54 @@
+//! A deliberately narrow public window onto the round-computation hot
+//! path, for allocation instrumentation.
+//!
+//! The `RoundEngine` and its scratch buffers are crate-private; this module
+//! re-exposes exactly the "build once, recompute rounds into reused
+//! buffers" loop so `fppn-bench` can (a) assert the steady-state round
+//! loop performs zero heap allocations (the `alloc_zero` regression test)
+//! and (b) report allocation counts from the scalability bin under
+//! `FPPN_ALLOC_STATS=1`. It is `#[doc(hidden)]`: not a supported API,
+//! only a measurement seam.
+
+use fppn_core::{Fppn, Stimuli};
+use fppn_sched::StaticSchedule;
+use fppn_taskgraph::DerivedTaskGraph;
+
+use crate::policy::{RoundEngine, RoundScratch, SimConfig, SimError};
+
+/// Owns a [`RoundEngine`] plus its reusable [`RoundScratch`]: after one
+/// warm-up [`SeqRounds::compute`], further computes allocate nothing.
+pub struct SeqRounds<'a> {
+    engine: RoundEngine<'a>,
+    scratch: RoundScratch,
+}
+
+impl<'a> SeqRounds<'a> {
+    /// Builds the round tables for one simulation shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on stimuli inconsistent with the network.
+    pub fn new(
+        net: &Fppn,
+        stimuli: &Stimuli,
+        derived: &'a DerivedTaskGraph,
+        schedule: &StaticSchedule,
+        config: &SimConfig,
+    ) -> Result<Self, SimError> {
+        Ok(SeqRounds {
+            engine: RoundEngine::new(net, stimuli, derived, schedule, config)?,
+            scratch: RoundScratch::new(),
+        })
+    }
+
+    /// Recomputes every round into the reused scratch buffers and returns
+    /// the number of rounds computed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] on a structurally invalid schedule.
+    pub fn compute(&mut self) -> Result<usize, SimError> {
+        self.engine.compute_rounds_seq_into(&mut self.scratch)?;
+        Ok(self.scratch.records.len())
+    }
+}

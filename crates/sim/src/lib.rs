@@ -33,6 +33,8 @@ mod behavior;
 mod env;
 mod exectime;
 mod gantt;
+#[doc(hidden)]
+pub mod hotpath;
 mod metrics;
 mod overhead;
 mod parallel;

@@ -242,12 +242,13 @@ pub(crate) fn run_worker(
                     progressed = true;
                     break;
                 }
-                if tl.idx >= engine.proc_orders[tl.processor].len() {
+                let order = engine.proc_order(tl.processor);
+                if tl.idx >= order.len() {
                     tl.frame += 1;
                     tl.idx = 0;
                     continue;
                 }
-                let id = engine.proc_orders[tl.processor][tl.idx];
+                let id = order[tl.idx];
                 let Some(rec) = engine.try_round(
                     tl.frame,
                     id,

@@ -384,7 +384,7 @@ fn pipeline_seq_behaviors(
 
     let mut sequencer = Sequencer::new(engine, net.process_count());
     let mut behaviors = bank.instantiate();
-    let mut state = ExecState::new(net, stimuli.clone());
+    let mut state = ExecState::new(net, stimuli);
     let mut exec_error: Option<SimError> = None;
 
     let scope_result = crossbeam::thread::scope(|s| {
@@ -428,7 +428,7 @@ fn pipeline_seq_behaviors(
         engine.total_rounds(),
         "sequencer committed every round"
     );
-    Ok(engine.render(net, sequencer.records, state.observables()))
+    Ok(engine.render(net, sequencer.records, state.into_observables()))
 }
 
 #[cfg(test)]

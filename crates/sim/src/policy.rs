@@ -162,7 +162,7 @@ impl Default for SimConfig {
 }
 
 /// The fate of one scheduled job instance (one round).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobRecord {
     /// The process.
     pub process: ProcessId,
@@ -302,20 +302,54 @@ pub fn clip_stimuli(
     clipped
 }
 
+/// Reusable buffers for [`RoundEngine::compute_rounds_seq_into`]: the flat
+/// completion table (`[frame * n_jobs + job]`), per-processor availability,
+/// the per-processor cursors and the output records. Owned by the caller
+/// so a steady-state loop recomputing rounds over the same engine shape
+/// reuses every buffer instead of reallocating per pass.
+#[derive(Debug, Default)]
+pub(crate) struct RoundScratch {
+    completion: Vec<Option<TimeQ>>,
+    proc_avail: Vec<TimeQ>,
+    cursors: Vec<(u64, usize)>,
+    pub(crate) records: Vec<JobRecord>,
+}
+
+impl RoundScratch {
+    /// Empty scratch; the first compute pass sizes the buffers.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The frame-repeated policy table plus everything a backend needs to
 /// compute rounds: static per-processor orders, wrap-around predecessors,
 /// per-instance slot resolutions, pre-drawn execution times and per-frame
 /// release gates. Shared by the sequential and parallel backends so both
 /// perform *identical arithmetic* on every round.
+///
+/// Every per-round table is a flat struct-of-arrays slab indexed by
+/// `frame * n_jobs + job` (or a CSR pair for the jagged per-processor /
+/// per-job lists): the steady-state loop does contiguous indexed loads
+/// instead of chasing nested `Vec<Vec<_>>` spines.
 pub(crate) struct RoundEngine<'a> {
     pub(crate) graph: &'a TaskGraph,
     pub(crate) frames: u64,
     pub(crate) n_jobs: usize,
     pub(crate) m_procs: usize,
-    pub(crate) proc_orders: Vec<Vec<JobId>>,
-    wrap_preds: Vec<Vec<JobId>>,
-    resolution: RoundResolution,
-    exec_times: Vec<Vec<TimeQ>>,
+    /// CSR over processors: `proc_order_data[bounds[m]..bounds[m + 1]]` is
+    /// processor `m`'s static round order.
+    proc_order_data: Vec<JobId>,
+    proc_order_bounds: Vec<usize>,
+    /// CSR over jobs: the previous-frame (wrap-around) predecessors.
+    wrap_pred_data: Vec<JobId>,
+    wrap_pred_bounds: Vec<usize>,
+    /// Slot-resolution slabs, `[frame * n_jobs + job]`.
+    slot_invoked: Vec<TimeQ>,
+    slot_deadline: Vec<TimeQ>,
+    slot_executable: Vec<bool>,
+    /// Pre-drawn execution times, `[frame * n_jobs + job]`.
+    exec_times: Vec<TimeQ>,
     /// `f·H + frame_overhead(f)` per frame: no executed job starts earlier.
     frame_gates: Vec<TimeQ>,
     h: TimeQ,
@@ -335,25 +369,52 @@ impl<'a> RoundEngine<'a> {
         let graph = &derived.graph;
         let h = derived.hyperperiod;
         let frames = config.frames;
+        let n_jobs = graph.job_count();
         let m_procs = schedule.processors();
 
-        // Static per-processor round orders.
-        let proc_orders: Vec<Vec<JobId>> = (0..m_procs)
-            .map(|m| schedule.processor_order(m))
-            .collect();
+        // Static per-processor round orders, flattened to CSR.
+        let mut proc_order_data = Vec::new();
+        let mut proc_order_bounds = Vec::with_capacity(m_procs + 1);
+        proc_order_bounds.push(0);
+        for m in 0..m_procs {
+            proc_order_data.extend(schedule.processor_order(m));
+            proc_order_bounds.push(proc_order_data.len());
+        }
 
-        // Cross-frame wrap edges and per-instance slot resolution (shared
-        // with the threaded runtime; see fppn-taskgraph).
+        // Cross-frame wrap edges (shared with the threaded runtime; see
+        // fppn-taskgraph), flattened to CSR over job ids.
         let wrap_preds = wrap_predecessors(net, derived);
+        let mut wrap_pred_data = Vec::new();
+        let mut wrap_pred_bounds = Vec::with_capacity(n_jobs + 1);
+        wrap_pred_bounds.push(0);
+        for preds in &wrap_preds {
+            wrap_pred_data.extend_from_slice(preds);
+            wrap_pred_bounds.push(wrap_pred_data.len());
+        }
+
+        // Per-instance slot resolution, copied out of the per-frame rows
+        // into SoA slabs in canonical (frame, job-id) order.
         let resolution = RoundResolution::resolve(net, derived, stimuli, frames);
+        let total = frames as usize * n_jobs;
+        let mut slot_invoked = Vec::with_capacity(total);
+        let mut slot_deadline = Vec::with_capacity(total);
+        let mut slot_executable = Vec::with_capacity(total);
+        for frame in 0..frames {
+            for id in graph.job_ids() {
+                let res = resolution.get(frame, id);
+                slot_invoked.push(res.invoked_at);
+                slot_deadline.push(res.deadline);
+                slot_executable.push(res.executable);
+            }
+        }
 
         // Pre-drawn execution times in canonical (frame, job-id) order, so
         // the random draws do not depend on simulation internals (or on the
         // backend executing the rounds).
         let mut sampler = config.exec_time.sampler();
-        let mut exec_times: Vec<Vec<TimeQ>> = Vec::with_capacity(frames as usize);
+        let mut exec_times = Vec::with_capacity(total);
         for _ in 0..frames {
-            exec_times.push(graph.jobs().iter().map(|j| sampler.sample(j)).collect());
+            exec_times.extend(graph.jobs().iter().map(|j| sampler.sample(j)));
         }
 
         let frame_gates: Vec<TimeQ> = (0..frames)
@@ -363,11 +424,15 @@ impl<'a> RoundEngine<'a> {
         Ok(RoundEngine {
             graph,
             frames,
-            n_jobs: graph.job_count(),
+            n_jobs,
             m_procs,
-            proc_orders,
-            wrap_preds,
-            resolution,
+            proc_order_data,
+            proc_order_bounds,
+            wrap_pred_data,
+            wrap_pred_bounds,
+            slot_invoked,
+            slot_deadline,
+            slot_executable,
             exec_times,
             frame_gates,
             h,
@@ -378,6 +443,16 @@ impl<'a> RoundEngine<'a> {
     /// Total number of rounds over all frames.
     pub(crate) fn total_rounds(&self) -> usize {
         self.frames as usize * self.n_jobs
+    }
+
+    /// Processor `m`'s static round order.
+    pub(crate) fn proc_order(&self, m: usize) -> &[JobId] {
+        &self.proc_order_data[self.proc_order_bounds[m]..self.proc_order_bounds[m + 1]]
+    }
+
+    /// The previous-frame (wrap-around) predecessors of a job.
+    fn wrap_preds_of(&self, id: JobId) -> &[JobId] {
+        &self.wrap_pred_data[self.wrap_pred_bounds[id.index()]..self.wrap_pred_bounds[id.index() + 1]]
     }
 
     /// Attempts the round `(frame, id)` on processor `m` whose timeline is
@@ -402,13 +477,13 @@ impl<'a> RoundEngine<'a> {
             ready_at = ready_at.max(completion_of(frame, p)?);
         }
         if frame > 0 {
-            for &p in &self.wrap_preds[id.index()] {
+            for &p in self.wrap_preds_of(id) {
                 ready_at = ready_at.max(completion_of(frame - 1, p)?);
             }
         }
-        let res = self.resolution.get(frame, id);
-        let (invoked_at, deadline) = (res.invoked_at, res.deadline);
-        Some(if !res.executable {
+        let slot = frame as usize * self.n_jobs + id.index();
+        let (invoked_at, deadline) = (self.slot_invoked[slot], self.slot_deadline[slot]);
+        Some(if !self.slot_executable[slot] {
             // False slot: resolved (and "completed") at the window close;
             // consumes no processor time.
             let t = ready_at.max(invoked_at);
@@ -429,7 +504,7 @@ impl<'a> RoundEngine<'a> {
             let start = ready_at
                 .max(invoked_at)
                 .max(self.frame_gates[frame as usize]);
-            let end = start + self.exec_times[frame as usize][id.index()];
+            let end = start + self.exec_times[slot];
             JobRecord {
                 process: job.process,
                 frame,
@@ -455,16 +530,17 @@ impl<'a> RoundEngine<'a> {
     /// drift apart.
     fn drive_cursors(
         &self,
+        cursors: &mut Vec<(u64, usize)>,
         mut advance: impl FnMut(u64, JobId, usize) -> bool,
     ) -> Result<(), SimError> {
         let total_rounds = self.total_rounds();
-        let mut cursors = vec![(0u64, 0usize); self.m_procs];
+        cursors.clear();
+        cursors.resize(self.m_procs, (0u64, 0usize));
         let mut done_rounds = 0usize;
         while done_rounds < total_rounds {
             let mut progressed = false;
-            for (m, (cursor, order)) in
-                cursors.iter_mut().zip(&self.proc_orders).enumerate()
-            {
+            for (m, cursor) in cursors.iter_mut().enumerate() {
+                let order = self.proc_order(m);
                 loop {
                     let (frame, idx) = *cursor;
                     if frame >= self.frames {
@@ -493,21 +569,44 @@ impl<'a> RoundEngine<'a> {
 
     /// Computes every round on one thread by polling per-processor cursors.
     pub(crate) fn compute_rounds_seq(&self) -> Result<Vec<JobRecord>, SimError> {
-        let mut completion: Vec<Vec<Option<TimeQ>>> =
-            vec![vec![None; self.n_jobs]; self.frames as usize];
-        let mut proc_avail = vec![TimeQ::ZERO; self.m_procs];
-        let mut records: Vec<JobRecord> = Vec::with_capacity(self.total_rounds());
-        self.drive_cursors(|frame, id, m| {
-            let lookup = |f: u64, p: JobId| completion[f as usize][p.index()];
+        let mut scratch = RoundScratch::new();
+        self.compute_rounds_seq_into(&mut scratch)?;
+        Ok(std::mem::take(&mut scratch.records))
+    }
+
+    /// [`RoundEngine::compute_rounds_seq`] into caller-owned scratch
+    /// buffers: after one warm-up pass over the same engine shape, repeated
+    /// calls perform **zero heap allocations** (asserted by the
+    /// `alloc_zero` regression test in `fppn-bench`). The computed records
+    /// are left in `scratch.records`.
+    pub(crate) fn compute_rounds_seq_into(
+        &self,
+        scratch: &mut RoundScratch,
+    ) -> Result<(), SimError> {
+        let RoundScratch {
+            completion,
+            proc_avail,
+            cursors,
+            records,
+        } = scratch;
+        completion.clear();
+        completion.resize(self.total_rounds(), None);
+        proc_avail.clear();
+        proc_avail.resize(self.m_procs, TimeQ::ZERO);
+        records.clear();
+        records.reserve(self.total_rounds());
+        let n_jobs = self.n_jobs;
+        self.drive_cursors(cursors, |frame, id, m| {
+            let lookup =
+                |f: u64, p: JobId| completion[f as usize * n_jobs + p.index()];
             let Some(rec) = self.try_round(frame, id, m, proc_avail[m], lookup) else {
                 return false;
             };
-            completion[frame as usize][id.index()] = Some(rec.completion);
+            completion[frame as usize * n_jobs + id.index()] = Some(rec.completion);
             proc_avail[m] = rec.completion;
             records.push(rec);
             true
-        })?;
-        Ok(records)
+        })
     }
 
     /// Checks that the per-processor orders are consistent with the
@@ -518,22 +617,23 @@ impl<'a> RoundEngine<'a> {
     /// completable rounds is a unique dataflow fixed point, so the error
     /// matches the sequential backend's exactly.
     pub(crate) fn check_order(&self) -> Result<(), SimError> {
-        let mut done: Vec<Vec<bool>> =
-            vec![vec![false; self.n_jobs]; self.frames as usize];
-        self.drive_cursors(|frame, id, _m| {
+        let mut done = vec![false; self.total_rounds()];
+        let mut cursors = Vec::new();
+        let n_jobs = self.n_jobs;
+        self.drive_cursors(&mut cursors, |frame, id, _m| {
             for p in self.graph.predecessors(id) {
-                if !done[frame as usize][p.index()] {
+                if !done[frame as usize * n_jobs + p.index()] {
                     return false;
                 }
             }
             if frame > 0 {
-                for p in &self.wrap_preds[id.index()] {
-                    if !done[frame as usize - 1][p.index()] {
+                for p in self.wrap_preds_of(id) {
+                    if !done[(frame as usize - 1) * n_jobs + p.index()] {
                         return false;
                     }
                 }
             }
-            done[frame as usize][id.index()] = true;
+            done[frame as usize * n_jobs + id.index()] = true;
             true
         })
     }
@@ -559,10 +659,25 @@ impl<'a> RoundEngine<'a> {
     /// vector at all) computes identical identities.
     pub(crate) fn canonicalize(&self, net: &Fppn, records: &mut [JobRecord]) {
         let topo_pos = self.topo_positions();
-        // Cached keys: TimeQ comparisons cross-multiply i128s, so comparing
-        // precomputed key tuples instead of re-deriving them per comparison
-        // measurably speeds up large multi-frame runs.
-        records.sort_by_cached_key(|r| (r.completion, r.frame, topo_pos[r.job.index()]));
+        // Decorate-sort-permute with an *unstable* sort: the canonical key
+        // is already a total order (the topological position is unique per
+        // job within a frame), so stability buys nothing and pdqsort over
+        // compact `(key, index)` pairs avoids the stable sort's merge
+        // scratch. The trailing index is a tie-breaker in theory only.
+        let mut keyed: Vec<(TimeQ, u64, u32, u32)> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.completion, r.frame, topo_pos[r.job.index()] as u32, i as u32))
+            .collect();
+        keyed.sort_unstable();
+        for i in 0..keyed.len() {
+            let mut index = keyed[i].3 as usize;
+            while index < i {
+                index = keyed[index].3 as usize;
+            }
+            keyed[i].3 = index as u32;
+            records.swap(i, index);
+        }
 
         // Global invocation counts are a pure function of the canonical
         // order; assigning them up front lets the sharded executor know
@@ -613,14 +728,14 @@ impl<'a> RoundEngine<'a> {
             )?
         } else {
             let mut behaviors = bank.instantiate();
-            let mut state = ExecState::new(net, stimuli.clone());
+            let mut state = ExecState::new(net, stimuli);
             for rec in &records {
                 if rec.skipped {
                     continue;
                 }
                 state.run_job(&mut behaviors, rec.process, rec.global_k, rec.invoked_at)?;
             }
-            state.observables()
+            state.into_observables()
         };
 
         Ok(self.render(net, records, observables))
@@ -640,18 +755,35 @@ impl<'a> RoundEngine<'a> {
         // Gantt: application rows + a runtime row when overhead is modeled.
         let overhead_row = (!self.overhead.is_none()) as usize;
         let mut gantt = Gantt::new(self.m_procs + overhead_row);
+        // `name[k]@frame`, assembled by hand: one `format!` per segment is
+        // measurable at hundreds of thousands of rounds.
+        fn push_u64(out: &mut String, mut v: u64) {
+            let mut buf = [0u8; 20];
+            let mut i = buf.len();
+            loop {
+                i -= 1;
+                buf[i] = b'0' + (v % 10) as u8;
+                v /= 10;
+                if v == 0 {
+                    break;
+                }
+            }
+            out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+        }
         for rec in &records {
             if rec.skipped {
                 continue;
             }
+            let name = net.process(rec.process).name();
+            let mut label = String::with_capacity(name.len() + 24);
+            label.push_str(name);
+            label.push('[');
+            push_u64(&mut label, rec.global_k);
+            label.push_str("]@");
+            push_u64(&mut label, rec.frame);
             gantt.push(Segment {
                 processor: rec.processor,
-                label: format!(
-                    "{}[{}]@{}",
-                    net.process(rec.process).name(),
-                    rec.global_k,
-                    rec.frame
-                ),
+                label,
                 start: rec.start,
                 end: rec.completion,
                 kind: SegmentKind::Job,

@@ -555,3 +555,126 @@ proptest! {
         );
     }
 }
+
+/// Deterministic SplitMix64 expander for the interning round-trip
+/// properties below: the vendored proptest shim has no recursive/oneof
+/// combinators, so a seed drawn by `any::<u64>()` is expanded into
+/// structured `Value`s and trace actions here. Coverage is deliberate:
+/// small ints (the inline-tagged id path), huge ints and structured
+/// values (the hash-consed pool path), floats (compared by bits,
+/// including NaN patterns), rationals, strings and nested lists.
+struct ValueGen(u64);
+
+impl ValueGen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn value(&mut self, depth: u32) -> fppn_core::Value {
+        use fppn_core::Value;
+        let variants = if depth == 0 { 8 } else { 9 };
+        match self.next() % variants {
+            0 => Value::Absent,
+            1 => Value::Unit,
+            2 => Value::Bool(self.next() & 1 == 1),
+            // Small int: exercises the inline-tagged id fast path.
+            3 => Value::Int((self.next() % 4096) as i64 - 2048),
+            // Full-range int: i64::MIN/MAX land in the pooled path.
+            4 => Value::Int(self.next() as i64),
+            // Raw bit pattern: covers NaNs, infinities, -0.0.
+            5 => Value::Float(f64::from_bits(self.next())),
+            6 => Value::Time(TimeQ::new(
+                (self.next() as i64 >> 16).into(),
+                (self.next() % 999 + 1) as i128,
+            )),
+            7 => {
+                let len = (self.next() % 12) as usize;
+                Value::Str((0..len).map(|_| (b'a' + (self.next() % 26) as u8) as char).collect())
+            }
+            _ => {
+                let len = (self.next() % 4) as usize;
+                Value::List((0..len).map(|_| self.value(depth - 1)).collect())
+            }
+        }
+    }
+
+    fn opt_value(&mut self, depth: u32) -> Option<fppn_core::Value> {
+        (self.next() & 1 == 1).then(|| self.value(depth))
+    }
+
+    fn action(&mut self) -> fppn_core::Action {
+        use fppn_core::{Action, ChannelId, PortId};
+        match self.next() % 4 {
+            0 => Action::Read {
+                channel: ChannelId::from_index((self.next() % 8) as usize),
+                value: self.opt_value(2),
+            },
+            1 => Action::Write {
+                channel: ChannelId::from_index((self.next() % 8) as usize),
+                value: self.value(2),
+            },
+            2 => Action::ReadInput {
+                port: PortId::from_index((self.next() % 8) as usize),
+                k: self.next() % 100 + 1,
+                value: self.opt_value(2),
+            },
+            _ => Action::WriteOutput {
+                port: PortId::from_index((self.next() % 8) as usize),
+                k: self.next() % 100 + 1,
+                value: self.value(2),
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hash-consed value pool is lossless and idempotent: resolving an
+    /// interned value reproduces it exactly (floats by bits), and
+    /// re-interning yields the *same* id — the invariant that makes id
+    /// equality a sound fast path for value equality.
+    #[test]
+    fn value_interning_round_trips(seed in any::<u64>()) {
+        let mut gen = ValueGen(seed);
+        let mut pool = fppn_core::ValuePool::new();
+        for _ in 0..32 {
+            let v = gen.value(3);
+            let id = pool.intern(&v);
+            prop_assert_eq!(pool.resolve(id), v.clone());
+            prop_assert_eq!(pool.intern(&v), id);
+        }
+    }
+
+    /// Pushing job runs through the arena-backed `Trace` and reading them
+    /// back materializes identical runs, in order — the interned
+    /// representation is an invisible compression, not a lossy one.
+    #[test]
+    fn trace_round_trips_through_the_arena(seed in any::<u64>()) {
+        use fppn_core::{JobRun, ProcessId, Trace};
+        let mut gen = ValueGen(seed ^ 0xA11C);
+        let n_runs = (gen.next() % 8) as usize;
+        let runs: Vec<JobRun> = (0..n_runs)
+            .map(|_| {
+                let k = gen.next() % 50 + 1;
+                JobRun {
+                    process: ProcessId::from_index((gen.next() % 4) as usize),
+                    k,
+                    invoked_at: TimeQ::from_int(k as i64),
+                    actions: (0..(gen.next() % 6) as usize).map(|_| gen.action()).collect(),
+                }
+            })
+            .collect();
+        let mut trace = Trace::new();
+        for r in &runs {
+            trace.push(r.clone());
+        }
+        prop_assert_eq!(trace.len(), runs.len());
+        let back: Vec<JobRun> = trace.runs().collect();
+        prop_assert_eq!(back, runs);
+    }
+}

@@ -52,31 +52,60 @@ impl RoundResolution {
         let graph = &derived.graph;
         let h = derived.hyperperiod;
 
-        // Group sporadic arrivals by global subset index.
-        let mut subsets: BTreeMap<ProcessId, BTreeMap<i128, Vec<TimeQ>>> = BTreeMap::new();
-        for pid in net.process_ids() {
-            if let Some(server) = derived.server(pid) {
-                let mut map: BTreeMap<i128, Vec<TimeQ>> = BTreeMap::new();
-                for &t in stimuli.arrival_times(pid) {
-                    let q = t / server.period;
-                    let subset = if server.priority_over_user {
-                        q.ceil()
-                    } else {
-                        q.floor() + 1
-                    };
-                    map.entry(subset).or_default().push(t);
-                }
-                for list in map.values_mut() {
-                    list.sort();
-                }
-                subsets.insert(pid, map);
-            }
-        }
         let subsets_per_frame: BTreeMap<ProcessId, i128> = derived
             .servers
             .iter()
             .map(|(pid, s)| (*pid, (h / s.period).floor()))
             .collect();
+
+        // Group sporadic arrivals by global subset index. Subsets queried by
+        // the frame loop are dense integers in `[0, frames * subsets_per_frame)`,
+        // so a flat CSR table (counting sort) beats any map: the per-slot lookup
+        // below becomes two array indexes with no hashing or tree walk.
+        struct ServerArrivals {
+            /// `starts[s]..starts[s + 1]` is the slice of `times` for subset `s`.
+            starts: Vec<u32>,
+            times: Vec<TimeQ>,
+        }
+        let mut subsets: BTreeMap<ProcessId, ServerArrivals> = BTreeMap::new();
+        for pid in net.process_ids() {
+            if let Some(server) = derived.server(pid) {
+                let total = (frames as i128 * subsets_per_frame[&pid]).max(0) as usize;
+                let subset_of = |t: TimeQ| -> Option<usize> {
+                    let q = t / server.period;
+                    let s = if server.priority_over_user {
+                        q.ceil()
+                    } else {
+                        q.floor() + 1
+                    };
+                    // Arrivals past the simulated horizon land in subsets the
+                    // frame loop never queries; drop them here.
+                    (0..total as i128).contains(&s).then_some(s as usize)
+                };
+                let mut counts = vec![0u32; total + 1];
+                for &t in stimuli.arrival_times(pid) {
+                    if let Some(s) = subset_of(t) {
+                        counts[s + 1] += 1;
+                    }
+                }
+                for i in 1..counts.len() {
+                    counts[i] += counts[i - 1];
+                }
+                let starts = counts.clone();
+                let mut times = vec![TimeQ::from_int(0); *starts.last().unwrap_or(&0) as usize];
+                let mut cursor = counts;
+                for &t in stimuli.arrival_times(pid) {
+                    if let Some(s) = subset_of(t) {
+                        times[cursor[s] as usize] = t;
+                        cursor[s] += 1;
+                    }
+                }
+                for s in 0..total {
+                    times[starts[s] as usize..starts[s + 1] as usize].sort();
+                }
+                subsets.insert(pid, ServerArrivals { starts, times });
+            }
+        }
 
         // Per-job templates: everything that does not depend on the frame is
         // computed once, so the frame loop below is pure arithmetic (this is
@@ -92,7 +121,7 @@ impl RoundResolution {
                 slot: usize,
                 period: TimeQ,
                 deadline_rel: TimeQ,
-                subsets: Option<&'a BTreeMap<i128, Vec<TimeQ>>>,
+                subsets: Option<&'a ServerArrivals>,
             },
         }
         let templates: Vec<Template<'_>> = graph
@@ -144,8 +173,12 @@ impl RoundResolution {
                     } => {
                         let global_subset = frame as i128 * subsets_per_frame + subset_in_frame;
                         let arrival = subsets
-                            .and_then(|m| m.get(&global_subset))
-                            .and_then(|v| v.get(*slot))
+                            .and_then(|a| {
+                                let s = usize::try_from(global_subset).ok()?;
+                                let lo = *a.starts.get(s)? as usize;
+                                let hi = *a.starts.get(s + 1)? as usize;
+                                a.times[lo..hi].get(*slot)
+                            })
                             .copied();
                         match arrival {
                             Some(t) => SlotResolution {

@@ -267,6 +267,14 @@ impl TimeQ {
     }
 
     fn checked_add(self, rhs: Self) -> Option<Self> {
+        // Integral fast path: den == 1 on both sides (the common case with
+        // the millisecond convention) needs no gcd or renormalization.
+        if self.den == 1 && rhs.den == 1 {
+            return Some(TimeQ {
+                num: self.num.checked_add(rhs.num)?,
+                den: 1,
+            });
+        }
         let den_g = gcd_i128(self.den.unsigned_abs(), rhs.den.unsigned_abs()) as i128;
         let lhs_scale = rhs.den / den_g;
         let rhs_scale = self.den / den_g;
@@ -279,6 +287,13 @@ impl TimeQ {
     }
 
     fn checked_mul_q(self, rhs: Self) -> Option<Self> {
+        // Integral fast path, as in `checked_add`.
+        if self.den == 1 && rhs.den == 1 {
+            return Some(TimeQ {
+                num: self.num.checked_mul(rhs.num)?,
+                den: 1,
+            });
+        }
         // Cross-cancel before multiplying to delay overflow.
         let g1 = gcd_i128(self.num.unsigned_abs(), rhs.den.unsigned_abs()) as i128;
         let g2 = gcd_i128(rhs.num.unsigned_abs(), self.den.unsigned_abs()) as i128;
@@ -313,6 +328,12 @@ impl PartialOrd for TimeQ {
 
 impl Ord for TimeQ {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Equal denominators (by normalization, the common case: integral
+        // milliseconds have den == 1) reduce to one integer comparison —
+        // this is the hot path of record sorting and completion maxing.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // Compare a/b vs c/d as a*d vs c*b; cancel first to avoid overflow.
         let den_g = gcd_i128(self.den.unsigned_abs(), other.den.unsigned_abs()) as i128;
         let lhs = self
