@@ -36,10 +36,14 @@
 //!
 //! The parser handles exactly the shape `scalability` emits (hand-rolled
 //! writer, one bench object per line) plus arbitrary whitespace; there is
-//! no serde in the offline container. Both the `fppn-bench-sim/2` and `/3`
-//! schemas parse: `/3` adds `rounds_per_sec`, which is reported as an
-//! **informational** higher-is-better ratio and never gated — it is the
-//! inverse of the exempt `seq_ms` reference and just as host-dependent.
+//! no serde in the offline container. Schemas `fppn-bench-sim/2` through
+//! `/4` all parse: `/3` added `rounds_per_sec`, `/4` adds the serve
+//! control-plane records (`serve_runs_per_sec`, cache hit/miss counts and
+//! the compile/lookup/run timings). Only `*_ms` metrics are **gated**;
+//! everything else numeric on a bench line is reported as
+//! **informational** — throughput is the inverse of the exempt `seq_ms`
+//! reference and just as host-dependent, and the serve counters describe
+//! cache behavior, not wall time.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -47,12 +51,16 @@ use std::process::ExitCode;
 /// Per-bench metrics: metric name (`seq_ms`, `par_ms`, …) → milliseconds.
 type Metrics = BTreeMap<String, f64>;
 
-/// One parsed bench line: the gated `*_ms` metrics plus the informational
-/// throughput counter (absent in schema-2 files).
+/// One parsed bench line: the gated `*_ms` metrics plus every other
+/// numeric (informational) metric — `rounds_per_sec` on schema-3 lines,
+/// the serve cache/timing counters on schema-4 lines.
 struct Bench {
     metrics: Metrics,
-    rounds_per_sec: Option<f64>,
+    info: Metrics,
 }
+
+/// Numeric fields that describe the bench's shape, not a measurement.
+const STRUCTURAL_FIELDS: [&str; 3] = ["rounds", "workers", "runs"];
 
 /// The additive slack below which a delta counts as measurement noise,
 /// in the same unit as the scored values: the larger of the absolute
@@ -78,15 +86,34 @@ fn string_field(line: &str, key: &str) -> Option<String> {
     Some(rest[..rest.find('"')?].to_owned())
 }
 
-/// Extracts a single `"key": <number>` field from a JSON-ish line.
-fn number_field(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\"");
-    let rest = &line[line.find(&pat)? + pat.len()..];
-    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse::<f64>().ok()
+/// Extracts every informational `"key": <number>` field from a JSON-ish
+/// line: numeric fields that are neither gated `*_ms` metrics nor
+/// structural shape counters.
+fn info_fields(line: &str) -> Metrics {
+    let mut out = Metrics::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('"') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('"') else { break };
+        let key = &tail[..close];
+        rest = &tail[close + 1..];
+        let after = rest.trim_start();
+        let Some(after) = after.strip_prefix(':') else {
+            continue;
+        };
+        let after = after.trim_start();
+        let end = after
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(after.len());
+        let Ok(v) = after[..end].parse::<f64>() else {
+            continue;
+        };
+        rest = &after[end..];
+        if !key.ends_with("_ms") && !STRUCTURAL_FIELDS.contains(&key) {
+            out.insert(key.to_owned(), v);
+        }
+    }
+    out
 }
 
 /// Extracts every `"<name>_ms": <number>` field from a JSON-ish line
@@ -123,13 +150,13 @@ fn parse(path: &str) -> Result<BTreeMap<String, Bench>, String> {
             continue;
         };
         let metrics = ms_fields(line);
-        if metrics.is_empty() {
-            return Err(format!("{path}: bench {name:?} has no *_ms metrics"));
+        let info = info_fields(line);
+        // Schema-4 serve records carry only informational metrics; a line
+        // with *nothing* numeric is still schema drift.
+        if metrics.is_empty() && info.is_empty() {
+            return Err(format!("{path}: bench {name:?} has no metrics"));
         }
-        let bench = Bench {
-            metrics,
-            rounds_per_sec: number_field(line, "rounds_per_sec"),
-        };
+        let bench = Bench { metrics, info };
         if benches.insert(name.clone(), bench).is_some() {
             return Err(format!("{path}: duplicate bench {name:?}"));
         }
@@ -204,14 +231,17 @@ fn main() -> ExitCode {
             continue;
         };
         let (new_metrics, base_metrics) = (&new_bench.metrics, &base_bench.metrics);
-        // Throughput is reported, never gated: it is host-dependent (the
-        // inverse of the exempt reference in ratio mode). Schema-2 files
-        // simply lack the column.
-        if let (Some(b), Some(n)) = (base_bench.rounds_per_sec, new_bench.rounds_per_sec) {
-            println!(
-                "  thru     {name}/rounds_per_sec: {b:.0} -> {n:.0} ({:.2}x, higher is better — informational)",
-                n / b.max(1e-9)
-            );
+        // Informational metrics (throughput, serve cache counters and
+        // timings) are reported, never gated: they are host-dependent or
+        // describe cache behavior rather than a wall-time budget.
+        for (metric, &n) in &new_bench.info {
+            match base_bench.info.get(metric) {
+                Some(&b) => println!(
+                    "  info     {name}/{metric}: {b:.1} -> {n:.1} ({:.2}x — informational, not gated)",
+                    n / b.max(1e-9)
+                ),
+                None => println!("  NEW      {name}/{metric} (no baseline column — informational)"),
+            }
         }
         for (metric, &new_ms) in new_metrics {
             let Some(&base_ms) = base_metrics.get(metric) else {
@@ -281,18 +311,38 @@ mod tests {
         assert_eq!(ms.get("par_ms"), Some(&68.0));
         assert_eq!(ms.get("sharded_ms"), Some(&64.2));
         assert!(!ms.contains_key("pipeline_ms"), "null metrics are skipped");
-        // Schema-2 line: no throughput column.
-        assert_eq!(number_field(line, "rounds_per_sec"), None);
+        // Schema-2 line: no informational columns at all.
+        assert!(info_fields(line).is_empty());
     }
 
     #[test]
     fn schema_3_lines_carry_the_throughput_column() {
         let line = r#"    {"name": "fms/frames32/procs4", "rounds": 89536, "workers": 4, "seq_ms": 80.500000, "par_ms": 120.100000, "sharded_ms": null, "pipeline_ms": null, "rounds_per_sec": 1112248.4},"#;
-        assert_eq!(number_field(line, "rounds_per_sec"), Some(1_112_248.4));
+        let info = info_fields(line);
+        assert_eq!(info.get("rounds_per_sec"), Some(&1_112_248.4));
+        assert_eq!(info.len(), 1, "rounds/workers are structural, not metrics");
         // The throughput column must NOT leak into the gated ms metrics.
         let ms = ms_fields(line);
         assert_eq!(ms.len(), 2);
         assert_eq!(ms.get("seq_ms"), Some(&80.5));
+    }
+
+    #[test]
+    fn schema_4_serve_lines_parse_as_informational_only() {
+        let line = r#"    {"name": "serve/fms", "runs": 48, "workers": 4, "serve_runs_per_sec": 910.4, "cache_hits": 47, "cache_misses": 1, "compile_us": 5321.0, "hit_lookup_us": 2.4, "cold_run_us": 6100.2, "hit_run_us": 820.9},"#;
+        // Nothing on a serve line is gated...
+        assert!(ms_fields(line).is_empty());
+        // ...but every measurement is reported.
+        let info = info_fields(line);
+        assert_eq!(info.get("serve_runs_per_sec"), Some(&910.4));
+        assert_eq!(info.get("cache_hits"), Some(&47.0));
+        assert_eq!(info.get("cache_misses"), Some(&1.0));
+        assert_eq!(info.get("compile_us"), Some(&5321.0));
+        assert_eq!(info.get("hit_lookup_us"), Some(&2.4));
+        assert_eq!(info.get("cold_run_us"), Some(&6100.2));
+        assert_eq!(info.get("hit_run_us"), Some(&820.9));
+        assert!(!info.contains_key("runs"), "shape counters are structural");
+        assert!(!info.contains_key("workers"));
     }
 
     #[test]

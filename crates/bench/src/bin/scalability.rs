@@ -30,17 +30,19 @@
 //! allocator — kept off by default so normal runs measure the real one.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fppn_apps::{
-    fms_network, fms_sporadics, fms_wcet, random_workload, synthetic_fppn,
-    synthetic_task_graph, FmsVariant, SyntheticFppnConfig, SyntheticGraphConfig,
-    WorkloadConfig,
+    fft_network, fft_wcet, fms_network, fms_sporadics, fms_wcet, random_workload,
+    synthetic_fppn, synthetic_task_graph, FmsVariant, SyntheticFppnConfig,
+    SyntheticGraphConfig, WorkloadConfig,
 };
 use fppn_sched::{list_schedule, list_schedule_naive, Heuristic};
+use fppn_serve::{RunRequest, Server};
 use fppn_sim::{
     clip_stimuli, random_sporadic_trace, simulate_parallel, simulate_pipelined, simulate_seq,
-    SimConfig,
+    CompileConfig, CompiledNetwork, SimConfig,
 };
 use fppn_taskgraph::derive_task_graph;
 use fppn_time::TimeQ;
@@ -59,12 +61,13 @@ fn alloc_stats_report(frames: u64) {
     let (net, _, ids) = fms_network(FmsVariant::Original);
     let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
     let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+    let tables = fppn_sim::StaticTables::build(&net, &derived, &schedule);
     let stimuli = fppn_core::Stimuli::new();
     let cfg = SimConfig {
         frames,
         ..SimConfig::default()
     };
-    let mut rounds = fppn_sim::hotpath::SeqRounds::new(&net, &stimuli, &derived, &schedule, &cfg)
+    let mut rounds = fppn_sim::hotpath::SeqRounds::new(&net, &stimuli, &derived, &tables, &cfg)
         .expect("round tables");
     let n = rounds.compute().expect("warm-up compute");
     let (a0, b0) = (allocations(), bytes_allocated());
@@ -98,16 +101,35 @@ struct BenchRecord {
     pipeline: Option<Duration>,
 }
 
+/// One serve control-plane measurement (schema 4): repeated runs through
+/// the worker pool over one cached artifact. All metrics are
+/// informational in `bench_diff` — none carry the gated `_ms` suffix.
+struct ServeRecord {
+    name: String,
+    runs: usize,
+    workers: usize,
+    runs_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    compile: Duration,
+    hit_lookup: Duration,
+    cold_run: Duration,
+    hit_run: Duration,
+}
+
 /// Hand-rolled JSON (no serde in the offline container): a stable shape
 /// `bench_diff` parses to track the perf trajectory across commits
 /// (schema `fppn-bench-sim/2` added `pipeline_ms`; `/3` added
-/// `rounds_per_sec`, the sequential round-computation throughput).
-fn write_bench_json(path: &str, records: &[BenchRecord]) {
+/// `rounds_per_sec`, the sequential round-computation throughput; `/4`
+/// adds the `serve` records — pool throughput, cache hit/miss counts and
+/// the compile-vs-cache-hit timing split, all informational).
+fn write_bench_json(path: &str, records: &[BenchRecord], serve: &[ServeRecord]) {
     let opt_ms = |d: Option<Duration>| {
         d.map_or("null".to_owned(), |d| format!("{:.6}", d.as_secs_f64() * 1e3))
     };
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"fppn-bench-sim/3\",");
+    let _ = writeln!(out, "  \"schema\": \"fppn-bench-sim/4\",");
     let _ = writeln!(
         out,
         "  \"host_cpus\": {},",
@@ -131,9 +153,35 @@ fn write_bench_json(path: &str, records: &[BenchRecord]) {
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"serve\": [");
+    for (i, r) in serve.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"runs\": {}, \"workers\": {}, \
+             \"serve_runs_per_sec\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"compile_us\": {:.1}, \"hit_lookup_us\": {:.1}, \"cold_run_us\": {:.1}, \
+             \"hit_run_us\": {:.1}}}",
+            r.name,
+            r.runs,
+            r.workers,
+            r.runs_per_sec,
+            r.cache_hits,
+            r.cache_misses,
+            us(r.compile),
+            us(r.hit_lookup),
+            us(r.cold_run),
+            us(r.hit_run),
+        );
+        out.push_str(if i + 1 < serve.len() { ",\n" } else { "\n" });
+    }
     out.push_str("  ]\n}\n");
     match std::fs::write(path, &out) {
-        Ok(()) => println!("\nwrote {} simulation measurements to {path}", records.len()),
+        Ok(()) => println!(
+            "\nwrote {} simulation + {} serve measurements to {path}",
+            records.len(),
+            serve.len()
+        ),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
@@ -415,6 +463,97 @@ fn behavior_sweep(workers: usize, frames: u64, reps: usize, records: &mut Vec<Be
     }
 }
 
+/// The compile-once/run-many measurement: repeated runs through the
+/// `fppn-serve` pool over one cached artifact, against the FMS and FFT
+/// applications. The compile/hit-lookup/cold-run/hit-run timing split is
+/// the point — a cache hit must skip the compile phase entirely (the
+/// `compile_us` vs `hit_lookup_us` delta), and a run against the cached
+/// artifact must cost run-phase work only (`cold_run_us` vs `hit_run_us`).
+fn serve_sweep(workers: usize, reps: usize, records: &mut Vec<ServeRecord>) {
+    println!("\nserve control plane (pool of {workers}, repeated runs over one cached artifact):");
+    let (fms_net, fms_bank, fms_ids) = fms_network(FmsVariant::Original);
+    let (fft_net, fft_bank, _) = fft_network();
+    for (label, net, bank, ccfg, frames) in [
+        (
+            "serve/fms",
+            fms_net,
+            fms_bank,
+            CompileConfig::new(fms_wcet(&fms_ids), 2),
+            4u64,
+        ),
+        ("serve/fft", fft_net, fft_bank, CompileConfig::new(fft_wcet(), 2), 8),
+    ] {
+        let bank = Arc::new(bank);
+        let server = Server::new(workers);
+        server.register_tenant("bench", 1_000_000);
+
+        // The one compile (a cache miss), then pure-lookup hits.
+        let (_, t_compile) =
+            median_timed(reps, || CompiledNetwork::compile(net.clone(), &ccfg).expect("compiles"));
+        let (artifact, t_hit_lookup) = median_timed(reps.max(3), || {
+            server.cache().get_or_compile(&net, &ccfg).expect("compiles")
+        });
+        let cfg = SimConfig {
+            frames,
+            ..SimConfig::default()
+        };
+        // Cold run = compile + run; hit run = run against the artifact.
+        let (_, t_cold_run) = median_timed(reps, || {
+            CompiledNetwork::compile(net.clone(), &ccfg)
+                .expect("compiles")
+                .simulate(&bank, &fppn_core::Stimuli::new(), &cfg)
+                .expect("cold run")
+        });
+        let (_, t_hit_run) = median_timed(reps, || {
+            artifact
+                .simulate(&bank, &fppn_core::Stimuli::new(), &cfg)
+                .expect("hit run")
+        });
+
+        // Pool throughput: queue a batch, wait for all tickets.
+        let runs = 8 * reps.max(2);
+        let t0 = Instant::now();
+        let tickets: Vec<_> = (0..runs)
+            .map(|_| {
+                let artifact = server.cache().get_or_compile(&net, &ccfg).expect("cache hit");
+                server
+                    .submit(
+                        "bench",
+                        RunRequest {
+                            artifact,
+                            bank: Arc::clone(&bank),
+                            stimuli: fppn_core::Stimuli::new(),
+                            config: cfg,
+                        },
+                    )
+                    .expect("within budget")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("pool run");
+        }
+        let wall = t0.elapsed();
+        let runs_per_sec = runs as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "{label:<22} {runs:>3} runs | {runs_per_sec:>8.1} runs/s | compile {t_compile:>9.2?} vs hit lookup {t_hit_lookup:>9.2?} | cold run {t_cold_run:>9.2?} vs hit run {t_hit_run:>9.2?} | cache {}h/{}m",
+            server.cache().hits(),
+            server.cache().misses(),
+        );
+        records.push(ServeRecord {
+            name: label.to_owned(),
+            runs,
+            workers,
+            runs_per_sec,
+            cache_hits: server.cache().hits(),
+            cache_misses: server.cache().misses(),
+            compile: t_compile,
+            hit_lookup: t_hit_lookup,
+            cold_run: t_cold_run,
+            hit_run: t_hit_run,
+        });
+    }
+}
+
 fn synthetic_sweep(max_jobs: usize) {
     println!("\nsynthetic layered DAGs (jobs x shape x heuristic, 4 processors):");
     for &jobs in &[1_000usize, 10_000, 100_000] {
@@ -510,11 +649,13 @@ fn main() {
     synthetic_sweep(synthetic_jobs);
 
     let mut records = Vec::new();
+    let mut serve_records = Vec::new();
     if workers > 0 {
         simulation_sweep(workers, sim_frames, bench_reps, &mut records);
         behavior_sweep(workers, sim_frames.min(4), bench_reps, &mut records);
+        serve_sweep(workers, bench_reps, &mut serve_records);
     }
-    write_bench_json(&bench_json, &records);
+    write_bench_json(&bench_json, &records, &serve_records);
 
     if std::env::var("FPPN_ALLOC_STATS").is_ok_and(|v| v == "1") {
         alloc_stats_report(sim_frames);

@@ -46,19 +46,20 @@ fn steady_state_round_computation_allocates_nothing() {
     use fppn_apps::{fms_network, fms_wcet, FmsVariant};
     use fppn_sched::{list_schedule, Heuristic};
     use fppn_sim::hotpath::SeqRounds;
-    use fppn_sim::SimConfig;
+    use fppn_sim::{SimConfig, StaticTables};
     use fppn_taskgraph::derive_task_graph;
 
     let (net, _, ids) = fms_network(FmsVariant::Original);
     let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
     let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+    let tables = StaticTables::build(&net, &derived, &schedule);
     let stimuli = fppn_core::Stimuli::new();
     let cfg = SimConfig {
         frames: 8,
         ..SimConfig::default()
     };
     let mut rounds =
-        SeqRounds::new(&net, &stimuli, &derived, &schedule, &cfg).expect("round tables");
+        SeqRounds::new(&net, &stimuli, &derived, &tables, &cfg).expect("round tables");
 
     // Warm-up: grows every scratch buffer to its final capacity.
     let n = rounds.compute().expect("warm-up compute");

@@ -1,0 +1,68 @@
+//! Regression test for the artifact cache's zero-alloc hit path: once an
+//! artifact is cached, `get_or_compile` for an equal `(network, config)`
+//! pair must hash the key, look it up and clone the `Arc` without a
+//! single heap allocation — the compile phase is provably skipped.
+//!
+//! Same counting-`#[global_allocator]` trick as `alloc_zero.rs` (an
+//! integration test is its own crate root, so the allocator is local to
+//! this binary); the scoped `#[allow]` overrides the crate's
+//! `unsafe_code = "deny"` lint for the one `GlobalAlloc` impl.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+#[allow(unsafe_code)]
+mod counting_impl {
+    use super::{CountingAlloc, ALLOCATIONS, Ordering};
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn cache_hits_allocate_nothing() {
+    use fppn_apps::{fms_network, fms_wcet, FmsVariant};
+    use fppn_serve::ArtifactCache;
+    use fppn_sim::CompileConfig;
+
+    let (net, _, ids) = fms_network(FmsVariant::Original);
+    let cfg = CompileConfig::new(fms_wcet(&ids), 4);
+    let cache = ArtifactCache::new();
+
+    // Warm-up: the one and only compile.
+    let warm = cache.get_or_compile(&net, &cfg).expect("FMS compiles");
+    assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        let hit = cache.get_or_compile(&net, &cfg).expect("cache hit");
+        assert_eq!(hit.content_hash(), warm.content_hash());
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "cache-hit get_or_compile allocated {delta} times; the hit path \
+         must be hash + lookup + Arc::clone, no compile-phase work"
+    );
+    assert_eq!((cache.hits(), cache.misses()), (10, 1));
+}

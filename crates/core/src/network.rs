@@ -166,6 +166,71 @@ impl Fppn {
         }
     }
 
+    /// Feeds the complete static definition of this network into a stable
+    /// [`ContentHasher`] stream: every process (name, event-generator
+    /// parameters, port lists), every channel (name, endpoints, kind,
+    /// initial token, capacity) and every FP edge.
+    ///
+    /// Behaviors are *not* part of the stream — they live in the separate
+    /// [`BehaviorBank`] and do not influence compile artifacts (task
+    /// graph, schedule, slot templates), which is exactly what the hash
+    /// keys. Two networks with equal static structure hash identically;
+    /// any single mutation of that structure changes the stream.
+    ///
+    /// [`ContentHasher`]: fppn_time::ContentHasher
+    pub fn content_hash_into(&self, h: &mut fppn_time::ContentHasher) {
+        h.write_usize(self.processes.len());
+        for p in &self.processes {
+            let ev = p.event();
+            h.write_str(p.name());
+            h.write_u8(match ev.kind() {
+                EventKind::Periodic => 0,
+                EventKind::Sporadic => 1,
+            });
+            h.write_u32(ev.burst());
+            h.write_time(ev.period());
+            h.write_time(ev.deadline());
+            h.write_time(ev.phase());
+            h.write_usize(p.input_ports().len());
+            for port in p.input_ports() {
+                h.write_str(port);
+            }
+            h.write_usize(p.output_ports().len());
+            for port in p.output_ports() {
+                h.write_str(port);
+            }
+        }
+        h.write_usize(self.channels.len());
+        for c in &self.channels {
+            h.write_str(c.name());
+            h.write_usize(c.writer().index());
+            h.write_usize(c.reader().index());
+            h.write_u8(match c.kind() {
+                ChannelKind::Fifo => 0,
+                ChannelKind::Blackboard => 1,
+            });
+            match c.initial() {
+                None => h.write_bool(false),
+                Some(v) => {
+                    h.write_bool(true);
+                    v.content_hash_into(h);
+                }
+            }
+            match c.capacity() {
+                None => h.write_bool(false),
+                Some(cap) => {
+                    h.write_bool(true);
+                    h.write_usize(cap.get());
+                }
+            }
+        }
+        h.write_usize(self.fp_edges.len());
+        for &(a, b) in &self.fp_edges {
+            h.write_u32(a);
+            h.write_u32(b);
+        }
+    }
+
     /// The hyperperiod of the network after the sporadic→server transform:
     /// lcm of all periodic periods and of the user periods standing in for
     /// sporadic processes. Returns `None` if the network is empty or some

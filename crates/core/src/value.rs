@@ -102,6 +102,49 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Feeds this value into a stable [`ContentHasher`] stream.
+    ///
+    /// Used when hashing network definitions (channel initial tokens are
+    /// part of the compile key). Mirrors the structural/total equality of
+    /// the type: two equal values always produce identical streams, and
+    /// every variant is tag-prefixed so distinct shapes cannot collide by
+    /// concatenation.
+    ///
+    /// [`ContentHasher`]: fppn_time::ContentHasher
+    pub fn content_hash_into(&self, h: &mut fppn_time::ContentHasher) {
+        match self {
+            Value::Absent => h.write_u8(0),
+            Value::Unit => h.write_u8(1),
+            Value::Bool(v) => {
+                h.write_u8(2);
+                h.write_bool(*v);
+            }
+            Value::Int(v) => {
+                h.write_u8(3);
+                h.write_u64(*v as u64);
+            }
+            Value::Float(v) => {
+                h.write_u8(4);
+                h.write_u64(v.to_bits());
+            }
+            Value::Time(v) => {
+                h.write_u8(5);
+                h.write_time(*v);
+            }
+            Value::Str(v) => {
+                h.write_u8(6);
+                h.write_str(v);
+            }
+            Value::List(v) => {
+                h.write_u8(7);
+                h.write_usize(v.len());
+                for x in v {
+                    x.content_hash_into(h);
+                }
+            }
+        }
+    }
 }
 
 impl PartialEq for Value {

@@ -1,0 +1,145 @@
+//! The content-hash-keyed artifact cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fppn_core::Fppn;
+use fppn_sim::{compile_key, CompileConfig, CompileError, CompiledNetwork};
+
+/// A thread-safe cache of [`CompiledNetwork`] artifacts keyed by
+/// [`compile_key`]: the first request for a `(network, compile config)`
+/// pair pays the compile phase, every later request for an equal pair gets
+/// the shared artifact back without deriving, scheduling or allocating.
+///
+/// Invariants:
+///
+/// * one artifact per key — concurrent misses race to insert, but every
+///   caller observes the same `Arc` once the entry exists;
+/// * a hit never mutates the artifact (runs borrow it), so cached and
+///   freshly compiled artifacts are interchangeable — the differential
+///   suite asserts the resulting runs bit-identical;
+/// * hit/miss counters are monotone and observable for benchmarks.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    map: Mutex<HashMap<u64, Arc<CompiledNetwork>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the artifact for `(net, cfg)`, compiling and inserting it
+    /// on the first request. The hit path clones an `Arc` and touches no
+    /// allocator (asserted by the `cache_alloc` regression test).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if the miss-path compile fails; failures
+    /// are not cached, so a later corrected request recompiles.
+    pub fn get_or_compile(
+        &self,
+        net: &Fppn,
+        cfg: &CompileConfig,
+    ) -> Result<Arc<CompiledNetwork>, CompileError> {
+        let key = compile_key(net, cfg);
+        if let Some(artifact) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(artifact));
+        }
+        // Compile outside the lock: misses on distinct keys proceed in
+        // parallel, and a poisoned-by-panic compile can't wedge the cache.
+        let artifact = Arc::new(CompiledNetwork::compile(net.clone(), cfg)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("cache lock");
+        // Two threads may have compiled the same key concurrently; keep
+        // the first insert so every caller shares one artifact from then on.
+        Ok(Arc::clone(map.entry(key).or_insert(artifact)))
+    }
+
+    /// The artifact already cached under `key`, if any (no compile).
+    pub fn lookup(&self, key: u64) -> Option<Arc<CompiledNetwork>> {
+        self.map.lock().expect("cache lock").get(&key).map(Arc::clone)
+    }
+
+    /// Requests answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct artifacts currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fppn_core::{ChannelKind, EventSpec, FppnBuilder, ProcessSpec};
+    use fppn_sched::Heuristic;
+    use fppn_taskgraph::WcetModel;
+    use fppn_time::TimeQ;
+
+    fn net() -> Fppn {
+        let ms = TimeQ::from_ms;
+        let mut b = FppnBuilder::new();
+        let a = b.process(ProcessSpec::new("a", EventSpec::periodic(ms(100))));
+        let c = b.process(ProcessSpec::new("c", EventSpec::periodic(ms(200))));
+        b.channel("ch", a, c, ChannelKind::Fifo);
+        b.priority(a, c);
+        b.build().unwrap().0
+    }
+
+    #[test]
+    fn hit_returns_the_same_artifact() {
+        let cache = ArtifactCache::new();
+        let cfg = CompileConfig::new(WcetModel::uniform(TimeQ::from_ms(10)), 2);
+        let first = cache.get_or_compile(&net(), &cfg).unwrap();
+        let second = cache.get_or_compile(&net(), &cfg).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the artifact");
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        assert_eq!(cache.lookup(first.content_hash()).unwrap().content_hash(), first.content_hash());
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_entries() {
+        let cache = ArtifactCache::new();
+        let wcet = WcetModel::uniform(TimeQ::from_ms(10));
+        let a = cache.get_or_compile(&net(), &CompileConfig::new(wcet.clone(), 2)).unwrap();
+        let b = cache
+            .get_or_compile(
+                &net(),
+                &CompileConfig {
+                    wcet,
+                    processors: 2,
+                    heuristic: Heuristic::BLevel,
+                },
+            )
+            .unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 2, 2));
+    }
+
+    #[test]
+    fn failed_compiles_are_not_cached() {
+        let cache = ArtifactCache::new();
+        let cfg = CompileConfig::new(WcetModel::uniform(TimeQ::from_ms(10)), 0);
+        assert!(cache.get_or_compile(&net(), &cfg).is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! # fppn-serve — compile-once/run-many control plane
+//!
+//! The simulator's compile phase (task-graph derivation, list scheduling,
+//! round-table construction) is a deterministic function of the network
+//! and the compile parameters; `fppn-sim` reifies it as an immutable
+//! [`CompiledNetwork`](fppn_sim::CompiledNetwork) artifact keyed by
+//! [`compile_key`](fppn_sim::compile_key). This crate is the control plane
+//! that exploits it:
+//!
+//! * [`ArtifactCache`] — a content-hash-keyed, thread-safe cache: equal
+//!   `(network, compile config)` pairs compile once; hits hand back a
+//!   shared `Arc` without touching the allocator.
+//! * [`Server`] — a fixed worker pool draining one shared run queue.
+//!   Every worker owns a `RunScratch`, so sequential runs keep the
+//!   zero-alloc steady state across *runs*, not just rounds. Results are
+//!   deterministic per request regardless of worker interleaving
+//!   (Prop. 4.1: runs share only immutable artifacts).
+//! * Per-tenant budgets with CAS admission control — over-budget
+//!   submissions get a typed [`AdmissionError`], never a panic — and
+//!   per-tenant deadline-miss accounting across completed runs.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use fppn_core::{EventSpec, FppnBuilder, ProcessSpec};
+//! use fppn_serve::{RunRequest, Server};
+//! use fppn_sim::{CompileConfig, SimConfig};
+//! use fppn_taskgraph::WcetModel;
+//! use fppn_time::TimeQ;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ms = TimeQ::from_ms;
+//! let mut b = FppnBuilder::new();
+//! b.process(ProcessSpec::new("p", EventSpec::periodic(ms(100))));
+//! let (net, bank) = b.build()?;
+//!
+//! let server = Server::new(2);
+//! server.register_tenant("team-a", 8);
+//! let artifact = server
+//!     .cache()
+//!     .get_or_compile(&net, &CompileConfig::new(WcetModel::uniform(ms(10)), 2))?;
+//! let ticket = server.submit(
+//!     "team-a",
+//!     RunRequest {
+//!         artifact,
+//!         bank: Arc::new(bank),
+//!         stimuli: fppn_core::Stimuli::new(),
+//!         config: SimConfig { frames: 4, ..SimConfig::default() },
+//!     },
+//! )?;
+//! let report = ticket.wait()?;
+//! assert_eq!(report.deadline_misses, 0);
+//! assert_eq!(server.cache().misses(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod server;
+
+pub use cache::ArtifactCache;
+pub use server::{AdmissionError, RunReport, RunRequest, RunTicket, Server, TenantStats};

@@ -1,0 +1,264 @@
+//! The multi-tenant run pool: admission control, shared workers, per-run
+//! reports.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fppn_core::{BehaviorBank, Stimuli};
+use fppn_sim::{CompiledNetwork, RunScratch, SimConfig, SimError, SimRun};
+
+use crate::cache::ArtifactCache;
+
+/// One queued simulation: which artifact to run, against what stimuli,
+/// under what run configuration. The artifact and behavior bank are
+/// shared (`Arc`) — many queued runs typically point at one compile.
+#[derive(Clone)]
+pub struct RunRequest {
+    /// The compiled artifact to execute against (borrowed by the run).
+    pub artifact: Arc<CompiledNetwork>,
+    /// Behavior factories; instantiated fresh per run.
+    pub bank: Arc<BehaviorBank>,
+    /// Sporadic arrivals and external inputs for this run.
+    pub stimuli: Stimuli,
+    /// Run-phase configuration (frames, models, backend selection).
+    pub config: SimConfig,
+}
+
+/// The result of one completed run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Deadline misses observed in this run (also accumulated into the
+    /// tenant's counters).
+    pub deadline_misses: usize,
+    /// The full deterministic simulation output.
+    pub run: SimRun,
+}
+
+/// A handle to one admitted run; [`RunTicket::wait`] blocks until a pool
+/// worker finishes it.
+pub struct RunTicket {
+    rx: Receiver<Result<RunReport, SimError>>,
+}
+
+impl RunTicket {
+    /// Blocks until the run completes and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the run's [`SimError`] if the simulation itself failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker executing this run panicked (the reply channel
+    /// disconnects without a report).
+    pub fn wait(self) -> Result<RunReport, SimError> {
+        self.rx.recv().expect("run worker dropped the reply channel")
+    }
+}
+
+/// Why a submission was rejected *before* any work was queued. Admission
+/// errors are typed and recoverable — an over-budget tenant is told so,
+/// nothing panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The tenant has exhausted its run budget.
+    BudgetExhausted {
+        /// The rejected tenant.
+        tenant: String,
+        /// Its configured budget.
+        budget: u64,
+    },
+    /// No tenant with this name was registered.
+    UnknownTenant(String),
+    /// The server is shutting down; no new runs are accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::BudgetExhausted { tenant, budget } => {
+                write!(f, "tenant {tenant:?} exhausted its budget of {budget} runs")
+            }
+            AdmissionError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            AdmissionError::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+impl Error for AdmissionError {}
+
+/// A point-in-time snapshot of one tenant's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Maximum number of runs this tenant may submit.
+    pub budget: u64,
+    /// Runs admitted so far (monotone; never exceeds `budget`).
+    pub admitted: u64,
+    /// Runs finished (successfully or with a run error).
+    pub completed: u64,
+    /// Total deadline misses across all completed runs.
+    pub deadline_misses: u64,
+}
+
+struct TenantState {
+    name: String,
+    budget: u64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    deadline_misses: AtomicU64,
+}
+
+struct Job {
+    tenant: Arc<TenantState>,
+    req: RunRequest,
+    reply: Sender<Result<RunReport, SimError>>,
+}
+
+/// The serve control plane: a content-hash-keyed [`ArtifactCache`], a
+/// fixed pool of worker threads draining one shared queue, and per-tenant
+/// budget accounting. Submissions from any number of threads are admitted
+/// (or rejected with a typed [`AdmissionError`]) and executed by whichever
+/// worker frees up first; each run's result is deterministic regardless of
+/// which worker runs it or in what order (Prop. 4.1 — runs share only
+/// immutable artifacts).
+///
+/// Dropping the server stops intake, drains the queue and joins the
+/// workers.
+pub struct Server {
+    cache: ArtifactCache,
+    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a pool of `workers` threads (clamped to at least one). Each
+    /// worker owns a [`RunScratch`], so back-to-back sequential runs reuse
+    /// their round buffers instead of reallocating.
+    pub fn new(workers: usize) -> Self {
+        let (tx, rx) = unbounded::<Job>();
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || worker_loop(&rx))
+            })
+            .collect();
+        Server {
+            cache: ArtifactCache::new(),
+            tenants: Mutex::new(HashMap::new()),
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// The server's artifact cache (compile here, then submit runs).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Registers (or re-registers, resetting counters) a tenant allowed to
+    /// submit up to `budget` runs.
+    pub fn register_tenant(&self, name: &str, budget: u64) {
+        let state = Arc::new(TenantState {
+            name: name.to_owned(),
+            budget,
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+        });
+        self.tenants
+            .lock()
+            .expect("tenant lock")
+            .insert(name.to_owned(), state);
+    }
+
+    /// Admits one run for `tenant` and queues it on the shared pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`AdmissionError`] — unknown tenant, exhausted
+    /// budget, or a shutting-down server — without queueing anything.
+    pub fn submit(&self, tenant: &str, req: RunRequest) -> Result<RunTicket, AdmissionError> {
+        let state = self
+            .tenants
+            .lock()
+            .expect("tenant lock")
+            .get(tenant)
+            .map(Arc::clone)
+            .ok_or_else(|| AdmissionError::UnknownTenant(tenant.to_owned()))?;
+        // Compare-and-swap admission: concurrent submitters can never
+        // push `admitted` past the budget.
+        if state
+            .admitted
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < state.budget).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return Err(AdmissionError::BudgetExhausted {
+                tenant: state.name.clone(),
+                budget: state.budget,
+            });
+        }
+        let (reply, rx) = unbounded();
+        let tx = self.tx.as_ref().ok_or(AdmissionError::ShuttingDown)?;
+        tx.send(Job { tenant: state, req, reply })
+            .map_err(|_| AdmissionError::ShuttingDown)?;
+        Ok(RunTicket { rx })
+    }
+
+    /// The current accounting snapshot for `tenant`, if registered.
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        let state = self
+            .tenants
+            .lock()
+            .expect("tenant lock")
+            .get(tenant)
+            .map(Arc::clone)?;
+        Some(TenantStats {
+            budget: state.budget,
+            admitted: state.admitted.load(Ordering::Relaxed),
+            completed: state.completed.load(Ordering::Relaxed),
+            deadline_misses: state.deadline_misses.load(Ordering::Relaxed),
+        })
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Dropping the intake sender disconnects the queue once drained;
+        // workers exit their recv loop and are joined.
+        self.tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Receiver<Job>) {
+    let mut scratch = RunScratch::new();
+    while let Ok(job) = rx.recv() {
+        let result = job
+            .req
+            .artifact
+            .simulate_with_scratch(&job.req.bank, &job.req.stimuli, &job.req.config, &mut scratch)
+            .map(|run| {
+                let deadline_misses = run.stats.deadline_misses;
+                job.tenant
+                    .deadline_misses
+                    .fetch_add(deadline_misses as u64, Ordering::Relaxed);
+                RunReport { deadline_misses, run }
+            });
+        job.tenant.completed.fetch_add(1, Ordering::Relaxed);
+        // A dropped ticket just discards the report; fire-and-forget
+        // submissions are fine.
+        let _ = job.reply.send(result);
+    }
+}

@@ -1,0 +1,165 @@
+//! The serve control plane under contention: many tenants queueing many
+//! runs onto a small pool must produce bit-identical results to a direct
+//! single-threaded execution of the same artifact — regardless of worker
+//! count, queue order or interleaving — and admission control must reject
+//! over-budget tenants with a typed error, never a panic.
+
+use std::sync::Arc;
+
+use fppn_apps::{fms_network, fms_wcet, FmsVariant};
+use fppn_serve::{AdmissionError, RunRequest, Server};
+use fppn_sim::{clip_stimuli, random_stimuli, CompileConfig, SimConfig, SimRun};
+use fppn_time::TimeQ;
+
+fn fms_server(workers: usize) -> (Server, Arc<fppn_core::BehaviorBank>, Vec<RunRequest>) {
+    let (net, bank, ids) = fms_network(FmsVariant::Original);
+    let server = Server::new(workers);
+    let artifact = server
+        .cache()
+        .get_or_compile(&net, &CompileConfig::new(fms_wcet(&ids), 2))
+        .expect("FMS compiles");
+    let bank = Arc::new(bank);
+    // Six distinct run shapes: different sporadic traces and frame counts.
+    let requests: Vec<RunRequest> = (0..6u64)
+        .map(|i| {
+            let frames = 2 + i % 3;
+            let raw = random_stimuli(&net, TimeQ::from_ms(60_000), 400 + 100 * (i as u32 % 3), i);
+            RunRequest {
+                artifact: Arc::clone(&artifact),
+                bank: Arc::clone(&bank),
+                stimuli: clip_stimuli(&net, artifact.derived(), &raw, frames),
+                config: SimConfig {
+                    frames,
+                    ..SimConfig::default()
+                },
+            }
+        })
+        .collect();
+    (server, bank, requests)
+}
+
+fn assert_identical(expected: &SimRun, got: &SimRun, what: &str) {
+    assert_eq!(expected.records, got.records, "{what}: records diverged");
+    assert_eq!(expected.observables, got.observables, "{what}: observables diverged");
+    assert_eq!(expected.stats, got.stats, "{what}: stats diverged");
+}
+
+/// N tenants × M queued runs over pools of 1, 2 and 4 workers: every
+/// report must be bit-identical to the oracle run of the same request,
+/// whatever the interleaving.
+#[test]
+fn queued_runs_are_deterministic_for_every_pool_size() {
+    let (oracle_server, _, oracle_reqs) = fms_server(1);
+    drop(oracle_server);
+    // Oracle: each distinct request executed directly on the artifact.
+    let oracle: Vec<SimRun> = oracle_reqs
+        .iter()
+        .map(|r| {
+            r.artifact
+                .simulate(&r.bank, &r.stimuli, &r.config)
+                .expect("oracle run")
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        let (server, _, requests) = fms_server(workers);
+        let tenants = ["avionics", "automotive", "test-bench"];
+        for t in tenants {
+            server.register_tenant(t, 64);
+        }
+        // Queue 3 tenants x 2 rounds x 6 requests, then wait for all.
+        let mut tickets = Vec::new();
+        for round in 0..2 {
+            for (ti, t) in tenants.iter().enumerate() {
+                for (ri, req) in requests.iter().enumerate() {
+                    let ticket = server.submit(t, req.clone()).expect("within budget");
+                    tickets.push((ri, format!("workers {workers} round {round} tenant {ti} req {ri}"), ticket));
+                }
+            }
+        }
+        for (ri, what, ticket) in tickets {
+            let report = ticket.wait().expect("run succeeds");
+            assert_identical(&oracle[ri], &report.run, &what);
+        }
+        // Accounting: every admitted run completed, misses accumulated.
+        for t in tenants {
+            let stats = server.tenant_stats(t).expect("registered");
+            assert_eq!(stats.admitted, 12);
+            assert_eq!(stats.completed, 12);
+            let expected_misses: u64 = (0..2)
+                .flat_map(|_| oracle.iter())
+                .map(|r| r.stats.deadline_misses as u64)
+                .sum();
+            assert_eq!(stats.deadline_misses, expected_misses);
+        }
+    }
+}
+
+/// Over-budget submissions get the typed admission error; concurrent
+/// submitters can never push a tenant past its budget.
+#[test]
+fn budget_admission_is_typed_and_race_free() {
+    let (server, _, requests) = fms_server(2);
+    server.register_tenant("small", 3);
+
+    // Sequential exhaustion: 3 admitted, the 4th rejected with the typed
+    // error naming the tenant and budget.
+    let tickets: Vec<_> = (0..3)
+        .map(|_| server.submit("small", requests[0].clone()).expect("within budget"))
+        .collect();
+    match server.submit("small", requests[0].clone()) {
+        Err(AdmissionError::BudgetExhausted { tenant, budget }) => {
+            assert_eq!(tenant, "small");
+            assert_eq!(budget, 3);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}", other = other.map(|_| ())),
+    }
+    for t in tickets {
+        t.wait().expect("admitted runs complete");
+    }
+
+    // Unknown tenants are rejected up front.
+    assert!(matches!(
+        server.submit("nobody", requests[0].clone()),
+        Err(AdmissionError::UnknownTenant(_))
+    ));
+
+    // Racing submitters: 8 threads x 4 attempts against a budget of 5.
+    server.register_tenant("contended", 5);
+    let admitted = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..4 {
+                    match server.submit("contended", requests[1].clone()) {
+                        Ok(ticket) => {
+                            admitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            ticket.wait().expect("admitted run completes");
+                        }
+                        Err(AdmissionError::BudgetExhausted { .. }) => {}
+                        Err(e) => panic!("unexpected admission error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(admitted.load(std::sync::atomic::Ordering::Relaxed), 5);
+    let stats = server.tenant_stats("contended").expect("registered");
+    assert_eq!((stats.admitted, stats.completed), (5, 5));
+}
+
+/// The cache serves one artifact to every tenant: compile happens once,
+/// later identical requests are hits.
+#[test]
+fn artifact_cache_is_shared_across_tenants() {
+    let (net, _, ids) = fms_network(FmsVariant::Original);
+    let server = Server::new(1);
+    let cfg = CompileConfig::new(fms_wcet(&ids), 2);
+    let first = server.cache().get_or_compile(&net, &cfg).expect("compiles");
+    for _ in 0..5 {
+        let again = server.cache().get_or_compile(&net, &cfg).expect("hits");
+        assert!(Arc::ptr_eq(&first, &again));
+    }
+    assert_eq!(server.cache().misses(), 1);
+    assert_eq!(server.cache().hits(), 5);
+}

@@ -10,9 +10,9 @@
 //! only a measurement seam.
 
 use fppn_core::{Fppn, Stimuli};
-use fppn_sched::StaticSchedule;
 use fppn_taskgraph::DerivedTaskGraph;
 
+use crate::compile::StaticTables;
 use crate::policy::{RoundEngine, RoundScratch, SimConfig, SimError};
 
 /// Owns a [`RoundEngine`] plus its reusable [`RoundScratch`]: after one
@@ -32,11 +32,11 @@ impl<'a> SeqRounds<'a> {
         net: &Fppn,
         stimuli: &Stimuli,
         derived: &'a DerivedTaskGraph,
-        schedule: &StaticSchedule,
+        tables: &'a StaticTables,
         config: &SimConfig,
     ) -> Result<Self, SimError> {
         Ok(SeqRounds {
-            engine: RoundEngine::new(net, stimuli, derived, schedule, config)?,
+            engine: RoundEngine::new(net, stimuli, derived, tables, config)?,
             scratch: RoundScratch::new(),
         })
     }

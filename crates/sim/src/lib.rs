@@ -23,6 +23,13 @@
 //! resolve from the `FPPN_SIM_WORKERS` / `FPPN_SIM_PIPELINE` environment
 //! variables — see [`SimEnv`]).
 //!
+//! The compile phase (task-graph derivation, list scheduling, round
+//! tables) is split from the run phase: [`CompiledNetwork`] reifies it as
+//! an immutable, content-hash-keyed artifact ([`compile_key`]) so many
+//! runs — any backend, any stimuli — execute against one borrowed compile.
+//! The classic entry points are thin compile+run wrappers over it;
+//! `fppn-serve` adds an artifact cache and a multi-tenant run pool on top.
+//!
 //! See [`simulate`] for the entry point and `fppn-apps`/`fppn-bench` for
 //! full reproductions of the paper's Figures 4 and 6.
 
@@ -30,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod behavior;
+mod compile;
 mod env;
 mod exectime;
 mod gantt;
@@ -42,6 +50,9 @@ mod pipeline;
 mod policy;
 mod stimgen;
 
+pub use compile::{
+    compile_key, CompileConfig, CompileError, CompiledNetwork, RunScratch, StaticTables,
+};
 pub use env::{SimEnv, SimEnvError};
 pub use exectime::{ExecTimeModel, ExecTimeSampler};
 pub use gantt::{Gantt, Segment, SegmentKind};

@@ -56,6 +56,7 @@ use fppn_sched::StaticSchedule;
 use fppn_time::TimeQ;
 use parking_lot::{Condvar, Mutex};
 
+use crate::compile::StaticTables;
 use crate::policy::{JobRecord, RoundEngine, SimConfig, SimError, SimRun};
 
 /// One completion cell per round, plus the progress monitor blocked
@@ -320,21 +321,23 @@ pub fn simulate_parallel(
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
     let workers = config.resolved_workers().max(1);
-    simulate_parallel_with(net, bank, stimuli, derived, schedule, config, workers)
+    let tables = StaticTables::build(net, derived, schedule);
+    simulate_parallel_tables(net, bank, stimuli, derived, &tables, config, workers)
 }
 
-/// [`simulate_parallel`] with an explicit worker count (the dispatch
-/// target of [`crate::simulate`]).
-pub(crate) fn simulate_parallel_with(
+/// [`simulate_parallel`] with an explicit worker count against borrowed
+/// compile-phase tables (the dispatch target of [`crate::simulate`] and
+/// [`crate::CompiledNetwork::simulate`]).
+pub(crate) fn simulate_parallel_tables(
     net: &Fppn,
     bank: &BehaviorBank,
     stimuli: &Stimuli,
     derived: &DerivedTaskGraph,
-    schedule: &StaticSchedule,
+    tables: &StaticTables,
     config: &SimConfig,
     workers: usize,
 ) -> Result<SimRun, SimError> {
-    let engine = RoundEngine::new(net, stimuli, derived, schedule, config)?;
+    let engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
     // Reject deadlocking schedules before any thread can block on them.
     engine.check_order()?;
     let m_procs = engine.m_procs;
@@ -491,6 +494,7 @@ mod tests {
         let stimuli = crate::clip_stimuli(&net, &derived, &stimuli, 6);
         for m in 1..=4usize {
             let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+            let tables = StaticTables::build(&net, &derived, &schedule);
             for (exec, overhead) in [
                 (ExecTimeModel::Wcet, OverheadModel::NONE),
                 (ExecTimeModel::typical_jitter(11), OverheadModel::NONE),
@@ -506,12 +510,12 @@ mod tests {
                     simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &config).unwrap();
                 for workers in [1usize, 2, 3, 8] {
                     for parallel_behaviors in [false, true] {
-                        let par = simulate_parallel_with(
+                        let par = simulate_parallel_tables(
                             &net,
                             &bank,
                             &stimuli,
                             &derived,
-                            &schedule,
+                            &tables,
                             &SimConfig {
                                 parallel_behaviors,
                                 ..config

@@ -77,6 +77,7 @@ use parking_lot::Mutex;
 use crate::behavior::{
     into_shards, run_worker_streaming, stream_timelines, JobFeed, ProgressBoard, RecordPlanner,
 };
+use crate::compile::StaticTables;
 use crate::parallel::{run_worker, CompletionBoard, RoundEvent, RoundSink, Timeline};
 use crate::policy::{JobRecord, RoundEngine, SimConfig, SimError, SimRun};
 
@@ -115,8 +116,8 @@ impl Ord for Pending {
 
 /// The frontier board: per-processor completion frontiers, the watermark,
 /// and the heap of published-but-uncommitted records (see module docs).
-struct Sequencer {
-    topo_pos: Vec<usize>,
+struct Sequencer<'a> {
+    topo_pos: &'a [usize],
     /// Latest published completion per processor (monotone per timeline).
     frontier: Vec<TimeQ>,
     /// Whether the processor's timeline can still publish.
@@ -128,8 +129,8 @@ struct Sequencer {
     records: Vec<JobRecord>,
 }
 
-impl Sequencer {
-    fn new(engine: &RoundEngine<'_>, n_procs: usize) -> Self {
+impl<'a> Sequencer<'a> {
+    fn new(engine: &RoundEngine<'a>, n_procs: usize) -> Self {
         Sequencer {
             topo_pos: engine.topo_positions(),
             frontier: vec![TimeQ::ZERO; engine.m_procs],
@@ -227,21 +228,23 @@ pub fn simulate_pipelined(
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
     let workers = config.resolved_workers().max(1);
-    simulate_pipelined_with(net, bank, stimuli, derived, schedule, config, workers)
+    let tables = StaticTables::build(net, derived, schedule);
+    simulate_pipelined_tables(net, bank, stimuli, derived, &tables, config, workers)
 }
 
-/// [`simulate_pipelined`] with an explicit worker count (the dispatch
-/// target of [`crate::simulate`]).
-pub(crate) fn simulate_pipelined_with(
+/// [`simulate_pipelined`] against precomputed round tables with an
+/// explicit worker count (the dispatch target of [`crate::simulate`] and
+/// the compiled artifact).
+pub(crate) fn simulate_pipelined_tables(
     net: &Fppn,
     bank: &BehaviorBank,
     stimuli: &Stimuli,
     derived: &DerivedTaskGraph,
-    schedule: &StaticSchedule,
+    tables: &StaticTables,
     config: &SimConfig,
     workers: usize,
 ) -> Result<SimRun, SimError> {
-    let engine = RoundEngine::new(net, stimuli, derived, schedule, config)?;
+    let engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
     // Reject deadlocking schedules before any thread can block on them.
     engine.check_order()?;
     if SharedChannels::supports(net) {
@@ -468,8 +471,9 @@ mod tests {
     /// frontier moves strictly past — directly on a hand-built sequencer.
     #[test]
     fn watermark_releases_strictly_below_active_frontiers() {
+        let topo: Vec<usize> = (0..4).collect();
         let mut seq = Sequencer {
-            topo_pos: (0..4).collect(),
+            topo_pos: &topo,
             frontier: vec![TimeQ::ZERO; 2],
             active: vec![true; 2],
             pending: BinaryHeap::new(),
@@ -512,8 +516,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "published out of frontier order")]
     fn non_monotone_frontier_is_rejected() {
+        let topo: Vec<usize> = (0..2).collect();
         let mut seq = Sequencer {
-            topo_pos: (0..2).collect(),
+            topo_pos: &topo,
             frontier: vec![TimeQ::ZERO; 1],
             active: vec![true; 1],
             pending: BinaryHeap::new(),
@@ -557,13 +562,14 @@ mod tests {
         };
         // Whatever the failure mode (ExecError or panic), the pipeline
         // must terminate; a panic is re-raised, an error is returned.
+        let tables = StaticTables::build(&net, &derived, &schedule);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            simulate_pipelined_with(
+            simulate_pipelined_tables(
                 &net,
                 &bank,
                 &Stimuli::new(),
                 &derived,
-                &schedule,
+                &tables,
                 &config,
                 4,
             )
@@ -644,8 +650,9 @@ mod tests {
                 let seq =
                     simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &config).unwrap();
                 for workers in [1usize, 2, 4] {
-                    let pipe = simulate_pipelined_with(
-                        &net, &bank, &stimuli, &derived, &schedule, &config, workers,
+                    let tables = StaticTables::build(&net, &derived, &schedule);
+                    let pipe = simulate_pipelined_tables(
+                        &net, &bank, &stimuli, &derived, &tables, &config, workers,
                     )
                     .unwrap();
                     assert_eq!(seq.records, pipe.records, "m {m} workers {workers}");

@@ -39,10 +39,11 @@ use fppn_core::{
     BehaviorBank, ExecError, ExecState, Fppn, NetworkError, Observables, ProcessId,
     SharedChannels, Stimuli,
 };
-use fppn_taskgraph::{wrap_predecessors, DerivedTaskGraph, JobId, RoundResolution, TaskGraph};
+use fppn_taskgraph::{DerivedTaskGraph, JobId, TaskGraph};
 use fppn_sched::StaticSchedule;
 use fppn_time::TimeQ;
 
+use crate::compile::StaticTables;
 use crate::env::{SimEnv, SimEnvError};
 use crate::exectime::ExecTimeModel;
 use crate::gantt::{Gantt, Segment, SegmentKind};
@@ -328,22 +329,20 @@ impl RoundScratch {
 /// release gates. Shared by the sequential and parallel backends so both
 /// perform *identical arithmetic* on every round.
 ///
-/// Every per-round table is a flat struct-of-arrays slab indexed by
-/// `frame * n_jobs + job` (or a CSR pair for the jagged per-processor /
-/// per-job lists): the steady-state loop does contiguous indexed loads
-/// instead of chasing nested `Vec<Vec<_>>` spines.
+/// The compile-phase tables (CSR orders, wrap predecessors, topological
+/// positions, slot templates) are **borrowed** from a
+/// [`StaticTables`] — built once per compiled network and shared by any
+/// number of runs. Only the per-run slabs (slot resolutions bound to this
+/// run's stimuli, pre-drawn execution times, frame gates) are owned here,
+/// still flat struct-of-arrays indexed by `frame * n_jobs + job` so the
+/// steady-state loop does contiguous indexed loads.
 pub(crate) struct RoundEngine<'a> {
     pub(crate) graph: &'a TaskGraph,
     pub(crate) frames: u64,
     pub(crate) n_jobs: usize,
     pub(crate) m_procs: usize,
-    /// CSR over processors: `proc_order_data[bounds[m]..bounds[m + 1]]` is
-    /// processor `m`'s static round order.
-    proc_order_data: Vec<JobId>,
-    proc_order_bounds: Vec<usize>,
-    /// CSR over jobs: the previous-frame (wrap-around) predecessors.
-    wrap_pred_data: Vec<JobId>,
-    wrap_pred_bounds: Vec<usize>,
+    /// Borrowed compile-phase tables (CSR orders, wrap preds, topo, …).
+    tables: &'a StaticTables,
     /// Slot-resolution slabs, `[frame * n_jobs + job]`.
     slot_invoked: Vec<TimeQ>,
     slot_deadline: Vec<TimeQ>,
@@ -357,12 +356,13 @@ pub(crate) struct RoundEngine<'a> {
 }
 
 impl<'a> RoundEngine<'a> {
-    /// Validates stimuli and assembles the round tables.
+    /// Validates stimuli and binds the per-run slabs to the borrowed
+    /// compile-phase tables.
     pub(crate) fn new(
         net: &Fppn,
         stimuli: &Stimuli,
         derived: &'a DerivedTaskGraph,
-        schedule: &StaticSchedule,
+        tables: &'a StaticTables,
         config: &SimConfig,
     ) -> Result<Self, SimError> {
         stimuli.validate(net)?;
@@ -370,43 +370,20 @@ impl<'a> RoundEngine<'a> {
         let h = derived.hyperperiod;
         let frames = config.frames;
         let n_jobs = graph.job_count();
-        let m_procs = schedule.processors();
+        let m_procs = tables.processors();
+        debug_assert_eq!(tables.templates.job_count(), n_jobs);
 
-        // Static per-processor round orders, flattened to CSR.
-        let mut proc_order_data = Vec::new();
-        let mut proc_order_bounds = Vec::with_capacity(m_procs + 1);
-        proc_order_bounds.push(0);
-        for m in 0..m_procs {
-            proc_order_data.extend(schedule.processor_order(m));
-            proc_order_bounds.push(proc_order_data.len());
-        }
-
-        // Cross-frame wrap edges (shared with the threaded runtime; see
-        // fppn-taskgraph), flattened to CSR over job ids.
-        let wrap_preds = wrap_predecessors(net, derived);
-        let mut wrap_pred_data = Vec::new();
-        let mut wrap_pred_bounds = Vec::with_capacity(n_jobs + 1);
-        wrap_pred_bounds.push(0);
-        for preds in &wrap_preds {
-            wrap_pred_data.extend_from_slice(preds);
-            wrap_pred_bounds.push(wrap_pred_data.len());
-        }
-
-        // Per-instance slot resolution, copied out of the per-frame rows
-        // into SoA slabs in canonical (frame, job-id) order.
-        let resolution = RoundResolution::resolve(net, derived, stimuli, frames);
+        // Per-instance slot resolution, streamed straight into SoA slabs
+        // in canonical (frame, job-id) order.
         let total = frames as usize * n_jobs;
         let mut slot_invoked = Vec::with_capacity(total);
         let mut slot_deadline = Vec::with_capacity(total);
         let mut slot_executable = Vec::with_capacity(total);
-        for frame in 0..frames {
-            for id in graph.job_ids() {
-                let res = resolution.get(frame, id);
-                slot_invoked.push(res.invoked_at);
-                slot_deadline.push(res.deadline);
-                slot_executable.push(res.executable);
-            }
-        }
+        tables.templates.for_each_slot(stimuli, frames, |res| {
+            slot_invoked.push(res.invoked_at);
+            slot_deadline.push(res.deadline);
+            slot_executable.push(res.executable);
+        });
 
         // Pre-drawn execution times in canonical (frame, job-id) order, so
         // the random draws do not depend on simulation internals (or on the
@@ -426,10 +403,7 @@ impl<'a> RoundEngine<'a> {
             frames,
             n_jobs,
             m_procs,
-            proc_order_data,
-            proc_order_bounds,
-            wrap_pred_data,
-            wrap_pred_bounds,
+            tables,
             slot_invoked,
             slot_deadline,
             slot_executable,
@@ -447,12 +421,14 @@ impl<'a> RoundEngine<'a> {
 
     /// Processor `m`'s static round order.
     pub(crate) fn proc_order(&self, m: usize) -> &[JobId] {
-        &self.proc_order_data[self.proc_order_bounds[m]..self.proc_order_bounds[m + 1]]
+        let t = self.tables;
+        &t.proc_order_data[t.proc_order_bounds[m]..t.proc_order_bounds[m + 1]]
     }
 
     /// The previous-frame (wrap-around) predecessors of a job.
     fn wrap_preds_of(&self, id: JobId) -> &[JobId] {
-        &self.wrap_pred_data[self.wrap_pred_bounds[id.index()]..self.wrap_pred_bounds[id.index() + 1]]
+        let t = self.tables;
+        &t.wrap_pred_data[t.wrap_pred_bounds[id.index()]..t.wrap_pred_bounds[id.index() + 1]]
     }
 
     /// Attempts the round `(frame, id)` on processor `m` whose timeline is
@@ -639,17 +615,10 @@ impl<'a> RoundEngine<'a> {
     }
 
     /// The topological position of every job — the third component of the
-    /// canonical record key `(completion, frame, topo)`.
-    pub(crate) fn topo_positions(&self) -> Vec<usize> {
-        let order = self
-            .graph
-            .topological_order()
-            .expect("derived task graphs are acyclic");
-        let mut pos = vec![0usize; self.n_jobs];
-        for (i, id) in order.iter().enumerate() {
-            pos[id.index()] = i;
-        }
-        pos
+    /// canonical record key `(completion, frame, topo)`. Borrowed from the
+    /// compile-phase tables, so repeated runs share one copy.
+    pub(crate) fn topo_positions(&self) -> &'a [usize] {
+        &self.tables.topo_pos
     }
 
     /// Sorts `records` into the canonical total order `(completion, frame,
@@ -844,17 +813,35 @@ pub fn simulate(
     schedule: &StaticSchedule,
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
+    let tables = StaticTables::build(net, derived, schedule);
+    simulate_with_tables(net, bank, stimuli, derived, &tables, config)
+}
+
+/// The mode dispatcher against already-built compile-phase tables: every
+/// backend borrows the same [`StaticTables`], so switching modes on one
+/// compiled network performs zero recompilation. [`simulate`] is the
+/// compile+run wrapper over this;
+/// [`CompiledNetwork::simulate`](crate::CompiledNetwork::simulate) calls
+/// it with cached tables.
+pub(crate) fn simulate_with_tables(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    derived: &DerivedTaskGraph,
+    tables: &StaticTables,
+    config: &SimConfig,
+) -> Result<SimRun, SimError> {
     let workers = config.resolved_workers();
     // The pipeline routes even at one worker, exactly like behavior
     // sharding below: a 1-worker pipelined run exercises the full
     // frontier/feed machinery.
     if config.resolved_pipeline() {
-        return crate::pipeline::simulate_pipelined_with(
+        return crate::pipeline::simulate_pipelined_tables(
             net,
             bank,
             stimuli,
             derived,
-            schedule,
+            tables,
             config,
             workers.max(1),
         );
@@ -863,14 +850,14 @@ pub fn simulate(
     // worker: a 1-worker sharded run exercises the full rendezvous
     // machinery, exactly like the 1-worker round backend.
     if workers <= 1 && !config.resolved_parallel_behaviors() {
-        simulate_seq(net, bank, stimuli, derived, schedule, config)
+        run_seq(net, bank, stimuli, derived, tables, config)
     } else {
-        crate::parallel::simulate_parallel_with(
+        crate::parallel::simulate_parallel_tables(
             net,
             bank,
             stimuli,
             derived,
-            schedule,
+            tables,
             config,
             workers.max(1),
         )
@@ -895,9 +882,42 @@ pub fn simulate_seq(
     schedule: &StaticSchedule,
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
-    let engine = RoundEngine::new(net, stimuli, derived, schedule, config)?;
+    let tables = StaticTables::build(net, derived, schedule);
+    run_seq(net, bank, stimuli, derived, &tables, config)
+}
+
+/// The sequential backend against borrowed compile-phase tables.
+pub(crate) fn run_seq(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    derived: &DerivedTaskGraph,
+    tables: &StaticTables,
+    config: &SimConfig,
+) -> Result<SimRun, SimError> {
+    let engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
     let records = engine.compute_rounds_seq()?;
     // The oracle never shards behaviors, whatever the config says.
+    engine.finalize(net, bank, stimuli, records, 0)
+}
+
+/// [`run_seq`] into caller-owned scratch buffers: the round loop reuses
+/// the scratch's completion/availability/cursor vectors across runs
+/// (records move into the returned [`SimRun`]). The `fppn-serve` worker
+/// pool drives this through
+/// [`CompiledNetwork::simulate_with_scratch`](crate::CompiledNetwork::simulate_with_scratch).
+pub(crate) fn run_seq_into(
+    net: &Fppn,
+    bank: &BehaviorBank,
+    stimuli: &Stimuli,
+    derived: &DerivedTaskGraph,
+    tables: &StaticTables,
+    config: &SimConfig,
+    scratch: &mut RoundScratch,
+) -> Result<SimRun, SimError> {
+    let engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
+    engine.compute_rounds_seq_into(scratch)?;
+    let records = std::mem::take(&mut scratch.records);
     engine.finalize(net, bank, stimuli, records, 0)
 }
 

@@ -19,9 +19,9 @@ use fppn_apps::{
 use fppn_core::Stimuli;
 use fppn_sched::{list_schedule, Heuristic};
 use fppn_sim::{
-    adversarial_stimuli, clip_stimuli, random_stimuli, simulate, simulate_parallel,
-    simulate_pipelined, simulate_seq, AdversarialClass, ExecTimeModel, OverheadModel, SimConfig,
-    SimRun,
+    adversarial_stimuli, clip_stimuli, compile_key, random_stimuli, simulate, simulate_parallel,
+    simulate_pipelined, simulate_seq, AdversarialClass, CompileConfig, CompiledNetwork,
+    ExecTimeModel, OverheadModel, RunScratch, SimConfig, SimRun,
 };
 use fppn_taskgraph::derive_task_graph;
 use fppn_time::TimeQ;
@@ -528,6 +528,157 @@ fn dispatcher_routes_on_config_workers() {
     assert_bit_identical(&seq, &pipe, "dispatcher (pipeline)");
 }
 
+/// The compile-once artifact against fresh per-call compiles, across all
+/// four backends and every adversarial stimulus class: a cached
+/// [`CompiledNetwork`] reused for many runs (with a reused [`RunScratch`])
+/// must be bit-identical to the classic entry points, which re-derive and
+/// re-schedule on every call. This is the cache-identity half of the serve
+/// control plane's correctness argument; CI re-runs it under
+/// `FPPN_SIM_WORKERS=4` (the test-name filter is `compiled`).
+#[test]
+fn compiled_artifact_matches_fresh_compile_across_backends() {
+    for (label, fppn_cfg) in adversarial_presets() {
+        let w = synthetic_fppn(&fppn_cfg);
+        let cfg = CompileConfig::new(w.wcet.clone(), 2);
+        // Two independent compiles of the same inputs: same key, and the
+        // first one stands in for "the cached artifact" below.
+        let artifact = CompiledNetwork::compile(w.net.clone(), &cfg).expect("compiles");
+        let recompiled = CompiledNetwork::compile(w.net.clone(), &cfg).expect("compiles");
+        assert_eq!(
+            artifact.content_hash(),
+            recompiled.content_hash(),
+            "{label}: equal inputs must produce equal compile keys"
+        );
+        assert_eq!(artifact.content_hash(), compile_key(&w.net, &cfg));
+
+        let derived = derive_task_graph(&w.net, &w.wcet).expect("derivable");
+        let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+        let frames = 2u64;
+        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let mut scratch = RunScratch::new();
+        for class in AdversarialClass::ALL {
+            let raw = adversarial_stimuli(&w.net, &derived, horizon, class, 0xCAFE);
+            let stimuli = clip_stimuli(&w.net, &derived, &raw, frames);
+            let config = SimConfig {
+                frames,
+                exec_time: ExecTimeModel::typical_jitter(0xCAFE),
+                overhead: OverheadModel::constant(TimeQ::from_ms(7)),
+                ..SimConfig::default()
+            };
+            let tag = format!("{label} {}", class.name());
+            // Fresh compile path: the classic entry point.
+            let fresh = simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &config)
+                .expect("fresh sequential");
+            // Cache-hit path, all four backends against the one artifact.
+            for (backend, run_cfg) in [
+                ("seq", config),
+                ("parallel", SimConfig { workers: 4, ..config }),
+                (
+                    "sharded",
+                    SimConfig {
+                        workers: 4,
+                        parallel_behaviors: true,
+                        ..config
+                    },
+                ),
+                (
+                    "pipelined",
+                    SimConfig {
+                        workers: 4,
+                        pipeline: true,
+                        ..config
+                    },
+                ),
+            ] {
+                let cached = artifact
+                    .simulate(&w.bank, &stimuli, &run_cfg)
+                    .expect("cached artifact run");
+                assert_bit_identical(&fresh, &cached, &format!("{tag} cached {backend}"));
+            }
+            // The serve worker path: scratch reused across runs & classes.
+            let scratched = artifact
+                .simulate_with_scratch(&w.bank, &stimuli, &config, &mut scratch)
+                .expect("scratch run");
+            assert_bit_identical(&fresh, &scratched, &format!("{tag} cached seq+scratch"));
+        }
+    }
+}
+
+/// Single-field mutations of the compile inputs must each move the
+/// content hash: the cache can never serve a stale artifact for a changed
+/// network, WCET table, processor count or heuristic.
+#[test]
+fn compile_key_changes_under_any_single_mutation() {
+    use fppn_core::{ChannelKind, EventSpec, FppnBuilder, ProcessSpec};
+    use fppn_taskgraph::WcetModel;
+    let ms = TimeQ::from_ms;
+
+    // One knob per variant; index 0 is the baseline.
+    let build = |period_a: i64, burst: u32, kind: ChannelKind, name_b: &str, extra_edge: bool| {
+        let mut b = FppnBuilder::new();
+        let a = b.process(ProcessSpec::new("a", EventSpec::periodic(ms(period_a))));
+        let s = b.process(ProcessSpec::new("s", EventSpec::sporadic(burst, ms(400))));
+        let p_b = b.process(ProcessSpec::new(name_b, EventSpec::periodic(ms(200))));
+        b.channel("ab", a, p_b, kind);
+        b.channel("sb", s, p_b, ChannelKind::Blackboard);
+        b.priority(a, p_b);
+        b.priority(s, p_b);
+        if extra_edge {
+            b.priority(a, s);
+        }
+        b.build().unwrap().0
+    };
+    let base_net = build(100, 2, ChannelKind::Fifo, "b", false);
+    let base_wcet = WcetModel::uniform(ms(10));
+    let base = CompileConfig::new(base_wcet.clone(), 2);
+
+    let mut keys = vec![("baseline", compile_key(&base_net, &base))];
+    for (what, net) in [
+        ("process period", build(50, 2, ChannelKind::Fifo, "b", false)),
+        ("sporadic burst", build(100, 3, ChannelKind::Fifo, "b", false)),
+        ("channel kind", build(100, 2, ChannelKind::Blackboard, "b", false)),
+        ("process name", build(100, 2, ChannelKind::Fifo, "b2", false)),
+        ("priority edge", build(100, 2, ChannelKind::Fifo, "b", true)),
+    ] {
+        keys.push((what, compile_key(&net, &base)));
+    }
+    let mut wcet_override = base_wcet.clone();
+    wcet_override.set(base_net.process_by_name("a").unwrap(), ms(11));
+    keys.push((
+        "wcet override",
+        compile_key(&base_net, &CompileConfig::new(wcet_override, 2)),
+    ));
+    keys.push((
+        "wcet default",
+        compile_key(&base_net, &CompileConfig::new(WcetModel::uniform(ms(12)), 2)),
+    ));
+    keys.push((
+        "processor count",
+        compile_key(&base_net, &CompileConfig::new(base_wcet.clone(), 3)),
+    ));
+    keys.push((
+        "heuristic",
+        compile_key(
+            &base_net,
+            &CompileConfig {
+                wcet: base_wcet,
+                processors: 2,
+                heuristic: Heuristic::BLevel,
+            },
+        ),
+    ));
+
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            assert_ne!(
+                keys[i].1, keys[j].1,
+                "mutations {:?} and {:?} collided",
+                keys[i].0, keys[j].0
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -592,5 +743,36 @@ proptest! {
             prop_assert_eq!(&seq.gantt, &pipe.gantt);
             prop_assert_eq!(&seq.stats, &pipe.stats);
         }
+    }
+
+    /// Content-hash stability: rebuilding the same random workload from
+    /// the same seed always produces the same compile key (so a cache
+    /// keyed on it hits across processes and sessions), the compiled
+    /// artifact records exactly that key, and changing the processor
+    /// count alone moves it.
+    #[test]
+    fn compile_key_is_stable_across_rebuilds(
+        periodic in 2usize..6,
+        sporadic in 0usize..3,
+        seed in any::<u64>(),
+        m in 1usize..4,
+    ) {
+        let cfg = WorkloadConfig {
+            periodic,
+            sporadic,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        let w1 = random_workload(&cfg);
+        let w2 = random_workload(&cfg);
+        let c1 = CompileConfig::new(w1.wcet.clone(), m);
+        let c2 = CompileConfig::new(w2.wcet.clone(), m);
+        prop_assert_eq!(compile_key(&w1.net, &c1), compile_key(&w2.net, &c2));
+        let artifact = CompiledNetwork::compile(w1.net.clone(), &c1).unwrap();
+        prop_assert_eq!(artifact.content_hash(), compile_key(&w2.net, &c2));
+        prop_assert_ne!(
+            compile_key(&w1.net, &CompileConfig::new(w1.wcet.clone(), m + 1)),
+            artifact.content_hash()
+        );
     }
 }

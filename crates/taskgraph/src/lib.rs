@@ -55,5 +55,5 @@ pub use derive::{
 pub use graph::TaskGraph;
 pub use job::{Job, JobId};
 pub use pipeline::unroll_for_pipelining;
-pub use slots::{wrap_predecessors, RoundResolution, SlotResolution};
+pub use slots::{wrap_predecessors, RoundResolution, SlotResolution, SlotTemplates};
 pub use wcet::WcetModel;

@@ -36,44 +36,123 @@ pub struct RoundResolution {
     rounds: Vec<Vec<SlotResolution>>, // [frame][job]
 }
 
-impl RoundResolution {
-    /// Resolves every instance from the sporadic arrival traces.
-    ///
-    /// Sporadic arrivals are mapped to server-slot subsets per the window
-    /// boundary rule: the subset arriving at `b` covers `(b − T′, b]` when
-    /// the sporadic process has priority over its user, `[b − T′, b)`
-    /// otherwise.
-    pub fn resolve(
-        net: &Fppn,
-        derived: &DerivedTaskGraph,
-        stimuli: &Stimuli,
-        frames: u64,
-    ) -> Self {
+/// The stimuli-*independent* half of slot resolution: per-job templates
+/// and per-server window parameters, a pure function of the network and
+/// the derived task graph.
+///
+/// Splitting resolution this way is what makes the compile/run boundary
+/// cacheable: [`SlotTemplates::build`] runs once per compiled network,
+/// while [`SlotTemplates::resolve`] (or the allocation-light
+/// [`SlotTemplates::for_each_slot`]) binds a concrete arrival trace per
+/// run. [`RoundResolution::resolve`] remains as the one-shot convenience
+/// composing the two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotTemplates {
+    hyperperiod: TimeQ,
+    servers: Vec<ServerWindow>,
+    templates: Vec<Template>,
+}
+
+/// Window parameters of one server (transformed sporadic process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ServerWindow {
+    pid: ProcessId,
+    period: TimeQ,
+    priority_over_user: bool,
+    subsets_per_frame: i128,
+}
+
+/// Everything about one graph job that does not depend on the frame or the
+/// stimuli, so the per-run loop is pure arithmetic (this is the hot path
+/// for long multi-frame simulations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Template {
+    Periodic {
+        arrival: TimeQ,
+        deadline_rel: TimeQ,
+    },
+    Server {
+        server: usize, // index into SlotTemplates::servers
+        subset_in_frame: i128,
+        slot: usize,
+        deadline_rel: TimeQ,
+    },
+}
+
+/// Sporadic arrivals of one server grouped by global subset index.
+/// Subsets queried by the frame loop are dense integers in
+/// `[0, frames * subsets_per_frame)`, so a flat CSR table (counting sort)
+/// beats any map: the per-slot lookup becomes two array indexes with no
+/// hashing or tree walk.
+struct ServerArrivals {
+    /// `starts[s]..starts[s + 1]` is the slice of `times` for subset `s`.
+    starts: Vec<u32>,
+    times: Vec<TimeQ>,
+}
+
+impl SlotTemplates {
+    /// Precomputes the per-job templates and server windows.
+    pub fn build(net: &Fppn, derived: &DerivedTaskGraph) -> Self {
         let graph = &derived.graph;
         let h = derived.hyperperiod;
 
-        let subsets_per_frame: BTreeMap<ProcessId, i128> = derived
+        let servers: Vec<ServerWindow> = derived
             .servers
             .iter()
-            .map(|(pid, s)| (*pid, (h / s.period).floor()))
+            .map(|(pid, s)| ServerWindow {
+                pid: *pid,
+                period: s.period,
+                priority_over_user: s.priority_over_user,
+                subsets_per_frame: (h / s.period).floor(),
+            })
+            .collect();
+        let server_index = |pid: ProcessId| servers.iter().position(|w| w.pid == pid);
+
+        let templates = graph
+            .job_ids()
+            .map(|id| {
+                let job = graph.job(id);
+                let pid = job.process;
+                let deadline_rel = net.process(pid).event().deadline();
+                match derived.server(pid) {
+                    None => Template::Periodic {
+                        arrival: job.arrival,
+                        deadline_rel,
+                    },
+                    Some(server) => Template::Server {
+                        server: server_index(pid).expect("server window exists"),
+                        subset_in_frame: (job.arrival / server.period).floor(),
+                        slot: ((job.k - 1) % server.burst as u64) as usize,
+                        deadline_rel,
+                    },
+                }
+            })
             .collect();
 
-        // Group sporadic arrivals by global subset index. Subsets queried by
-        // the frame loop are dense integers in `[0, frames * subsets_per_frame)`,
-        // so a flat CSR table (counting sort) beats any map: the per-slot lookup
-        // below becomes two array indexes with no hashing or tree walk.
-        struct ServerArrivals {
-            /// `starts[s]..starts[s + 1]` is the slice of `times` for subset `s`.
-            starts: Vec<u32>,
-            times: Vec<TimeQ>,
+        SlotTemplates {
+            hyperperiod: h,
+            servers,
+            templates,
         }
-        let mut subsets: BTreeMap<ProcessId, ServerArrivals> = BTreeMap::new();
-        for pid in net.process_ids() {
-            if let Some(server) = derived.server(pid) {
-                let total = (frames as i128 * subsets_per_frame[&pid]).max(0) as usize;
+    }
+
+    /// The number of graph jobs covered per frame.
+    pub fn job_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Bins the sporadic arrival traces into per-server subset CSR tables,
+    /// applying the window boundary rule: the subset arriving at `b`
+    /// covers `(b − T′, b]` when the sporadic process has priority over
+    /// its user, `[b − T′, b)` otherwise.
+    fn bin_arrivals(&self, stimuli: &Stimuli, frames: u64) -> Vec<ServerArrivals> {
+        self.servers
+            .iter()
+            .map(|w| {
+                let total = (frames as i128 * w.subsets_per_frame).max(0) as usize;
                 let subset_of = |t: TimeQ| -> Option<usize> {
-                    let q = t / server.period;
-                    let s = if server.priority_over_user {
+                    let q = t / w.period;
+                    let s = if w.priority_over_user {
                         q.ceil()
                     } else {
                         q.floor() + 1
@@ -83,7 +162,7 @@ impl RoundResolution {
                     (0..total as i128).contains(&s).then_some(s as usize)
                 };
                 let mut counts = vec![0u32; total + 1];
-                for &t in stimuli.arrival_times(pid) {
+                for &t in stimuli.arrival_times(w.pid) {
                     if let Some(s) = subset_of(t) {
                         counts[s + 1] += 1;
                     }
@@ -94,7 +173,7 @@ impl RoundResolution {
                 let starts = counts.clone();
                 let mut times = vec![TimeQ::from_int(0); *starts.last().unwrap_or(&0) as usize];
                 let mut cursor = counts;
-                for &t in stimuli.arrival_times(pid) {
+                for &t in stimuli.arrival_times(w.pid) {
                     if let Some(s) = subset_of(t) {
                         times[cursor[s] as usize] = t;
                         cursor[s] += 1;
@@ -103,105 +182,115 @@ impl RoundResolution {
                 for s in 0..total {
                     times[starts[s] as usize..starts[s + 1] as usize].sort();
                 }
-                subsets.insert(pid, ServerArrivals { starts, times });
+                ServerArrivals { starts, times }
+            })
+            .collect()
+    }
+
+    /// Resolves one slot against the binned arrivals.
+    fn resolve_slot(
+        &self,
+        frame: u64,
+        frame_base: TimeQ,
+        tpl: &Template,
+        arrivals: &[ServerArrivals],
+    ) -> SlotResolution {
+        match tpl {
+            Template::Periodic {
+                arrival,
+                deadline_rel,
+            } => {
+                let inv = frame_base + *arrival;
+                SlotResolution {
+                    invoked_at: inv,
+                    executable: true,
+                    deadline: inv + *deadline_rel,
+                }
+            }
+            Template::Server {
+                server,
+                subset_in_frame,
+                slot,
+                deadline_rel,
+            } => {
+                let w = &self.servers[*server];
+                let global_subset = frame as i128 * w.subsets_per_frame + subset_in_frame;
+                let a = &arrivals[*server];
+                let arrival = usize::try_from(global_subset)
+                    .ok()
+                    .and_then(|s| {
+                        let lo = *a.starts.get(s)? as usize;
+                        let hi = *a.starts.get(s + 1)? as usize;
+                        a.times[lo..hi].get(*slot)
+                    })
+                    .copied();
+                match arrival {
+                    Some(t) => SlotResolution {
+                        invoked_at: t,
+                        executable: true,
+                        deadline: t + *deadline_rel,
+                    },
+                    None => {
+                        let close = TimeQ::from_int_i128(global_subset) * w.period;
+                        SlotResolution {
+                            invoked_at: close,
+                            executable: false,
+                            deadline: close,
+                        }
+                    }
+                }
             }
         }
+    }
 
-        // Per-job templates: everything that does not depend on the frame is
-        // computed once, so the frame loop below is pure arithmetic (this is
-        // the hot path for long multi-frame simulations).
-        enum Template<'a> {
-            Periodic {
-                arrival: TimeQ,
-                deadline_rel: TimeQ,
-            },
-            Server {
-                subset_in_frame: i128,
-                subsets_per_frame: i128,
-                slot: usize,
-                period: TimeQ,
-                deadline_rel: TimeQ,
-                subsets: Option<&'a ServerArrivals>,
-            },
+    /// Streams every slot resolution in canonical `(frame, job-id)` order
+    /// without materializing a [`RoundResolution`] — the simulator copies
+    /// directly into its structure-of-arrays round tables.
+    pub fn for_each_slot(
+        &self,
+        stimuli: &Stimuli,
+        frames: u64,
+        mut f: impl FnMut(SlotResolution),
+    ) {
+        let arrivals = self.bin_arrivals(stimuli, frames);
+        for frame in 0..frames {
+            let frame_base = TimeQ::from_int(frame as i64) * self.hyperperiod;
+            for tpl in &self.templates {
+                f(self.resolve_slot(frame, frame_base, tpl, &arrivals));
+            }
         }
-        let templates: Vec<Template<'_>> = graph
-            .job_ids()
-            .map(|id| {
-                let job = graph.job(id);
-                let pid = job.process;
-                match derived.server(pid) {
-                    None => Template::Periodic {
-                        arrival: job.arrival,
-                        deadline_rel: net.process(pid).event().deadline(),
-                    },
-                    Some(server) => Template::Server {
-                        subset_in_frame: (job.arrival / server.period).floor(),
-                        subsets_per_frame: subsets_per_frame[&pid],
-                        slot: ((job.k - 1) % server.burst as u64) as usize,
-                        period: server.period,
-                        deadline_rel: net.process(pid).event().deadline(),
-                        subsets: subsets.get(&pid),
-                    },
-                }
-            })
-            .collect();
+    }
 
+    /// Materializes the full per-frame resolution table for one run.
+    pub fn resolve(&self, stimuli: &Stimuli, frames: u64) -> RoundResolution {
+        let arrivals = self.bin_arrivals(stimuli, frames);
         let mut rounds = Vec::with_capacity(frames as usize);
         for frame in 0..frames {
-            let frame_base = TimeQ::from_int(frame as i64) * h;
-            let mut row = Vec::with_capacity(graph.job_count());
-            for tpl in &templates {
-                let res = match tpl {
-                    Template::Periodic {
-                        arrival,
-                        deadline_rel,
-                    } => {
-                        let inv = frame_base + *arrival;
-                        SlotResolution {
-                            invoked_at: inv,
-                            executable: true,
-                            deadline: inv + *deadline_rel,
-                        }
-                    }
-                    Template::Server {
-                        subset_in_frame,
-                        subsets_per_frame,
-                        slot,
-                        period,
-                        deadline_rel,
-                        subsets,
-                    } => {
-                        let global_subset = frame as i128 * subsets_per_frame + subset_in_frame;
-                        let arrival = subsets
-                            .and_then(|a| {
-                                let s = usize::try_from(global_subset).ok()?;
-                                let lo = *a.starts.get(s)? as usize;
-                                let hi = *a.starts.get(s + 1)? as usize;
-                                a.times[lo..hi].get(*slot)
-                            })
-                            .copied();
-                        match arrival {
-                            Some(t) => SlotResolution {
-                                invoked_at: t,
-                                executable: true,
-                                deadline: t + *deadline_rel,
-                            },
-                            None => {
-                                let close = TimeQ::from_int_i128(global_subset) * *period;
-                                SlotResolution {
-                                    invoked_at: close,
-                                    executable: false,
-                                    deadline: close,
-                                }
-                            }
-                        }
-                    }
-                };
-                row.push(res);
-            }
+            let frame_base = TimeQ::from_int(frame as i64) * self.hyperperiod;
+            let row = self
+                .templates
+                .iter()
+                .map(|tpl| self.resolve_slot(frame, frame_base, tpl, &arrivals))
+                .collect();
             rounds.push(row);
         }
         RoundResolution { rounds }
+    }
+}
+
+impl RoundResolution {
+    /// Resolves every instance from the sporadic arrival traces.
+    ///
+    /// One-shot convenience composing [`SlotTemplates::build`] and
+    /// [`SlotTemplates::resolve`]; callers that resolve the same network
+    /// repeatedly should build the templates once and reuse them.
+    pub fn resolve(
+        net: &Fppn,
+        derived: &DerivedTaskGraph,
+        stimuli: &Stimuli,
+        frames: u64,
+    ) -> Self {
+        SlotTemplates::build(net, derived).resolve(stimuli, frames)
     }
 
     /// The resolution of job `id` in `frame`.

@@ -54,6 +54,19 @@ impl WcetModel {
     pub fn get(&self, pid: ProcessId) -> TimeQ {
         self.overrides.get(&pid).copied().unwrap_or(self.default)
     }
+
+    /// Feeds the table (default + sorted overrides) into a stable
+    /// [`ContentHasher`] stream, for compile-artifact cache keys.
+    ///
+    /// [`ContentHasher`]: fppn_time::ContentHasher
+    pub fn content_hash_into(&self, h: &mut fppn_time::ContentHasher) {
+        h.write_time(self.default);
+        h.write_usize(self.overrides.len());
+        for (&pid, &wcet) in &self.overrides {
+            h.write_usize(pid.index());
+            h.write_time(wcet);
+        }
+    }
 }
 
 impl Default for WcetModel {

@@ -21,8 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hash;
 mod hyperperiod;
 mod rational;
 
+pub use hash::ContentHasher;
 pub use hyperperiod::hyperperiod;
 pub use rational::{ParseTimeQError, TimeQ};

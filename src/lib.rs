@@ -11,6 +11,8 @@
 //! * [`taskgraph`] — task-graph derivation and analysis (§III-A).
 //! * [`sched`] — compile-time static scheduling (§III-B).
 //! * [`sim`] — discrete-event platform simulator and online policy (§IV).
+//! * [`serve`] — compile-once/run-many control plane: artifact cache,
+//!   worker pool and tenant budgets.
 //! * [`runtime`] — multi-threaded shared-memory runtime.
 //! * [`ta`] — timed-automata substrate and FPPN→TA translation (§V tooling).
 //! * [`apps`] — the paper's applications (Fig. 1, FFT, FMS) and workload
@@ -26,6 +28,7 @@ pub use fppn_apps as apps;
 pub use fppn_core as core;
 pub use fppn_runtime as runtime;
 pub use fppn_sched as sched;
+pub use fppn_serve as serve;
 pub use fppn_sim as sim;
 pub use fppn_ta as ta;
 pub use fppn_taskgraph as taskgraph;
