@@ -519,12 +519,12 @@ fn serve_sweep(workers: usize, reps: usize, records: &mut Vec<ServeRecord>) {
                 server
                     .submit(
                         "bench",
-                        RunRequest {
+                        RunRequest::new(
                             artifact,
-                            bank: Arc::clone(&bank),
-                            stimuli: fppn_core::Stimuli::new(),
-                            config: cfg,
-                        },
+                            Arc::clone(&bank),
+                            fppn_core::Stimuli::new(),
+                            cfg,
+                        ),
                     )
                     .expect("within budget")
             })

@@ -77,3 +77,48 @@ fn steady_state_round_computation_allocates_nothing() {
          buffers are supposed to be fully reused after warm-up"
     );
 }
+
+/// Same gate with cooperative cancellation armed: a live (never-tripping)
+/// deadline token's per-boundary checks — a relaxed atomic load plus an
+/// occasional `Instant::now()` — must not cost the round loop its
+/// zero-alloc steady state. This is what lets `fppn-serve` put a deadline
+/// on every pooled run for free.
+#[test]
+fn steady_state_with_armed_cancel_token_allocates_nothing() {
+    use fppn_apps::{fms_network, fms_wcet, FmsVariant};
+    use fppn_sched::{list_schedule, Heuristic};
+    use fppn_sim::hotpath::SeqRounds;
+    use fppn_sim::{CancelToken, SimConfig, StaticTables};
+    use fppn_taskgraph::derive_task_graph;
+    use std::time::Duration;
+
+    let (net, _, ids) = fms_network(FmsVariant::Original);
+    let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
+    let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+    let tables = StaticTables::build(&net, &derived, &schedule);
+    let stimuli = fppn_core::Stimuli::new();
+    let cfg = SimConfig {
+        frames: 8,
+        ..SimConfig::default()
+    };
+    // A deadline far enough out that the token never trips mid-test, so
+    // every compute exercises the armed checks end to end.
+    let token = CancelToken::with_deadline(Duration::from_secs(3600));
+    let mut rounds =
+        SeqRounds::new(&net, &stimuli, &derived, &tables, &cfg).expect("round tables");
+    rounds.set_cancel(&token);
+
+    let n = rounds.compute().expect("warm-up compute");
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..3 {
+        let again = rounds.compute().expect("steady-state compute");
+        assert_eq!(again, n, "round count must be stable across recomputes");
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "armed cancellation checks allocated {delta} times on the \
+         steady-state round path; they must stay allocation-free"
+    );
+    assert!(!token.is_cancelled(), "the far deadline tripped mid-test");
+}

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use fppn_core::Fppn;
 use fppn_sim::{compile_key, CompileConfig, CompileError, CompiledNetwork};
@@ -47,7 +47,7 @@ impl ArtifactCache {
         cfg: &CompileConfig,
     ) -> Result<Arc<CompiledNetwork>, CompileError> {
         let key = compile_key(net, cfg);
-        if let Some(artifact) = self.map.lock().expect("cache lock").get(&key) {
+        if let Some(artifact) = self.map.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(artifact));
         }
@@ -55,7 +55,7 @@ impl ArtifactCache {
         // parallel, and a poisoned-by-panic compile can't wedge the cache.
         let artifact = Arc::new(CompiledNetwork::compile(net.clone(), cfg)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("cache lock");
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         // Two threads may have compiled the same key concurrently; keep
         // the first insert so every caller shares one artifact from then on.
         Ok(Arc::clone(map.entry(key).or_insert(artifact)))
@@ -63,7 +63,7 @@ impl ArtifactCache {
 
     /// The artifact already cached under `key`, if any (no compile).
     pub fn lookup(&self, key: u64) -> Option<Arc<CompiledNetwork>> {
-        self.map.lock().expect("cache lock").get(&key).map(Arc::clone)
+        self.map.lock().unwrap_or_else(PoisonError::into_inner).get(&key).map(Arc::clone)
     }
 
     /// Requests answered from the cache.
@@ -78,7 +78,7 @@ impl ArtifactCache {
 
     /// Number of distinct artifacts currently cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.map.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// Whether the cache holds no artifacts.

@@ -10,14 +10,35 @@
 //! * [`ArtifactCache`] — a content-hash-keyed, thread-safe cache: equal
 //!   `(network, compile config)` pairs compile once; hits hand back a
 //!   shared `Arc` without touching the allocator.
-//! * [`Server`] — a fixed worker pool draining one shared run queue.
-//!   Every worker owns a `RunScratch`, so sequential runs keep the
-//!   zero-alloc steady state across *runs*, not just rounds. Results are
-//!   deterministic per request regardless of worker interleaving
-//!   (Prop. 4.1: runs share only immutable artifacts).
+//! * [`Server`] — a fixed worker pool draining one shared (optionally
+//!   bounded) run queue. Every worker owns a `RunScratch`, so sequential
+//!   runs keep the zero-alloc steady state across *runs*, not just
+//!   rounds. Results are deterministic per request regardless of worker
+//!   interleaving (Prop. 4.1: runs share only immutable artifacts).
 //! * Per-tenant budgets with CAS admission control — over-budget
 //!   submissions get a typed [`AdmissionError`], never a panic — and
 //!   per-tenant deadline-miss accounting across completed runs.
+//!
+//! ## Fault containment
+//!
+//! Tenants submit arbitrary behavior code; the serving layer assumes it
+//! can panic, stall, or fail to compile, and contains each fault at the
+//! run boundary:
+//!
+//! * a panicking behavior is caught per run ([`RunError::Panicked`]) and
+//!   the pool never shrinks ([`Server::workers_alive`]);
+//! * per-run wall-clock deadlines cancel overrunning runs cooperatively
+//!   ([`RunError::TimedOut`], with partial progress reported);
+//! * a bounded queue rejects with [`AdmissionError::QueueFull`] and an
+//!   optional shed policy drops already-expired queued runs
+//!   ([`RunError::Shed`]);
+//! * transient failures can be retried with a bounded, deterministic
+//!   backoff ([`Server::run_with_retry`]) that draws from the tenant's
+//!   budget like any first attempt;
+//! * every containment event is counted in [`TenantStats`], and the
+//!   seed-pinned [`FaultPlan`] injector drives a chaos suite proving
+//!   non-faulted runs stay bit-identical while every fault surfaces as
+//!   its typed error.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -40,12 +61,12 @@
 //!     .get_or_compile(&net, &CompileConfig::new(WcetModel::uniform(ms(10)), 2))?;
 //! let ticket = server.submit(
 //!     "team-a",
-//!     RunRequest {
+//!     RunRequest::new(
 //!         artifact,
-//!         bank: Arc::new(bank),
-//!         stimuli: fppn_core::Stimuli::new(),
-//!         config: SimConfig { frames: 4, ..SimConfig::default() },
-//!     },
+//!         Arc::new(bank),
+//!         fppn_core::Stimuli::new(),
+//!         SimConfig { frames: 4, ..SimConfig::default() },
+//!     ),
 //! )?;
 //! let report = ticket.wait()?;
 //! assert_eq!(report.deadline_misses, 0);
@@ -58,7 +79,13 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod fault;
+mod retry;
 mod server;
 
 pub use cache::ArtifactCache;
-pub use server::{AdmissionError, RunReport, RunRequest, RunTicket, Server, TenantStats};
+pub use fault::{FaultKind, FaultPlan, FaultRates};
+pub use retry::{AttemptFailure, RetryError, RetryPolicy};
+pub use server::{
+    AdmissionError, RunError, RunReport, RunRequest, RunTicket, Server, ServerConfig, TenantStats,
+};

@@ -1,0 +1,209 @@
+//! Bounded, deterministic retry for transient serving failures.
+//!
+//! A run can fail for reasons that say nothing about the run itself — the
+//! queue was momentarily full, the shed policy dropped it, it timed out
+//! behind a slow neighbor. [`Server::run_with_retry`] re-submits exactly
+//! those failures, up to a bounded number of attempts, with a
+//! deterministic exponential backoff (no jitter: the serving layer is as
+//! reproducible as the simulator it hosts). Fatal failures — budget
+//! exhausted, unknown tenant, a panicking behavior, a real simulation
+//! error — are returned immediately: retrying them would burn tenant
+//! budget repeating a deterministic outcome.
+//!
+//! Retries are *accounted*: each re-submission draws from the tenant's
+//! budget like any other run and increments the tenant's `retried`
+//! counter, so a retry storm is visible in [`crate::TenantStats`] and is
+//! bounded by the same admission control as first attempts.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use crate::server::{AdmissionError, RunError, RunReport, RunRequest, Server};
+
+/// How many times and how hard to retry a transiently failed run.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Re-submissions after the first attempt (0 = try once, never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles every retry after that.
+    pub base_backoff: Duration,
+    /// Ceiling on the (exponentially growing) backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic backoff before retry number `retry` (0-based):
+    /// `min(base << retry, max)`, saturating.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .checked_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .unwrap_or(self.max_backoff);
+        exp.min(self.max_backoff)
+    }
+}
+
+/// The failure recorded for one attempt — either the submission was
+/// rejected at admission or the admitted run failed.
+#[derive(Debug)]
+pub enum AttemptFailure {
+    /// The submission never made it into the queue.
+    Admission(AdmissionError),
+    /// The run was admitted but did not produce a report.
+    Run(RunError),
+}
+
+impl AttemptFailure {
+    /// Whether retrying can plausibly change the outcome. Queue pressure,
+    /// shedding, deadline overruns and a lost worker are transient;
+    /// everything else is deterministic and retrying it only repeats it.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            AttemptFailure::Admission(e) => matches!(e, AdmissionError::QueueFull { .. }),
+            AttemptFailure::Run(e) => matches!(
+                e,
+                RunError::Shed { .. } | RunError::TimedOut { .. } | RunError::WorkerLost
+            ),
+        }
+    }
+}
+
+impl fmt::Display for AttemptFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttemptFailure::Admission(e) => write!(f, "admission rejected: {e}"),
+            AttemptFailure::Run(e) => write!(f, "run failed: {e}"),
+        }
+    }
+}
+
+/// Why [`Server::run_with_retry`] gave up.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RetryError {
+    /// The failure was not transient; retrying would deterministically
+    /// repeat it. Returned after the first such attempt.
+    Fatal(AttemptFailure),
+    /// Every allowed attempt failed transiently.
+    Exhausted {
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+        /// The failure from the final attempt.
+        last: AttemptFailure,
+    },
+}
+
+impl fmt::Display for RetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetryError::Fatal(e) => write!(f, "fatal (not retried): {e}"),
+            RetryError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl Error for RetryError {}
+
+impl Server {
+    /// Submits `req` for `tenant`, retrying transient failures (full
+    /// queue, shed, timeout, lost worker) up to `policy.max_retries`
+    /// times with deterministic exponential backoff. Fatal failures
+    /// return immediately as [`RetryError::Fatal`].
+    ///
+    /// The request is cloned per attempt; every attempt is a full
+    /// admission (draws budget, respects queue bounds) and every
+    /// re-submission bumps the tenant's `retried` counter.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError::Fatal`] on the first non-transient failure,
+    /// [`RetryError::Exhausted`] when all attempts fail transiently.
+    pub fn run_with_retry(
+        &self,
+        tenant: &str,
+        req: &RunRequest,
+        policy: &RetryPolicy,
+    ) -> Result<RunReport, RetryError> {
+        let mut attempt = 0u32;
+        loop {
+            let failure = match self.submit(tenant, req.clone()) {
+                Ok(ticket) => match ticket.wait() {
+                    Ok(report) => return Ok(report),
+                    Err(e) => AttemptFailure::Run(e),
+                },
+                Err(e) => AttemptFailure::Admission(e),
+            };
+            attempt += 1;
+            if !failure.is_transient() {
+                return Err(RetryError::Fatal(failure));
+            }
+            if attempt > policy.max_retries {
+                return Err(RetryError::Exhausted {
+                    attempts: attempt,
+                    last: failure,
+                });
+            }
+            if let Some(state) = self.tenant_state(tenant) {
+                state.retried.fetch_add(1, Ordering::Relaxed);
+            }
+            std::thread::sleep(policy.backoff_for(attempt - 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(5));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(35));
+        assert_eq!(p.backoff_for(63), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn transience_classification() {
+        use AttemptFailure as F;
+        assert!(F::Admission(AdmissionError::QueueFull { capacity: 1 }).is_transient());
+        assert!(!F::Admission(AdmissionError::ShuttingDown).is_transient());
+        assert!(!F::Admission(AdmissionError::UnknownTenant("t".into())).is_transient());
+        assert!(F::Run(RunError::WorkerLost).is_transient());
+        assert!(F::Run(RunError::Shed {
+            waited: Duration::ZERO
+        })
+        .is_transient());
+        assert!(F::Run(RunError::TimedOut {
+            budget: Duration::ZERO,
+            elapsed: Duration::ZERO,
+            completed_rounds: 0
+        })
+        .is_transient());
+        assert!(!F::Run(RunError::Cancelled).is_transient());
+        assert!(!F::Run(RunError::Panicked {
+            message: String::new()
+        })
+        .is_transient());
+    }
+}

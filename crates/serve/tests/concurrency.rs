@@ -24,15 +24,15 @@ fn fms_server(workers: usize) -> (Server, Arc<fppn_core::BehaviorBank>, Vec<RunR
         .map(|i| {
             let frames = 2 + i % 3;
             let raw = random_stimuli(&net, TimeQ::from_ms(60_000), 400 + 100 * (i as u32 % 3), i);
-            RunRequest {
-                artifact: Arc::clone(&artifact),
-                bank: Arc::clone(&bank),
-                stimuli: clip_stimuli(&net, artifact.derived(), &raw, frames),
-                config: SimConfig {
+            RunRequest::new(
+                Arc::clone(&artifact),
+                Arc::clone(&bank),
+                clip_stimuli(&net, artifact.derived(), &raw, frames),
+                SimConfig {
                     frames,
                     ..SimConfig::default()
                 },
-            }
+            )
         })
         .collect();
     (server, bank, requests)

@@ -1,0 +1,196 @@
+//! Shutdown semantics: graceful drop drains deterministically, immediate
+//! shutdown resolves every ticket (queued *and* in-flight) with a typed
+//! error, and tenant re-registration never splits accounting between an
+//! old and a new state object.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fppn_core::{
+    BehaviorBank, ChannelKind, EventSpec, Fppn, FppnBuilder, JobCtx, ProcessSpec, Stimuli, Value,
+};
+use fppn_serve::{AdmissionError, RunError, RunRequest, Server, ServerConfig};
+use fppn_sim::{CompileConfig, SimConfig, SimRun};
+use fppn_taskgraph::WcetModel;
+use fppn_time::TimeQ;
+
+/// A 2-process pipeline; `slow_gate`, when provided, makes the producer
+/// spin until the gate opens (bounded at ~5s so nothing can deadlock).
+fn pipeline(gate: Option<Arc<AtomicBool>>) -> (Fppn, BehaviorBank) {
+    let ms = TimeQ::from_ms;
+    let mut b = FppnBuilder::new();
+    let prod = b.process(ProcessSpec::new("prod", EventSpec::periodic(ms(100))));
+    let cons = b.process(ProcessSpec::new("cons", EventSpec::periodic(ms(100))));
+    let ch = b.channel("ch", prod, cons, ChannelKind::Fifo);
+    b.priority(prod, cons);
+    b.behavior(prod, move || {
+        let gate = gate.clone();
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            if let Some(gate) = &gate {
+                for _ in 0..5000 {
+                    if gate.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            ctx.write(ch, Value::Int(ctx.k() as i64 * 7 % 31));
+        })
+    });
+    b.behavior(cons, move || {
+        Box::new(move |ctx: &mut JobCtx<'_>| {
+            let _ = ctx.read(ch);
+        })
+    });
+    b.build().expect("pipeline builds")
+}
+
+fn sim_cfg() -> SimConfig {
+    SimConfig {
+        frames: 3,
+        ..SimConfig::default()
+    }
+}
+
+fn compile_and_oracle(server: &Server) -> (Arc<fppn_sim::CompiledNetwork>, Arc<BehaviorBank>, SimRun) {
+    let (net, bank) = pipeline(None);
+    let artifact = server
+        .cache()
+        .get_or_compile(&net, &CompileConfig::new(WcetModel::uniform(TimeQ::from_ms(10)), 2))
+        .expect("compiles");
+    let bank = Arc::new(bank);
+    let oracle = artifact
+        .simulate(&bank, &Stimuli::new(), &sim_cfg())
+        .expect("oracle run");
+    (artifact, bank, oracle)
+}
+
+/// Dropping the server with a full queue and in-flight work is a
+/// *graceful* drain: every queued run executes, every result is
+/// oracle-identical, and accounting closes (`completed == admitted`).
+#[test]
+fn drop_drains_queued_and_in_flight_runs() {
+    let server = Server::new(2);
+    server.register_tenant("t", 8);
+    let (artifact, bank, oracle) = compile_and_oracle(&server);
+    let tickets: Vec<_> = (0..6)
+        .map(|_| {
+            let req = RunRequest::new(
+                Arc::clone(&artifact),
+                Arc::clone(&bank),
+                Stimuli::new(),
+                sim_cfg(),
+            );
+            server.submit("t", req).expect("within budget")
+        })
+        .collect();
+    let stats_before = server.tenant_stats("t").unwrap();
+    assert_eq!(stats_before.admitted, 6);
+    drop(server);
+    // Tickets outlive the server; every one resolves with a real report.
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let report = ticket.wait().unwrap_or_else(|e| panic!("run {i} lost in drain: {e}"));
+        assert_eq!(oracle.records, report.run.records, "run {i} diverged in drain");
+        assert_eq!(oracle.stats, report.run.stats, "run {i} stats diverged in drain");
+    }
+}
+
+/// `shutdown_now` resolves everything typed: the in-flight run observes
+/// the cancellation at its next frame/behavior boundary, queued runs are
+/// cancelled without executing, and new submissions bounce.
+#[test]
+fn shutdown_now_cancels_queued_and_in_flight_runs() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let (net, gated_bank) = pipeline(Some(Arc::clone(&gate)));
+    let gated_bank = Arc::new(gated_bank);
+    let server = Server::with_config(&ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    server.register_tenant("t", 8);
+    let artifact = server
+        .cache()
+        .get_or_compile(&net, &CompileConfig::new(WcetModel::uniform(TimeQ::from_ms(10)), 2))
+        .expect("compiles");
+    let req = || {
+        RunRequest::new(
+            Arc::clone(&artifact),
+            Arc::clone(&gated_bank),
+            Stimuli::new(),
+            sim_cfg(),
+        )
+    };
+    // One in-flight (blocked on the gate), two queued behind it.
+    let in_flight = server.submit("t", req()).unwrap();
+    while server.queued() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let queued: Vec<_> = (0..2).map(|_| server.submit("t", req()).unwrap()).collect();
+
+    server.shutdown_now();
+    // New submissions are rejected, consuming nothing.
+    assert!(matches!(
+        server.submit("t", req()),
+        Err(AdmissionError::ShuttingDown)
+    ));
+    // Unblock the in-flight run; its cancel token is already tripped, so
+    // it must stop at the next boundary instead of completing.
+    gate.store(true, Ordering::Release);
+    assert!(matches!(in_flight.wait(), Err(RunError::Cancelled)));
+    for t in queued {
+        assert!(matches!(t.wait(), Err(RunError::Cancelled)));
+    }
+    let stats = server.tenant_stats("t").unwrap();
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.completed, 3, "cancelled runs still close accounting");
+    assert_eq!(server.workers_alive(), 1);
+}
+
+/// Re-registering a tenant while its old jobs are still queued must not
+/// split the stats: the queued jobs finish into the same (re-armed) state
+/// object the new registration reads.
+#[test]
+fn reregistration_keeps_one_accounting_stream() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let (net, gated_bank) = pipeline(Some(Arc::clone(&gate)));
+    let server = Server::with_config(&ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    server.register_tenant("t", 4);
+    let artifact = server
+        .cache()
+        .get_or_compile(&net, &CompileConfig::new(WcetModel::uniform(TimeQ::from_ms(10)), 2))
+        .expect("compiles");
+    // Two jobs under the old registration: one in-flight, one queued.
+    let tickets: Vec<_> = (0..2)
+        .map(|_| {
+            let req = RunRequest::new(
+                Arc::clone(&artifact),
+                Arc::new(pipeline(Some(Arc::clone(&gate))).1),
+                Stimuli::new(),
+                sim_cfg(),
+            );
+            server.submit("t", req).unwrap()
+        })
+        .collect();
+    drop(gated_bank);
+    // Re-register mid-flight: fresh budget, counters reset — on the SAME
+    // state object the queued jobs hold.
+    server.register_tenant("t", 10);
+    gate.store(true, Ordering::Release);
+    for t in tickets {
+        assert!(t.wait().is_ok());
+    }
+    let stats = server.tenant_stats("t").unwrap();
+    assert_eq!(stats.budget, 10);
+    assert_eq!(
+        stats.completed, 2,
+        "old jobs' completions vanished into an orphaned state object"
+    );
+    // The fresh budget is genuinely fresh: 10 more runs fit.
+    let req = RunRequest::new(artifact, Arc::new(pipeline(None).1), Stimuli::new(), sim_cfg());
+    assert!(server.submit("t", req).is_ok());
+    assert_eq!(server.tenant_stats("t").unwrap().admitted, 1);
+}

@@ -52,6 +52,7 @@ use fppn_taskgraph::ChannelDependencyMap;
 use fppn_time::TimeQ;
 use parking_lot::{Condvar, Mutex};
 
+use crate::cancel::CancelToken;
 use crate::policy::{JobRecord, SimError};
 
 /// Per-process committed-job counters plus the sleep/wake monitor.
@@ -330,6 +331,7 @@ fn run_worker(
     board: &ProgressBoard,
     timelines: &mut [Timeline<'_>],
     error: &Mutex<Option<ExecError>>,
+    cancel: Option<&CancelToken>,
 ) {
     let mut guard = AbortOnUnwind { board, armed: true };
     let mut remaining = timelines
@@ -346,6 +348,14 @@ fn run_worker(
                 // peer's error must not leave this worker burning through
                 // a long runnable backlog whose results will be discarded.
                 if board.aborted.load(Ordering::SeqCst) {
+                    guard.armed = false;
+                    return;
+                }
+                // Behaviors are where wall-clock time goes, so cancellation
+                // polls per job: one slow behavior cannot pin the run past
+                // its deadline by more than its own duration.
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    board.abort();
                     guard.armed = false;
                     return;
                 }
@@ -410,6 +420,7 @@ pub(crate) fn run_behaviors_sharded(
     stimuli: &Stimuli,
     records: &[JobRecord],
     workers: usize,
+    cancel: Option<&CancelToken>,
 ) -> Result<Observables, SimError> {
     let mut planner = RecordPlanner::new(net);
     let plan = build_plan(net, &mut planner, records);
@@ -460,19 +471,37 @@ pub(crate) fn run_behaviors_sharded(
         for timelines in worker_timelines.iter_mut() {
             let board = &board;
             let error = &error;
-            handles.push(s.spawn(move |_| run_worker(board, &mut timelines[..], error)));
+            handles.push(s.spawn(move |_| run_worker(board, &mut timelines[..], error, cancel)));
         }
+        // An explicitly joined child's panic does NOT re-raise through the
+        // scope result (only unjoined panics do) — collect the first
+        // payload here so a panicking behavior surfaces instead of
+        // tripping the completeness assert below as a phantom abort.
+        let mut first_panic = None;
         for h in handles {
-            // Worker panics (behavior assertion failures) re-raise below
-            // through the scope result; joining here just sequences them.
-            let _ = h.join();
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
         }
+        first_panic
     });
-    if let Err(payload) = scope_result {
-        std::panic::resume_unwind(payload);
+    match scope_result {
+        Err(payload) | Ok(Some(payload)) => std::panic::resume_unwind(payload),
+        Ok(None) => {}
     }
     if let Some(e) = error.into_inner() {
         return Err(SimError::Exec(e));
+    }
+    // A cancelled run aborted the board with jobs outstanding; report it
+    // before the drained-feed assertion below. The per-timeline cursors
+    // count exactly the behaviors that committed.
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        let completed_rounds = worker_timelines
+            .iter()
+            .flatten()
+            .map(|tl| tl.next)
+            .sum();
+        return Err(SimError::Cancelled { completed_rounds });
     }
 
     let shards: Vec<ProcessShard<'_>> = worker_timelines
@@ -627,6 +656,7 @@ pub(crate) fn run_worker_streaming(
     feed: &JobFeed,
     timelines: &mut [StreamTimeline<'_>],
     error: &Mutex<Option<ExecError>>,
+    cancel: Option<&CancelToken>,
 ) {
     let mut guard = AbortOnUnwind { board, armed: true };
     let mut remaining = timelines.len();
@@ -640,6 +670,13 @@ pub(crate) fn run_worker_streaming(
             }
             loop {
                 if board.is_aborted() {
+                    guard.armed = false;
+                    return;
+                }
+                // Per-job cancellation poll, same rationale as the barrier
+                // executor: the data plane is where wall-clock time goes.
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    board.abort();
                     guard.armed = false;
                     return;
                 }

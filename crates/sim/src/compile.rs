@@ -26,6 +26,7 @@ use fppn_taskgraph::{
 };
 use fppn_time::ContentHasher;
 
+use crate::cancel::CancelToken;
 use crate::policy::{
     run_seq_into, simulate_with_tables, RoundScratch, SimConfig, SimError, SimRun,
 };
@@ -254,7 +255,15 @@ impl CompiledNetwork {
         stimuli: &Stimuli,
         config: &SimConfig,
     ) -> Result<SimRun, SimError> {
-        simulate_with_tables(&self.net, bank, stimuli, &self.derived, &self.tables, config)
+        simulate_with_tables(
+            &self.net,
+            bank,
+            stimuli,
+            &self.derived,
+            &self.tables,
+            config,
+            None,
+        )
     }
 
     /// Like [`CompiledNetwork::simulate`], but reusing caller-owned
@@ -287,9 +296,59 @@ impl CompiledNetwork {
                 &self.tables,
                 config,
                 &mut scratch.inner,
+                None,
             )
         } else {
             self.simulate(bank, stimuli, config)
+        }
+    }
+
+    /// Like [`CompiledNetwork::simulate_with_scratch`], but with
+    /// cooperative cancellation armed: every backend polls `cancel` at
+    /// round/frame boundaries (and the data planes per behavior job) and
+    /// abandons the run with [`SimError::Cancelled`] once it trips — the
+    /// mechanism behind `fppn-serve`'s per-run deadlines and server
+    /// shutdown. A run whose token never trips is bit-identical to
+    /// [`CompiledNetwork::simulate`] (the polls read a flag and touch no
+    /// computed value), and the steady-state sequential path still
+    /// allocates nothing (asserted by the `alloc_zero` gate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Cancelled`] when the token trips mid-run, and
+    /// every [`CompiledNetwork::simulate`] error otherwise.
+    pub fn simulate_cancellable(
+        &self,
+        bank: &BehaviorBank,
+        stimuli: &Stimuli,
+        config: &SimConfig,
+        scratch: &mut RunScratch,
+        cancel: &CancelToken,
+    ) -> Result<SimRun, SimError> {
+        let seq = config.resolved_workers() <= 1
+            && !config.resolved_parallel_behaviors()
+            && !config.resolved_pipeline();
+        if seq {
+            run_seq_into(
+                &self.net,
+                bank,
+                stimuli,
+                &self.derived,
+                &self.tables,
+                config,
+                &mut scratch.inner,
+                Some(cancel),
+            )
+        } else {
+            simulate_with_tables(
+                &self.net,
+                bank,
+                stimuli,
+                &self.derived,
+                &self.tables,
+                config,
+                Some(cancel),
+            )
         }
     }
 }

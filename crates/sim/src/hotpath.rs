@@ -12,6 +12,7 @@
 use fppn_core::{Fppn, Stimuli};
 use fppn_taskgraph::DerivedTaskGraph;
 
+use crate::cancel::CancelToken;
 use crate::compile::StaticTables;
 use crate::policy::{RoundEngine, RoundScratch, SimConfig, SimError};
 
@@ -39,6 +40,13 @@ impl<'a> SeqRounds<'a> {
             engine: RoundEngine::new(net, stimuli, derived, tables, config)?,
             scratch: RoundScratch::new(),
         })
+    }
+
+    /// Arms cooperative cancellation on the engine, so the `alloc_zero`
+    /// gate can assert the round loop stays allocation-free with a live
+    /// (never-tripping) token's deadline checks on the hot path.
+    pub fn set_cancel(&mut self, token: &'a CancelToken) {
+        self.engine.set_cancel(token);
     }
 
     /// Recomputes every round into the reused scratch buffers and returns

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod behavior;
+mod cancel;
 mod compile;
 mod env;
 mod exectime;
@@ -50,6 +51,7 @@ mod pipeline;
 mod policy;
 mod stimgen;
 
+pub use cancel::CancelToken;
 pub use compile::{
     compile_key, CompileConfig, CompileError, CompiledNetwork, RunScratch, StaticTables,
 };

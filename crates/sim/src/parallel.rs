@@ -227,6 +227,13 @@ pub(crate) fn run_worker(
     // and on few-core hosts the yield lets the publishing worker run.
     let mut idle_scans = 0u32;
     while remaining > 0 && !board.aborted.load(Ordering::SeqCst) {
+        // Cooperative cancellation, once per scan: the first worker to
+        // observe the tripped token aborts the board, which both wakes
+        // blocked peers and ends their outer loops.
+        if engine.cancelled() {
+            board.abort();
+            break;
+        }
         let seen = board.snapshot();
         let mut progressed = false;
         for tl in timelines.iter_mut() {
@@ -322,12 +329,13 @@ pub fn simulate_parallel(
 ) -> Result<SimRun, SimError> {
     let workers = config.resolved_workers().max(1);
     let tables = StaticTables::build(net, derived, schedule);
-    simulate_parallel_tables(net, bank, stimuli, derived, &tables, config, workers)
+    simulate_parallel_tables(net, bank, stimuli, derived, &tables, config, workers, None)
 }
 
 /// [`simulate_parallel`] with an explicit worker count against borrowed
 /// compile-phase tables (the dispatch target of [`crate::simulate`] and
 /// [`crate::CompiledNetwork::simulate`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn simulate_parallel_tables(
     net: &Fppn,
     bank: &BehaviorBank,
@@ -336,8 +344,12 @@ pub(crate) fn simulate_parallel_tables(
     tables: &StaticTables,
     config: &SimConfig,
     workers: usize,
+    cancel: Option<&crate::cancel::CancelToken>,
 ) -> Result<SimRun, SimError> {
-    let engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
+    let mut engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
+    if let Some(token) = cancel {
+        engine.set_cancel(token);
+    }
     // Reject deadlocking schedules before any thread can block on them.
     engine.check_order()?;
     let m_procs = engine.m_procs;
@@ -382,6 +394,15 @@ pub(crate) fn simulate_parallel_tables(
     if let Err(payload) = scope_result {
         // Re-raise the worker's panic losslessly.
         std::panic::resume_unwind(payload);
+    }
+
+    // A cancelled run aborts the board with timelines outstanding; report
+    // it *before* the merge below would trip over missing batches. The
+    // generation counter is exactly the number of published rounds.
+    if engine.cancelled() {
+        return Err(SimError::Cancelled {
+            completed_rounds: board.snapshot() as usize,
+        });
     }
 
     // Merge in processor order; the canonical sort inside `finalize`
@@ -521,6 +542,7 @@ mod tests {
                                 ..config
                             },
                             workers,
+                            None,
                         )
                         .unwrap();
                         assert_bit_identical(&seq, &par);

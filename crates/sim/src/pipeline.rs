@@ -229,12 +229,13 @@ pub fn simulate_pipelined(
 ) -> Result<SimRun, SimError> {
     let workers = config.resolved_workers().max(1);
     let tables = StaticTables::build(net, derived, schedule);
-    simulate_pipelined_tables(net, bank, stimuli, derived, &tables, config, workers)
+    simulate_pipelined_tables(net, bank, stimuli, derived, &tables, config, workers, None)
 }
 
 /// [`simulate_pipelined`] against precomputed round tables with an
 /// explicit worker count (the dispatch target of [`crate::simulate`] and
 /// the compiled artifact).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn simulate_pipelined_tables(
     net: &Fppn,
     bank: &BehaviorBank,
@@ -243,8 +244,12 @@ pub(crate) fn simulate_pipelined_tables(
     tables: &StaticTables,
     config: &SimConfig,
     workers: usize,
+    cancel: Option<&crate::cancel::CancelToken>,
 ) -> Result<SimRun, SimError> {
-    let engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
+    let mut engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
+    if let Some(token) = cancel {
+        engine.set_cancel(token);
+    }
     // Reject deadlocking schedules before any thread can block on them.
     engine.check_order()?;
     if SharedChannels::supports(net) {
@@ -309,9 +314,13 @@ fn pipeline_sharded(
     let mut sequencer = Sequencer::new(engine, net.process_count());
     let scope_result = crossbeam::thread::scope(|s| {
         spawn_round_workers(s, engine, &round_board, tx, workers);
+        let cancel = engine.cancel_token();
+        let mut behavior_handles = Vec::new();
         for timelines in worker_timelines.iter_mut() {
             let (board, feed, error) = (&behavior_board, &feed, &error);
-            s.spawn(move |_| run_worker_streaming(board, feed, &mut timelines[..], error));
+            behavior_handles.push(s.spawn(move |_| {
+                run_worker_streaming(board, feed, &mut timelines[..], error, cancel)
+            }));
         }
 
         // The sequencer: consume the round stream on this thread, commit
@@ -323,6 +332,13 @@ fn pipeline_sharded(
             // planes instead of sequencing rounds nobody will run.
             if behavior_board.is_aborted() {
                 round_board.abort();
+                break;
+            }
+            // A tripped cancel token stops both planes; the post-scope
+            // check below reports `SimError::Cancelled`.
+            if engine.cancelled() {
+                round_board.abort();
+                behavior_board.abort();
                 break;
             }
             match rx.recv() {
@@ -352,14 +368,32 @@ fn pipeline_sharded(
             }
         }
         // No more jobs will ever arrive: let the behavior workers drain
-        // their queues and exit (the scope joins them before returning).
+        // their queues and exit.
         feed.seal(&behavior_board);
+        // Join the behavior workers explicitly to keep a panicking
+        // behavior's original payload: an auto-join would re-raise it as
+        // the generic "a scoped thread panicked".
+        let mut first_panic = None;
+        for h in behavior_handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        first_panic
     });
-    if let Err(payload) = scope_result {
-        std::panic::resume_unwind(payload);
+    match scope_result {
+        Err(payload) | Ok(Some(payload)) => std::panic::resume_unwind(payload),
+        Ok(None) => {}
     }
     if let Some(e) = error.into_inner() {
         return Err(SimError::Exec(e));
+    }
+    // A cancelled run stopped with records uncommitted and feeds undrained;
+    // report it before the completeness assertions below.
+    if engine.cancelled() {
+        return Err(SimError::Cancelled {
+            completed_rounds: sequencer.records.len(),
+        });
     }
 
     assert_eq!(
@@ -389,6 +423,10 @@ fn pipeline_seq_behaviors(
     let mut behaviors = bank.instantiate();
     let mut state = ExecState::new(net, stimuli);
     let mut exec_error: Option<SimError> = None;
+    // Committed records so far: the commit closure cannot reach
+    // `sequencer.records` (the sequencer is mutably borrowed by `ingest`),
+    // so cancellation accounting keeps its own counter.
+    let mut committed_jobs = 0usize;
 
     let scope_result = crossbeam::thread::scope(|s| {
         spawn_round_workers(s, engine, &round_board, tx, workers);
@@ -401,6 +439,14 @@ fn pipeline_seq_behaviors(
                         done += 1;
                     }
                     let commit = sequencer.ingest(ev, |rec| {
+                        // Per-job cancellation poll: the sequential data
+                        // plane is where wall-clock time goes on this path.
+                        if engine.cancelled() {
+                            return Err(SimError::Cancelled {
+                                completed_rounds: committed_jobs,
+                            });
+                        }
+                        committed_jobs += 1;
                         if rec.skipped {
                             return Ok(());
                         }
@@ -424,6 +470,13 @@ fn pipeline_seq_behaviors(
     }
     if let Some(e) = exec_error {
         return Err(e);
+    }
+    // A cancelled round plane disconnects the stream mid-run with no
+    // behavior error recorded; report it before the completeness assertion.
+    if engine.cancelled() {
+        return Err(SimError::Cancelled {
+            completed_rounds: sequencer.records.len(),
+        });
     }
 
     assert_eq!(
@@ -572,6 +625,7 @@ mod tests {
                 &tables,
                 &config,
                 4,
+                None,
             )
         }));
         match result {
@@ -652,7 +706,7 @@ mod tests {
                 for workers in [1usize, 2, 4] {
                     let tables = StaticTables::build(&net, &derived, &schedule);
                     let pipe = simulate_pipelined_tables(
-                        &net, &bank, &stimuli, &derived, &tables, &config, workers,
+                        &net, &bank, &stimuli, &derived, &tables, &config, workers, None,
                     )
                     .unwrap();
                     assert_eq!(seq.records, pipe.records, "m {m} workers {workers}");

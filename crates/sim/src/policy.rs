@@ -43,6 +43,7 @@ use fppn_taskgraph::{DerivedTaskGraph, JobId, TaskGraph};
 use fppn_sched::StaticSchedule;
 use fppn_time::TimeQ;
 
+use crate::cancel::CancelToken;
 use crate::compile::StaticTables;
 use crate::env::{SimEnv, SimEnvError};
 use crate::exectime::ExecTimeModel;
@@ -234,6 +235,13 @@ pub enum SimError {
         /// Rounds completed before the stall.
         completed_rounds: usize,
     },
+    /// The run's [`CancelToken`](crate::CancelToken) tripped (explicit
+    /// cancel, expired deadline, or cancelled parent) and the backend
+    /// abandoned the run at a frame/round boundary.
+    Cancelled {
+        /// Rounds fully computed before the run observed the cancellation.
+        completed_rounds: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -245,6 +253,10 @@ impl fmt::Display for SimError {
                 f,
                 "static-order policy deadlocked after {completed_rounds} rounds \
                  (schedule inconsistent with precedence constraints)"
+            ),
+            SimError::Cancelled { completed_rounds } => write!(
+                f,
+                "run cancelled after {completed_rounds} completed rounds"
             ),
         }
     }
@@ -353,6 +365,10 @@ pub(crate) struct RoundEngine<'a> {
     frame_gates: Vec<TimeQ>,
     h: TimeQ,
     overhead: OverheadModel,
+    /// Cooperative cancellation, polled at round/frame boundaries by every
+    /// backend. `None` (the default) compiles the checks down to a branch
+    /// on a constant — classic runs pay nothing.
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> RoundEngine<'a> {
@@ -411,7 +427,25 @@ impl<'a> RoundEngine<'a> {
             frame_gates,
             h,
             overhead: config.overhead,
+            cancel: None,
         })
+    }
+
+    /// Arms cooperative cancellation: every backend polls `token` at
+    /// round-scan / frame boundaries and returns
+    /// [`SimError::Cancelled`] once it trips.
+    pub(crate) fn set_cancel(&mut self, token: &'a CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether the armed token (if any) has tripped. Allocation-free.
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// The armed token, for backends that hand it to behavior workers.
+    pub(crate) fn cancel_token(&self) -> Option<&'a CancelToken> {
+        self.cancel
     }
 
     /// Total number of rounds over all frames.
@@ -514,6 +548,11 @@ impl<'a> RoundEngine<'a> {
         cursors.resize(self.m_procs, (0u64, 0usize));
         let mut done_rounds = 0usize;
         while done_rounds < total_rounds {
+            if self.cancelled() {
+                return Err(SimError::Cancelled {
+                    completed_rounds: done_rounds,
+                });
+            }
             let mut progressed = false;
             for (m, cursor) in cursors.iter_mut().enumerate() {
                 let order = self.proc_order(m);
@@ -694,11 +733,20 @@ impl<'a> RoundEngine<'a> {
                 stimuli,
                 &records,
                 behavior_workers,
+                self.cancel,
             )?
         } else {
             let mut behaviors = bank.instantiate();
             let mut state = ExecState::new(net, stimuli);
-            for rec in &records {
+            for (done, rec) in records.iter().enumerate() {
+                // Behaviors are where wall-clock time actually goes, so the
+                // data plane polls per job — the round loop's per-scan check
+                // alone would never interrupt a slow behavior.
+                if self.cancelled() {
+                    return Err(SimError::Cancelled {
+                        completed_rounds: done,
+                    });
+                }
                 if rec.skipped {
                     continue;
                 }
@@ -814,7 +862,7 @@ pub fn simulate(
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
     let tables = StaticTables::build(net, derived, schedule);
-    simulate_with_tables(net, bank, stimuli, derived, &tables, config)
+    simulate_with_tables(net, bank, stimuli, derived, &tables, config, None)
 }
 
 /// The mode dispatcher against already-built compile-phase tables: every
@@ -830,6 +878,7 @@ pub(crate) fn simulate_with_tables(
     derived: &DerivedTaskGraph,
     tables: &StaticTables,
     config: &SimConfig,
+    cancel: Option<&CancelToken>,
 ) -> Result<SimRun, SimError> {
     let workers = config.resolved_workers();
     // The pipeline routes even at one worker, exactly like behavior
@@ -844,13 +893,14 @@ pub(crate) fn simulate_with_tables(
             tables,
             config,
             workers.max(1),
+            cancel,
         );
     }
     // Behavior sharding routes through the parallel backend even at one
     // worker: a 1-worker sharded run exercises the full rendezvous
     // machinery, exactly like the 1-worker round backend.
     if workers <= 1 && !config.resolved_parallel_behaviors() {
-        run_seq(net, bank, stimuli, derived, tables, config)
+        run_seq(net, bank, stimuli, derived, tables, config, cancel)
     } else {
         crate::parallel::simulate_parallel_tables(
             net,
@@ -860,6 +910,7 @@ pub(crate) fn simulate_with_tables(
             tables,
             config,
             workers.max(1),
+            cancel,
         )
     }
 }
@@ -883,7 +934,7 @@ pub fn simulate_seq(
     config: &SimConfig,
 ) -> Result<SimRun, SimError> {
     let tables = StaticTables::build(net, derived, schedule);
-    run_seq(net, bank, stimuli, derived, &tables, config)
+    run_seq(net, bank, stimuli, derived, &tables, config, None)
 }
 
 /// The sequential backend against borrowed compile-phase tables.
@@ -894,8 +945,12 @@ pub(crate) fn run_seq(
     derived: &DerivedTaskGraph,
     tables: &StaticTables,
     config: &SimConfig,
+    cancel: Option<&CancelToken>,
 ) -> Result<SimRun, SimError> {
-    let engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
+    let mut engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
+    if let Some(token) = cancel {
+        engine.set_cancel(token);
+    }
     let records = engine.compute_rounds_seq()?;
     // The oracle never shards behaviors, whatever the config says.
     engine.finalize(net, bank, stimuli, records, 0)
@@ -906,6 +961,7 @@ pub(crate) fn run_seq(
 /// (records move into the returned [`SimRun`]). The `fppn-serve` worker
 /// pool drives this through
 /// [`CompiledNetwork::simulate_with_scratch`](crate::CompiledNetwork::simulate_with_scratch).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_seq_into(
     net: &Fppn,
     bank: &BehaviorBank,
@@ -914,8 +970,12 @@ pub(crate) fn run_seq_into(
     tables: &StaticTables,
     config: &SimConfig,
     scratch: &mut RoundScratch,
+    cancel: Option<&CancelToken>,
 ) -> Result<SimRun, SimError> {
-    let engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
+    let mut engine = RoundEngine::new(net, stimuli, derived, tables, config)?;
+    if let Some(token) = cancel {
+        engine.set_cancel(token);
+    }
     engine.compute_rounds_seq_into(scratch)?;
     let records = std::mem::take(&mut scratch.records);
     engine.finalize(net, bank, stimuli, records, 0)

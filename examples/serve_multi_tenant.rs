@@ -86,30 +86,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let raw = random_stimuli(&fms_net, TimeQ::from_ms(60_000), 400, seed);
         tickets.push(server.submit(
             "avionics",
-            RunRequest {
-                artifact: Arc::clone(&fms_art),
-                bank: Arc::clone(&fms_bank),
-                stimuli: clip_stimuli(&fms_net, fms_art.derived(), &raw, frames),
-                config: SimConfig {
+            RunRequest::new(
+                Arc::clone(&fms_art),
+                Arc::clone(&fms_bank),
+                clip_stimuli(&fms_net, fms_art.derived(), &raw, frames),
+                SimConfig {
                     frames,
                     ..SimConfig::default()
                 },
-            },
+            ),
         )?);
     }
     // DSP: FFT at increasing horizons.
     for frames in [4u64, 8, 16] {
         tickets.push(server.submit(
             "dsp",
-            RunRequest {
-                artifact: Arc::clone(&fft_art),
-                bank: Arc::clone(&fft_bank),
-                stimuli: Stimuli::new(),
-                config: SimConfig {
+            RunRequest::new(
+                Arc::clone(&fft_art),
+                Arc::clone(&fft_bank),
+                Stimuli::new(),
+                SimConfig {
                     frames,
                     ..SimConfig::default()
                 },
-            },
+            ),
         )?);
     }
     // Fuzz: budget 4 — queue until admission control says no.
@@ -117,15 +117,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seed in 0..6u64 {
         let frames = 2;
         let raw = random_stimuli(&synth.net, TimeQ::from_ms(10_000), 500, seed);
-        let req = RunRequest {
-            artifact: Arc::clone(&synth_art),
-            bank: Arc::clone(&synth_bank),
-            stimuli: clip_stimuli(&synth.net, synth_art.derived(), &raw, frames),
-            config: SimConfig {
+        let req = RunRequest::new(
+            Arc::clone(&synth_art),
+            Arc::clone(&synth_bank),
+            clip_stimuli(&synth.net, synth_art.derived(), &raw, frames),
+            SimConfig {
                 frames,
                 ..SimConfig::default()
             },
-        };
+        );
         match server.submit("fuzz", req) {
             Ok(t) => tickets.push(t),
             Err(AdmissionError::BudgetExhausted { tenant, budget }) => {
