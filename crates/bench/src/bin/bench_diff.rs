@@ -37,12 +37,16 @@
 //! The parser handles exactly the shape `scalability` emits (hand-rolled
 //! writer, one bench object per line) plus arbitrary whitespace; there is
 //! no serde in the offline container. Schemas `fppn-bench-sim/2` through
-//! `/4` all parse: `/3` added `rounds_per_sec`, `/4` adds the serve
+//! `/5` all parse: `/3` added `rounds_per_sec`, `/4` adds the serve
 //! control-plane records (`serve_runs_per_sec`, cache hit/miss counts and
-//! the compile/lookup/run timings). Only `*_ms` metrics are **gated**;
+//! the compile/lookup/run timings), `/5` adds `memo_ms` — the memoized
+//! sequential run, gated like every other `_ms` column so a frame-memo
+//! slowdown fails the diff — plus the informational `memo_hits`/
+//! `memo_misses` frame-memo counters and the serve `run_cache_hits`
+//! cross-run result-cache counter. Only `*_ms` metrics are **gated**;
 //! everything else numeric on a bench line is reported as
 //! **informational** — throughput is the inverse of the exempt `seq_ms`
-//! reference and just as host-dependent, and the serve counters describe
+//! reference and just as host-dependent, and the cache counters describe
 //! cache behavior, not wall time.
 
 use std::collections::BTreeMap;
@@ -343,6 +347,30 @@ mod tests {
         assert_eq!(info.get("hit_run_us"), Some(&820.9));
         assert!(!info.contains_key("runs"), "shape counters are structural");
         assert!(!info.contains_key("workers"));
+    }
+
+    #[test]
+    fn schema_5_memo_columns_split_into_gated_and_informational() {
+        let line = r#"    {"name": "fms/frames32/procs4", "rounds": 89536, "workers": 4, "seq_ms": 33.400000, "par_ms": 40.100000, "sharded_ms": null, "pipeline_ms": null, "memo_ms": 22.100000, "memo_hits": 30, "memo_misses": 2, "rounds_per_sec": 2680598.8},"#;
+        // `memo_ms` is a wall-time column: gated like seq/par.
+        let ms = ms_fields(line);
+        assert_eq!(ms.get("memo_ms"), Some(&22.1));
+        assert_eq!(ms.get("seq_ms"), Some(&33.4));
+        // The hit/miss counters describe memo behavior, not wall time.
+        let info = info_fields(line);
+        assert_eq!(info.get("memo_hits"), Some(&30.0));
+        assert_eq!(info.get("memo_misses"), Some(&2.0));
+        // Behavior-sweep lines emit `"memo_ms": null` — skipped, like any
+        // unmeasured backend column.
+        let null_line = r#"    {"name": "behavior-heavy/x", "rounds": 480, "workers": 4, "seq_ms": 63.1, "par_ms": 68.0, "sharded_ms": 64.2, "pipeline_ms": 61.0, "memo_ms": null, "memo_hits": 0, "memo_misses": 0, "rounds_per_sec": 7607.0},"#;
+        assert!(!ms_fields(null_line).contains_key("memo_ms"));
+    }
+
+    #[test]
+    fn schema_5_serve_lines_carry_the_run_cache_counter() {
+        let line = r#"    {"name": "serve/fms", "runs": 48, "workers": 4, "serve_runs_per_sec": 910.4, "cache_hits": 47, "cache_misses": 1, "run_cache_hits": 47, "compile_us": 5321.0, "hit_lookup_us": 2.4, "cold_run_us": 6100.2, "hit_run_us": 820.9},"#;
+        assert!(ms_fields(line).is_empty(), "serve lines stay ungated");
+        assert_eq!(info_fields(line).get("run_cache_hits"), Some(&47.0));
     }
 
     #[test]

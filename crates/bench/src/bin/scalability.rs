@@ -41,11 +41,10 @@ use fppn_apps::{
 use fppn_sched::{list_schedule, list_schedule_naive, Heuristic};
 use fppn_serve::{RunRequest, Server};
 use fppn_sim::{
-    clip_stimuli, random_sporadic_trace, simulate_parallel, simulate_pipelined, simulate_seq,
+    clip_stimuli, simulate_parallel, simulate_pipelined, simulate_seq, tiled_sporadic_trace,
     CompileConfig, CompiledNetwork, SimConfig,
 };
 use fppn_taskgraph::derive_task_graph;
-use fppn_time::TimeQ;
 
 #[cfg(feature = "alloc-stats")]
 #[global_allocator]
@@ -99,6 +98,11 @@ struct BenchRecord {
     par: Duration,
     sharded: Option<Duration>,
     pipeline: Option<Duration>,
+    /// Sequential wall-clock with the frame memo on (`SimConfig::memo`);
+    /// `None` where the sweep does not measure the memo path.
+    memo: Option<Duration>,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 /// One serve control-plane measurement (schema 4): repeated runs through
@@ -111,6 +115,7 @@ struct ServeRecord {
     runs_per_sec: f64,
     cache_hits: u64,
     cache_misses: u64,
+    run_cache_hits: u64,
     compile: Duration,
     hit_lookup: Duration,
     cold_run: Duration,
@@ -122,14 +127,17 @@ struct ServeRecord {
 /// (schema `fppn-bench-sim/2` added `pipeline_ms`; `/3` added
 /// `rounds_per_sec`, the sequential round-computation throughput; `/4`
 /// adds the `serve` records — pool throughput, cache hit/miss counts and
-/// the compile-vs-cache-hit timing split, all informational).
+/// the compile-vs-cache-hit timing split, all informational; `/5` adds
+/// `memo_ms` (gated, like every `_ms` column) plus the informational
+/// `memo_hits`/`memo_misses` frame-memo counters and the serve
+/// `run_cache_hits` cross-run result-cache counter).
 fn write_bench_json(path: &str, records: &[BenchRecord], serve: &[ServeRecord]) {
     let opt_ms = |d: Option<Duration>| {
         d.map_or("null".to_owned(), |d| format!("{:.6}", d.as_secs_f64() * 1e3))
     };
     let us = |d: Duration| d.as_secs_f64() * 1e6;
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"fppn-bench-sim/4\",");
+    let _ = writeln!(out, "  \"schema\": \"fppn-bench-sim/5\",");
     let _ = writeln!(
         out,
         "  \"host_cpus\": {},",
@@ -141,6 +149,7 @@ fn write_bench_json(path: &str, records: &[BenchRecord], serve: &[ServeRecord]) 
             out,
             "    {{\"name\": \"{}\", \"rounds\": {}, \"workers\": {}, \
              \"seq_ms\": {:.6}, \"par_ms\": {:.6}, \"sharded_ms\": {}, \"pipeline_ms\": {}, \
+             \"memo_ms\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \
              \"rounds_per_sec\": {:.1}}}",
             r.name,
             r.rounds,
@@ -149,6 +158,9 @@ fn write_bench_json(path: &str, records: &[BenchRecord], serve: &[ServeRecord]) 
             r.par.as_secs_f64() * 1e3,
             opt_ms(r.sharded),
             opt_ms(r.pipeline),
+            opt_ms(r.memo),
+            r.memo_hits,
+            r.memo_misses,
             r.rounds as f64 / r.seq.as_secs_f64().max(1e-9),
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
@@ -160,6 +172,7 @@ fn write_bench_json(path: &str, records: &[BenchRecord], serve: &[ServeRecord]) 
             out,
             "    {{\"name\": \"{}\", \"runs\": {}, \"workers\": {}, \
              \"serve_runs_per_sec\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"run_cache_hits\": {}, \
              \"compile_us\": {:.1}, \"hit_lookup_us\": {:.1}, \"cold_run_us\": {:.1}, \
              \"hit_run_us\": {:.1}}}",
             r.name,
@@ -168,6 +181,7 @@ fn write_bench_json(path: &str, records: &[BenchRecord], serve: &[ServeRecord]) 
             r.runs_per_sec,
             r.cache_hits,
             r.cache_misses,
+            r.run_cache_hits,
             us(r.compile),
             us(r.hit_lookup),
             us(r.cold_run),
@@ -247,25 +261,48 @@ fn fms_speedup_check() {
 /// Sequential-vs-parallel simulation wall-clock on multi-frame policy
 /// tables, with a bit-identity cross-check on every run (the parallel
 /// backend is only interesting if its output is *exactly* the oracle's).
+///
+/// Where sporadic stimuli are driven, they are **hyperperiod-tiled**
+/// ([`tiled_sporadic_trace`]): every frame carries the same arrival
+/// pattern relative to its own base, so frames are exact time-translates
+/// and the `memo_ms` column measures real replay (hits), not a
+/// sweep-specific fallback.
 fn simulation_sweep(workers: usize, frames: u64, reps: usize, records: &mut Vec<BenchRecord>) {
     println!(
-        "\nsimulation backends (seq vs {workers} workers, median of {reps}, \
+        "\nsimulation backends (seq vs {workers} workers vs memoized seq, median of {reps}, \
          bit-identity checked):"
     );
     let (net, bank, ids) = fms_network(FmsVariant::Original);
     let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
-    // Two tiers: the base frame count and 4x (the rounds column reports
-    // the actual table size; at the default --sim-frames 8 the large tier
-    // is ~100k rounds).
-    for (label, frames) in [("FMS H=40s", frames), ("FMS H=40s (4x frames)", frames * 4)] {
-        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+    // Two frame tiers (the base count and 4x — at the default
+    // --sim-frames 8 the large tier is ~100k rounds), each in two
+    // stimulus regimes: `fms/` is the paper's steady periodic operation
+    // (the sporadic configurators idle — every hyperperiod repeats, the
+    // regime the frame memo targets), `fms-sporadic/` drives the seven
+    // configurators with hyperperiod-tiled traces at density 400, so the
+    // arrival-gate machinery is measured at full table scale too.
+    for (label, prefix, density, frames) in [
+        ("FMS H=40s", "fms", 0u32, frames),
+        ("FMS H=40s (4x frames)", "fms", 0, frames * 4),
+        ("FMS H=40s sporadic", "fms-sporadic", 400, frames),
+        ("FMS H=40s sporadic 4x", "fms-sporadic", 400, frames * 4),
+    ] {
         let mut stimuli = fppn_core::Stimuli::new();
-        for (i, sp) in fms_sporadics(&ids).into_iter().enumerate() {
-            let ev = net.process(sp).event();
-            stimuli.arrivals(
-                sp,
-                random_sporadic_trace(ev.burst(), ev.period(), horizon, 400, 7 + i as u64),
-            );
+        if density > 0 {
+            for (i, sp) in fms_sporadics(&ids).into_iter().enumerate() {
+                let ev = net.process(sp).event();
+                stimuli.arrivals(
+                    sp,
+                    tiled_sporadic_trace(
+                        ev.burst(),
+                        ev.period(),
+                        derived.hyperperiod,
+                        frames,
+                        density,
+                        7 + i as u64,
+                    ),
+                );
+            }
         }
         let stimuli = clip_stimuli(&net, &derived, &stimuli, frames);
         for m in [2usize, 4] {
@@ -274,10 +311,28 @@ fn simulation_sweep(workers: usize, frames: u64, reps: usize, records: &mut Vec<
                 frames,
                 ..SimConfig::default()
             };
+            let memo_cfg = SimConfig { memo: true, ..cfg };
             let (seq, t_seq) = median_timed(reps, || {
                 simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &cfg)
                     .expect("sequential simulation")
             });
+            let (memo_run, t_memo) = median_timed(reps, || {
+                simulate_seq(&net, &bank, &stimuli, &derived, &schedule, &memo_cfg)
+                    .expect("memoized sequential simulation")
+            });
+            assert_eq!(seq.records, memo_run.records, "memo records diverged");
+            assert_eq!(
+                seq.observables, memo_run.observables,
+                "memo observables diverged"
+            );
+            // Hit/miss accounting comes from one extra rounds-only pass
+            // (the full-run path keeps its scratch private).
+            let tables = fppn_sim::StaticTables::build(&net, &derived, &schedule);
+            let mut rounds =
+                fppn_sim::hotpath::SeqRounds::new(&net, &stimuli, &derived, &tables, &memo_cfg)
+                    .expect("round tables");
+            rounds.compute().expect("memo stats pass");
+            let (memo_hits, memo_misses) = rounds.memo_stats();
             let (par, t_par) = median_timed(reps, || {
                 simulate_parallel(
                     &net,
@@ -292,20 +347,24 @@ fn simulation_sweep(workers: usize, frames: u64, reps: usize, records: &mut Vec<
             assert_eq!(seq.records, par.records, "backends diverged");
             assert_eq!(seq.observables, par.observables, "observables diverged");
             println!(
-                "{label:<22} frames={frames:>3} procs={m} | {:>6} rounds | seq {:>9.2?} | par({workers}) {:>9.2?} | {:.2}x",
+                "{label:<22} frames={frames:>3} procs={m} | {:>6} rounds | seq {:>9.2?} | par({workers}) {:>9.2?} | memo {:>9.2?} ({memo_hits}h/{memo_misses}m) | memo vs seq {:.2}x",
                 seq.records.len(),
                 t_seq,
                 t_par,
-                t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+                t_memo,
+                t_seq.as_secs_f64() / t_memo.as_secs_f64().max(1e-9),
             );
             records.push(BenchRecord {
-                name: format!("fms/frames{frames}/procs{m}"),
+                name: format!("{prefix}/frames{frames}/procs{m}"),
                 rounds: seq.records.len(),
                 workers,
                 seq: t_seq,
                 par: t_par,
                 sharded: None,
                 pipeline: None,
+                memo: Some(t_memo),
+                memo_hits,
+                memo_misses,
             });
         }
     }
@@ -459,6 +518,9 @@ fn behavior_sweep(workers: usize, frames: u64, reps: usize, records: &mut Vec<Be
             par: t_par,
             sharded: Some(t_sharded),
             pipeline: Some(t_pipeline),
+            memo: None,
+            memo_hits: 0,
+            memo_misses: 0,
         });
     }
 }
@@ -484,7 +546,14 @@ fn serve_sweep(workers: usize, reps: usize, records: &mut Vec<ServeRecord>) {
         ("serve/fft", fft_net, fft_bank, CompileConfig::new(fft_wcet(), 2), 8),
     ] {
         let bank = Arc::new(bank);
-        let server = Server::new(workers);
+        // Run cache on: the pool throughput batch below submits identical
+        // requests, so all but the first resolve from the cross-run result
+        // cache — the `run_cache_hits` column records exactly that.
+        let server = Server::with_config(&fppn_serve::ServerConfig {
+            workers,
+            run_cache_entries: Some(64),
+            ..fppn_serve::ServerConfig::default()
+        });
         server.register_tenant("bench", 1_000_000);
 
         // The one compile (a cache miss), then pure-lookup hits.
@@ -534,8 +603,9 @@ fn serve_sweep(workers: usize, reps: usize, records: &mut Vec<ServeRecord>) {
         }
         let wall = t0.elapsed();
         let runs_per_sec = runs as f64 / wall.as_secs_f64().max(1e-9);
+        let run_cache_hits = server.run_cache().map_or(0, |c| c.hits());
         println!(
-            "{label:<22} {runs:>3} runs | {runs_per_sec:>8.1} runs/s | compile {t_compile:>9.2?} vs hit lookup {t_hit_lookup:>9.2?} | cold run {t_cold_run:>9.2?} vs hit run {t_hit_run:>9.2?} | cache {}h/{}m",
+            "{label:<22} {runs:>3} runs | {runs_per_sec:>8.1} runs/s | compile {t_compile:>9.2?} vs hit lookup {t_hit_lookup:>9.2?} | cold run {t_cold_run:>9.2?} vs hit run {t_hit_run:>9.2?} | cache {}h/{}m | run-cache {run_cache_hits}h",
             server.cache().hits(),
             server.cache().misses(),
         );
@@ -546,6 +616,7 @@ fn serve_sweep(workers: usize, reps: usize, records: &mut Vec<ServeRecord>) {
             runs_per_sec,
             cache_hits: server.cache().hits(),
             cache_misses: server.cache().misses(),
+            run_cache_hits,
             compile: t_compile,
             hit_lookup: t_hit_lookup,
             cold_run: t_cold_run,

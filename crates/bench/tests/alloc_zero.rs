@@ -122,3 +122,53 @@ fn steady_state_with_armed_cancel_token_allocates_nothing() {
     );
     assert!(!token.is_cancelled(), "the far deadline tripped mid-test");
 }
+
+/// Same gate with the frame memo engaged (`SimConfig::memo`): after the
+/// warm-up compute has populated the memo and grown every entry buffer,
+/// steady-state recomputes must replay hit frames — fingerprint, table
+/// scan, record copy — without a single heap allocation. A memo that
+/// allocates per hit would trade the zero-alloc steady state for its
+/// speedup; this pins that it does neither.
+#[test]
+fn steady_state_with_frame_memo_allocates_nothing() {
+    use fppn_apps::{fms_network, fms_wcet, FmsVariant};
+    use fppn_sched::{list_schedule, Heuristic};
+    use fppn_sim::hotpath::SeqRounds;
+    use fppn_sim::{SimConfig, StaticTables};
+    use fppn_taskgraph::derive_task_graph;
+
+    let (net, _, ids) = fms_network(FmsVariant::Original);
+    let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
+    let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+    let tables = StaticTables::build(&net, &derived, &schedule);
+    let stimuli = fppn_core::Stimuli::new();
+    let cfg = SimConfig {
+        frames: 8,
+        memo: true,
+        ..SimConfig::default()
+    };
+    let mut rounds =
+        SeqRounds::new(&net, &stimuli, &derived, &tables, &cfg).expect("round tables");
+
+    // Warm-up: grows the scratch buffers *and* the memo entry buffers.
+    let n = rounds.compute().expect("warm-up compute");
+    let (warm_hits, warm_misses) = rounds.memo_stats();
+    assert!(
+        warm_hits > 0,
+        "the pinned periodic workload must replay frames ({warm_hits}h/{warm_misses}m)"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..3 {
+        let again = rounds.compute().expect("steady-state compute");
+        assert_eq!(again, n, "round count must be stable across recomputes");
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    let (hits, _) = rounds.memo_stats();
+    assert!(hits > warm_hits, "steady-state computes must keep hitting");
+    assert_eq!(
+        delta, 0,
+        "memoized steady-state round loop allocated {delta} times; hit \
+         replay must reuse the memo entry buffers, not the allocator"
+    );
+}

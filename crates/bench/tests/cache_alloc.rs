@@ -66,3 +66,52 @@ fn cache_hits_allocate_nothing() {
     );
     assert_eq!((cache.hits(), cache.misses()), (10, 1));
 }
+
+/// The cross-run result cache's hit path, held to the same standard: once
+/// a `(artifact, stimuli, config)` result is cached, re-keying the same
+/// request and looking it up must be hash + lookup + `Arc::clone` — zero
+/// heap allocations, no simulation work.
+#[test]
+fn run_cache_hits_allocate_nothing() {
+    use std::sync::Arc;
+
+    use fppn_apps::{fms_network, fms_wcet, FmsVariant};
+    use fppn_serve::{run_key, RunCache};
+    use fppn_sim::{CompileConfig, CompiledNetwork, SimConfig};
+
+    let (net, bank, ids) = fms_network(FmsVariant::Original);
+    let bank = Arc::new(bank);
+    let artifact = CompiledNetwork::compile(net, &CompileConfig::new(fms_wcet(&ids), 4))
+        .expect("FMS compiles");
+    let stimuli = fppn_core::Stimuli::new();
+    let config = SimConfig {
+        frames: 2,
+        ..SimConfig::default()
+    };
+    let run = Arc::new(
+        artifact
+            .simulate(&bank, &stimuli, &config)
+            .expect("FMS run"),
+    );
+
+    let cache = RunCache::new(4);
+    cache.insert(
+        run_key(&artifact, &stimuli, &config),
+        Arc::clone(&bank),
+        Arc::clone(&run),
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        let key = run_key(&artifact, &stimuli, &config);
+        let hit = cache.lookup(key, &bank).expect("warm cache hit");
+        assert!(Arc::ptr_eq(&hit, &run), "hit must share the cached run");
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "run-cache hit path allocated {delta} times; keying and lookup \
+         must be hash + lookup + Arc::clone"
+    );
+    assert_eq!((cache.hits(), cache.misses()), (10, 0));
+}

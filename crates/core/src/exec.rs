@@ -89,6 +89,37 @@ impl Stimuli {
         self.arrivals.get(&pid).map_or(&[], |t| t.arrivals())
     }
 
+    /// Feeds the complete stimuli into a stable
+    /// [`ContentHasher`](fppn_time::ContentHasher) stream.
+    ///
+    /// Prop. 2.1 makes `Stimuli` the entire run-specific input of an
+    /// execution, so this hash (together with the compiled network's
+    /// content hash and a config fingerprint) keys result caches: equal
+    /// stimuli always produce identical streams. Both maps iterate in
+    /// `BTreeMap` key order, and every section and entry is length- or
+    /// id-prefixed, so structurally different stimuli cannot collide by
+    /// concatenation.
+    pub fn content_hash_into(&self, h: &mut fppn_time::ContentHasher) {
+        h.write_usize(self.inputs.len());
+        for (&(pid, port), samples) in &self.inputs {
+            h.write_usize(pid.index());
+            h.write_usize(port.index());
+            h.write_usize(samples.len());
+            for v in samples {
+                v.content_hash_into(h);
+            }
+        }
+        h.write_usize(self.arrivals.len());
+        for (&pid, trace) in &self.arrivals {
+            h.write_usize(pid.index());
+            let times = trace.arrivals();
+            h.write_usize(times.len());
+            for &t in times {
+                h.write_time(t);
+            }
+        }
+    }
+
     /// Validates the stimuli against a network: arrival traces only for
     /// sporadic processes and each trace within its `(m, T)` constraint.
     ///
@@ -503,6 +534,42 @@ mod tests {
         let mut wrong_kind = Stimuli::new();
         wrong_kind.arrivals(u, SporadicTrace::new(vec![ms(0)]));
         assert!(wrong_kind.validate(&net).is_err());
+    }
+
+    #[test]
+    fn stimuli_content_hash_tracks_structural_equality() {
+        let pid = ProcessId::from_index(0);
+        let other = ProcessId::from_index(1);
+        let port = PortId::from_index(0);
+        let hash = |s: &Stimuli| {
+            let mut h = fppn_time::ContentHasher::new();
+            s.content_hash_into(&mut h);
+            h.finish()
+        };
+
+        let mut a = Stimuli::new();
+        a.input(pid, port, vec![Value::Int(1), Value::Int(2)]);
+        a.arrivals(pid, SporadicTrace::new(vec![ms(0), ms(500)]));
+        let mut b = Stimuli::new();
+        // Same content, different insertion order: BTreeMap iteration makes
+        // the streams identical anyway.
+        b.arrivals(pid, SporadicTrace::new(vec![ms(0), ms(500)]));
+        b.input(pid, port, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(hash(&a), hash(&b));
+
+        let mut c = b.clone();
+        c.input(pid, port, vec![Value::Int(1), Value::Int(3)]);
+        assert_ne!(hash(&a), hash(&c), "sample change must change the hash");
+
+        let mut d = a.clone();
+        d.arrivals(other, SporadicTrace::new(vec![ms(100)]));
+        assert_ne!(hash(&a), hash(&d), "extra trace must change the hash");
+
+        assert_ne!(
+            hash(&Stimuli::new()),
+            hash(&a),
+            "empty stimuli must not collide with populated ones"
+        );
     }
 
     #[test]

@@ -83,7 +83,7 @@ mod fault;
 mod retry;
 mod server;
 
-pub use cache::ArtifactCache;
+pub use cache::{run_key, ArtifactCache, RunCache};
 pub use fault::{FaultKind, FaultPlan, FaultRates};
 pub use retry::{AttemptFailure, RetryError, RetryPolicy};
 pub use server::{

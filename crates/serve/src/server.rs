@@ -40,7 +40,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use fppn_core::{BehaviorBank, Stimuli};
 use fppn_sim::{CancelToken, CompiledNetwork, RunScratch, SimConfig, SimError, SimRun};
 
-use crate::cache::ArtifactCache;
+use crate::cache::{run_key, ArtifactCache, RunCache};
 
 /// One queued simulation: which artifact to run, against what stimuli,
 /// under what run configuration. The artifact and behavior bank are
@@ -92,8 +92,11 @@ pub struct RunReport {
     /// Deadline misses observed in this run (also accumulated into the
     /// tenant's counters).
     pub deadline_misses: usize,
-    /// The full deterministic simulation output.
-    pub run: SimRun,
+    /// The full deterministic simulation output. Shared (`Arc`) so the
+    /// run-cache hit path can hand the identical result to any number of
+    /// requests with one pointer bump; a freshly simulated run is the
+    /// `Arc`'s sole owner.
+    pub run: Arc<SimRun>,
 }
 
 /// Why an admitted run did not produce a [`RunReport`]. Every variant is
@@ -265,6 +268,11 @@ pub struct TenantStats {
     /// Re-submissions performed by [`Server::run_with_retry`] after a
     /// transient failure.
     pub retried: u64,
+    /// Runs answered from the server's cross-run result cache
+    /// ([`crate::RunCache`]) instead of simulating. Always zero when the
+    /// cache is disabled. Cache hits still count into `completed` and
+    /// `deadline_misses` — the report is identical to a simulated one.
+    pub run_cache_hits: u64,
 }
 
 pub(crate) struct TenantState {
@@ -279,6 +287,7 @@ pub(crate) struct TenantState {
     timed_out: AtomicU64,
     shed: AtomicU64,
     pub(crate) retried: AtomicU64,
+    run_cache_hits: AtomicU64,
 }
 
 struct Job {
@@ -304,6 +313,9 @@ struct Shared {
     /// Live pool workers. The containment invariant — panics never shrink
     /// the pool — is observable here ([`Server::workers_alive`]).
     workers_alive: AtomicUsize,
+    /// The cross-run result cache, when enabled
+    /// ([`ServerConfig::run_cache_entries`] / `FPPN_SERVE_RUN_CACHE`).
+    run_cache: Option<RunCache>,
 }
 
 /// Server construction parameters beyond the worker count.
@@ -319,6 +331,37 @@ pub struct ServerConfig {
     /// as [`RunError::Shed`] instead of wasting a worker on a run that
     /// would only time out.
     pub shed_expired: bool,
+    /// Entry budget of the cross-run result cache ([`crate::RunCache`]):
+    /// `Some(0)` disables it, `Some(n)` caches up to `n` results, and
+    /// `None` (the default) consults the `FPPN_SERVE_RUN_CACHE`
+    /// environment variable with the same grammar (unset/empty/`0` =
+    /// disabled). An invalid variable value panics at server construction,
+    /// naming the variable — a misconfigured deployment must fail loudly,
+    /// not silently serve uncached.
+    pub run_cache_entries: Option<usize>,
+}
+
+impl ServerConfig {
+    /// Environment variable consulted when
+    /// [`ServerConfig::run_cache_entries`] is `None`.
+    pub const RUN_CACHE: &'static str = "FPPN_SERVE_RUN_CACHE";
+
+    /// The effective run-cache entry budget (0 = disabled), resolving
+    /// `None` against [`ServerConfig::RUN_CACHE`].
+    fn resolved_run_cache_entries(&self) -> usize {
+        if let Some(n) = self.run_cache_entries {
+            return n;
+        }
+        match std::env::var(Self::RUN_CACHE) {
+            Ok(v) if !v.is_empty() => v.parse::<usize>().unwrap_or_else(|_| {
+                panic!(
+                    "invalid {}={v:?}: expected a non-negative entry count",
+                    Self::RUN_CACHE
+                )
+            }),
+            _ => 0,
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -327,6 +370,7 @@ impl Default for ServerConfig {
             workers: 1,
             queue_capacity: usize::MAX,
             shed_expired: false,
+            run_cache_entries: None,
         }
     }
 }
@@ -379,6 +423,10 @@ impl Server {
             // Counted up front, not by the spawned threads: an immediate
             // `workers_alive()` call must already see the full pool.
             workers_alive: AtomicUsize::new(workers),
+            run_cache: match config.resolved_run_cache_entries() {
+                0 => None,
+                n => Some(RunCache::new(n)),
+            },
         });
         let (tx, rx) = unbounded::<Job>();
         let handles = (0..workers)
@@ -422,6 +470,7 @@ impl Server {
             state.timed_out.store(0, Ordering::Relaxed);
             state.shed.store(0, Ordering::Relaxed);
             state.retried.store(0, Ordering::Relaxed);
+            state.run_cache_hits.store(0, Ordering::Relaxed);
             return;
         }
         let state = Arc::new(TenantState {
@@ -434,6 +483,7 @@ impl Server {
             timed_out: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             retried: AtomicU64::new(0),
+            run_cache_hits: AtomicU64::new(0),
         });
         tenants.insert(name.to_owned(), state);
     }
@@ -526,7 +576,15 @@ impl Server {
             timed_out: state.timed_out.load(Ordering::Relaxed),
             shed: state.shed.load(Ordering::Relaxed),
             retried: state.retried.load(Ordering::Relaxed),
+            run_cache_hits: state.run_cache_hits.load(Ordering::Relaxed),
         })
+    }
+
+    /// The cross-run result cache, when enabled at construction
+    /// ([`ServerConfig::run_cache_entries`] / `FPPN_SERVE_RUN_CACHE`).
+    /// Exposes the typed hit/miss counters and the current entry count.
+    pub fn run_cache(&self) -> Option<&RunCache> {
+        self.shared.run_cache.as_ref()
     }
 
     /// Live pool workers. Stays equal to the configured pool size whatever
@@ -608,6 +666,30 @@ fn run_job(job: &Job, shared: &Shared, scratch: &mut RunScratch) -> Result<RunRe
             }
         }
     }
+    // Cross-run result cache: a warm identical request — same artifact
+    // content, same stimuli, same semantic config, same behavior-bank
+    // `Arc` — returns the shared cached result without simulating. The
+    // lookup sits after the shed check (an expired job stays shed: its
+    // tenant asked for deadline semantics, not stale-fast answers) and
+    // performs the tenant's full accounting, so a hit's report and
+    // counters are indistinguishable from a fresh simulation's.
+    let key = shared
+        .run_cache
+        .as_ref()
+        .map(|_| run_key(&job.req.artifact, &job.req.stimuli, &job.req.config));
+    if let (Some(cache), Some(key)) = (&shared.run_cache, key) {
+        if let Some(run) = cache.lookup(key, &job.req.bank) {
+            job.tenant.run_cache_hits.fetch_add(1, Ordering::Relaxed);
+            let deadline_misses = run.stats.deadline_misses;
+            job.tenant
+                .deadline_misses
+                .fetch_add(deadline_misses as u64, Ordering::Relaxed);
+            return Ok(RunReport {
+                deadline_misses,
+                run,
+            });
+        }
+    }
     // Each run's token chains off the server-wide shutdown token, so one
     // `shutdown_now` fans out to every in-flight run while each run keeps
     // its private deadline.
@@ -634,6 +716,12 @@ fn run_job(job: &Job, shared: &Shared, scratch: &mut RunScratch) -> Result<RunRe
             job.tenant
                 .deadline_misses
                 .fetch_add(deadline_misses as u64, Ordering::Relaxed);
+            let run = Arc::new(run);
+            // Only successful runs are cached; every fault path below
+            // re-executes on the next identical request.
+            if let (Some(cache), Some(key)) = (&shared.run_cache, key) {
+                cache.insert(key, Arc::clone(&job.req.bank), Arc::clone(&run));
+            }
             Ok(RunReport {
                 deadline_misses,
                 run,
@@ -731,6 +819,74 @@ mod tests {
         let req = RunRequest::new(artifact, bank, Stimuli::new(), SimConfig::default());
         let ticket = server.submit("t", req).unwrap();
         assert!(ticket.wait().is_ok());
+    }
+
+    #[test]
+    fn run_cache_serves_warm_identical_runs() {
+        let mut b = FppnBuilder::new();
+        b.process(ProcessSpec::new("p", EventSpec::periodic(TimeQ::from_ms(100))));
+        let (net, bank) = b.build().unwrap();
+        let bank = Arc::new(bank);
+        let server = Server::with_config(&ServerConfig {
+            workers: 1,
+            run_cache_entries: Some(8),
+            ..ServerConfig::default()
+        });
+        server.register_tenant("t", 4);
+        let artifact = server
+            .cache()
+            .get_or_compile(&net, &CompileConfig::new(WcetModel::uniform(TimeQ::from_ms(10)), 1))
+            .unwrap();
+        let req = RunRequest::new(
+            Arc::clone(&artifact),
+            Arc::clone(&bank),
+            Stimuli::new(),
+            SimConfig {
+                frames: 2,
+                ..SimConfig::default()
+            },
+        );
+        let cold = server.submit("t", req.clone()).unwrap().wait().unwrap();
+        let warm = server.submit("t", req).unwrap().wait().unwrap();
+        assert!(
+            Arc::ptr_eq(&cold.run, &warm.run),
+            "warm identical run must share the cached result"
+        );
+        assert_eq!(cold.deadline_misses, warm.deadline_misses);
+        // A different (semantic) config is a different key: no false hit.
+        let other = RunRequest::new(
+            artifact,
+            bank,
+            Stimuli::new(),
+            SimConfig {
+                frames: 3,
+                ..SimConfig::default()
+            },
+        );
+        let third = server.submit("t", other).unwrap().wait().unwrap();
+        assert!(!Arc::ptr_eq(&cold.run, &third.run));
+        let stats = server.tenant_stats("t").unwrap();
+        assert_eq!(stats.run_cache_hits, 1);
+        assert_eq!(stats.completed, 3);
+        let cache = server.run_cache().expect("cache enabled");
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+    }
+
+    #[test]
+    fn run_cache_is_off_by_default() {
+        // The default consults FPPN_SERVE_RUN_CACHE; under a harness that
+        // sets it (the CI cache job) this test is vacuous, not wrong.
+        if std::env::var(ServerConfig::RUN_CACHE).is_ok_and(|v| !v.is_empty()) {
+            return;
+        }
+        let (server, artifact, bank) = one_process_server();
+        assert!(server.run_cache().is_none());
+        server.register_tenant("t", 2);
+        let req = RunRequest::new(artifact, bank, Stimuli::new(), SimConfig::default());
+        let a = server.submit("t", req.clone()).unwrap().wait().unwrap();
+        let b = server.submit("t", req).unwrap().wait().unwrap();
+        assert!(!Arc::ptr_eq(&a.run, &b.run), "no cache, no sharing");
+        assert_eq!(server.tenant_stats("t").unwrap().run_cache_hits, 0);
     }
 
     #[test]

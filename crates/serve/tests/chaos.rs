@@ -339,7 +339,7 @@ fn full_queue_rejects_with_typed_backpressure() {
     let server = Server::with_config(&ServerConfig {
         workers: 1,
         queue_capacity: 2,
-        shed_expired: false,
+        ..ServerConfig::default()
     });
     server.register_tenant("t", 16);
     let artifact = server.cache().get_or_compile(&net, &compile_cfg()).unwrap();
@@ -385,8 +385,8 @@ fn expired_queued_runs_are_shed() {
     let (_, gated_bank) = chain(&MidMode::Gated(Arc::clone(&gate)));
     let server = Server::with_config(&ServerConfig {
         workers: 1,
-        queue_capacity: usize::MAX,
         shed_expired: true,
+        ..ServerConfig::default()
     });
     server.register_tenant("t", 4);
     let artifact = server.cache().get_or_compile(&net, &compile_cfg()).unwrap();
@@ -436,7 +436,7 @@ fn retry_recovers_from_transient_backpressure() {
     let server = Server::with_config(&ServerConfig {
         workers: 1,
         queue_capacity: 1,
-        shed_expired: false,
+        ..ServerConfig::default()
     });
     server.register_tenant("t", 16);
     let artifact = server.cache().get_or_compile(&net, &compile_cfg()).unwrap();

@@ -1,6 +1,6 @@
 //! Unified environment-variable plumbing for the simulator.
 //!
-//! Three variables tune [`SimConfig`](crate::SimConfig) resolution without
+//! Four variables tune [`SimConfig`](crate::SimConfig) resolution without
 //! touching call sites — the hook the CI determinism jobs use to force a
 //! backend through the *entire* test-suite:
 //!
@@ -9,9 +9,13 @@
 //! * [`FPPN_SIM_PAR_BEHAVIORS`](SimEnv::PAR_BEHAVIORS) — boolean: shard the
 //!   data plane in the barrier backend;
 //! * [`FPPN_SIM_PIPELINE`](SimEnv::PIPELINE) — boolean: stream behaviors
-//!   behind round computation (subsumes `PAR_BEHAVIORS`).
+//!   behind round computation (subsumes `PAR_BEHAVIORS`);
+//! * [`FPPN_SIM_MEMO`](SimEnv::MEMO) — boolean: fingerprint-keyed frame
+//!   memoization in the sequential round loop (replays repeated frames
+//!   instead of recomputing them; bit-identical output, asserted by the
+//!   differential suite).
 //!
-//! All three are parsed in one place, by one grammar, with one failure
+//! All of them are parsed in one place, by one grammar, with one failure
 //! mode: an **invalid value is an error naming the variable**, never a
 //! silent fallback (the previous per-flag parsing dropped `FPPN_SIM_WORKERS=x`
 //! on the floor and read every non-`1` `FPPN_SIM_PAR_BEHAVIORS` as false —
@@ -30,6 +34,9 @@ pub struct SimEnv {
     pub parallel_behaviors: Option<bool>,
     /// `FPPN_SIM_PIPELINE`: streaming frame pipeline.
     pub pipeline: Option<bool>,
+    /// `FPPN_SIM_MEMO`: frame-resolution memoization in the sequential
+    /// round loop.
+    pub memo: Option<bool>,
 }
 
 /// An environment variable holding an unparseable value.
@@ -92,8 +99,10 @@ impl SimEnv {
     pub const PAR_BEHAVIORS: &'static str = "FPPN_SIM_PAR_BEHAVIORS";
     /// Streaming-pipeline variable.
     pub const PIPELINE: &'static str = "FPPN_SIM_PIPELINE";
+    /// Frame-memoization variable.
+    pub const MEMO: &'static str = "FPPN_SIM_MEMO";
 
-    /// Reads and parses all three variables from the process environment.
+    /// Reads and parses all four variables from the process environment.
     ///
     /// # Errors
     ///
@@ -110,6 +119,9 @@ impl SimEnv {
                 .transpose()?,
             pipeline: read(Self::PIPELINE)
                 .map(|v| parse_bool(Self::PIPELINE, &v))
+                .transpose()?,
+            memo: read(Self::MEMO)
+                .map(|v| parse_bool(Self::MEMO, &v))
                 .transpose()?,
         })
     }
@@ -165,6 +177,17 @@ mod tests {
                 "error must name the variable: {err}"
             );
         }
+    }
+
+    #[test]
+    fn memo_parses_with_the_shared_bool_grammar() {
+        assert_eq!(parse_bool(SimEnv::MEMO, "on"), Ok(true));
+        assert_eq!(parse_bool(SimEnv::MEMO, "0"), Ok(false));
+        let err = parse_bool(SimEnv::MEMO, "maybe").unwrap_err();
+        assert!(
+            err.to_string().contains("FPPN_SIM_MEMO"),
+            "error must name the variable: {err}"
+        );
     }
 
     #[test]

@@ -59,4 +59,31 @@ impl<'a> SeqRounds<'a> {
         self.engine.compute_rounds_seq_into(&mut self.scratch)?;
         Ok(self.scratch.records.len())
     }
+
+    /// Cumulative frame-memo `(hits, misses)` across every [`Self::compute`]
+    /// so far. Both zero unless the memo engaged (enabled via
+    /// [`SimConfig`](crate::SimConfig) `memo` / `FPPN_SIM_MEMO`, `Wcet`
+    /// exec model, no bounded FIFOs).
+    pub fn memo_stats(&self) -> (u64, u64) {
+        self.scratch.memo_stats()
+    }
+
+    /// Computes every round frame-major with replay **disabled**, pushing
+    /// each frame's carry-in fingerprint into `fingerprints` and returning
+    /// the computed records (canonical `(frame, job)` order within each
+    /// frame is *not* guaranteed; compare frames as sets or sort first).
+    /// The collision-audit seam: fingerprint-equal frames must have
+    /// produced translate-identical round tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stalled`] on a structurally invalid schedule.
+    pub fn compute_fingerprinted(
+        &mut self,
+        fingerprints: &mut Vec<u64>,
+    ) -> Result<Vec<crate::JobRecord>, SimError> {
+        self.engine
+            .compute_rounds_fingerprinted(&mut self.scratch, fingerprints)?;
+        Ok(self.scratch.records.clone())
+    }
 }

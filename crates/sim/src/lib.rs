@@ -69,4 +69,7 @@ pub use policy::{
     clip_stimuli, simulate, simulate_seq, JobRecord, SimConfig, SimError, SimRun, SimStats,
 };
 pub use stimgen::adversarial::{adversarial_stimuli, max_density_flood_trace, AdversarialClass};
-pub use stimgen::{random_sporadic_trace, random_stimuli, sporadic_processes, validate_stimuli};
+pub use stimgen::{
+    random_sporadic_trace, random_stimuli, sporadic_processes, tiled_sporadic_trace,
+    validate_stimuli,
+};

@@ -41,7 +41,7 @@ use fppn_core::{
 };
 use fppn_taskgraph::{DerivedTaskGraph, JobId, TaskGraph};
 use fppn_sched::StaticSchedule;
-use fppn_time::TimeQ;
+use fppn_time::{ContentHasher, TimeQ};
 
 use crate::cancel::CancelToken;
 use crate::compile::StaticTables;
@@ -86,6 +86,22 @@ pub struct SimConfig {
     /// it, and streams behaviors through the sequential store otherwise).
     /// Output stays bit-identical to [`simulate_seq`].
     pub pipeline: bool,
+    /// Frame-resolution memoization: when enabled (directly or through the
+    /// `FPPN_SIM_MEMO` environment variable), the sequential round loop
+    /// fingerprints each frame's carry-in state (processor availability and
+    /// wrap-predecessor completions relative to the frame base, the frame's
+    /// slot resolutions and release gate) and **replays** the round table
+    /// of an earlier fingerprint-equal frame — shifted by the frame offset —
+    /// instead of re-running slot resolution. A purely periodic workload
+    /// collapses to "compute one frame, replay the rest". Replay only
+    /// engages under the deterministic [`ExecTimeModel::Wcet`] model on
+    /// networks without bounded-capacity FIFOs; everything else (sporadic
+    /// frames whose fingerprints differ, stochastic exec models, bounded
+    /// FIFOs) falls back to full computation. Output is bit-identical
+    /// either way (asserted by the differential suite); the
+    /// parallel/pipelined round planes compute live and never consult the
+    /// memo.
+    pub memo: bool,
 }
 
 impl SimConfig {
@@ -104,6 +120,7 @@ impl SimConfig {
             workers: env.workers.unwrap_or(0),
             parallel_behaviors: env.parallel_behaviors.unwrap_or(false),
             pipeline: env.pipeline.unwrap_or(false),
+            memo: env.memo.unwrap_or(false),
             ..SimConfig::default()
         })
     }
@@ -148,6 +165,56 @@ impl SimConfig {
     pub fn resolved_pipeline(&self) -> bool {
         self.pipeline || SimEnv::from_env_or_panic().pipeline.unwrap_or(false)
     }
+
+    /// Whether frame memoization is requested: the explicit field, or the
+    /// `FPPN_SIM_MEMO` environment variable when the field is unset — the
+    /// hook the CI memo job uses to force the memoized round loop through
+    /// the entire test-suite. Requesting the memo does not guarantee
+    /// replay: the engine additionally requires the deterministic
+    /// [`ExecTimeModel::Wcet`] model and a network without bounded-capacity
+    /// FIFOs before it consults the table at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message naming the variable on an invalid value.
+    pub fn resolved_memo(&self) -> bool {
+        self.memo || SimEnv::from_env_or_panic().memo.unwrap_or(false)
+    }
+
+    /// Absorbs the *semantic* configuration — the fields that change what a
+    /// simulation computes — into a content hash: frame count, overhead
+    /// model, and execution-time model (tagged, with its parameters,
+    /// including the `Jitter` seed).
+    ///
+    /// `workers`, `parallel_behaviors`, `pipeline` and `memo` are
+    /// deliberately **excluded**: every backend is bit-identical to the
+    /// sequential oracle (and the memoized loop to the plain one), so a
+    /// result cached under one backend is valid for all of them — that
+    /// cross-backend reuse is the point of keying the serve-layer
+    /// `RunCache` on this fingerprint.
+    pub fn content_hash_into(&self, h: &mut ContentHasher) {
+        h.write_u64(self.frames);
+        h.write_time(self.overhead.first_frame);
+        h.write_time(self.overhead.steady_frame);
+        match self.exec_time {
+            ExecTimeModel::Wcet => h.write_u8(0),
+            ExecTimeModel::Scaled { num, den } => {
+                h.write_u8(1);
+                h.write_u32(num);
+                h.write_u32(den);
+            }
+            ExecTimeModel::Jitter {
+                lo_permille,
+                hi_permille,
+                seed,
+            } => {
+                h.write_u8(2);
+                h.write_u32(lo_permille);
+                h.write_u32(hi_permille);
+                h.write_u64(seed);
+            }
+        }
+    }
 }
 
 impl Default for SimConfig {
@@ -159,6 +226,7 @@ impl Default for SimConfig {
             workers: 0,
             parallel_behaviors: false,
             pipeline: false,
+            memo: false,
         }
     }
 }
@@ -326,12 +394,130 @@ pub(crate) struct RoundScratch {
     proc_avail: Vec<TimeQ>,
     cursors: Vec<(u64, usize)>,
     pub(crate) records: Vec<JobRecord>,
+    /// Fingerprint-keyed frame memo for the memoized sequential loop.
+    /// Living in the scratch (hence in `RunScratch`) lets a serve worker's
+    /// steady state reuse the entry buffers run after run.
+    memo: FrameMemo,
 }
 
 impl RoundScratch {
     /// Empty scratch; the first compute pass sizes the buffers.
     pub(crate) fn new() -> Self {
         Self::default()
+    }
+
+    /// Cumulative frame-memo `(hits, misses)` over every memoized compute
+    /// into this scratch. Both stay zero when the memo never engages
+    /// (disabled, non-`Wcet` model, bounded FIFOs, or the plain loop).
+    pub(crate) fn memo_stats(&self) -> (u64, u64) {
+        (self.memo.hits, self.memo.misses)
+    }
+}
+
+/// A bounded, FNV-fingerprint-keyed table of computed frames.
+///
+/// One entry memoizes one frame's full round table (records plus the
+/// processor-availability snapshot it leaves behind), stored **absolute**
+/// alongside the source frame's base time; replay shifts everything by
+/// `base_now − src_base`. The table is reset (keys cleared, entry buffers
+/// retained) at the start of every compute, so entries never leak across
+/// runs — cross-run reuse is purely of buffer *capacity*, which is what
+/// keeps the steady-state hit and re-insert paths allocation-free.
+///
+/// Lookup is a linear scan over at most [`FrameMemo::CAPACITY`] keys:
+/// distinct fingerprints per run are bounded by the distinct carry-in
+/// states, which periodic workloads keep at one or two, and a scan of 16
+/// `u64`s beats any hash-map indirection at that size. Eviction is a plain
+/// ring over the slots.
+#[derive(Debug, Default)]
+struct FrameMemo {
+    /// Live fingerprints; `keys[i]` owns `entries[i]`.
+    keys: Vec<u64>,
+    /// Entry buffers; may outnumber `keys` after a reset (spares keep
+    /// their capacity for re-insertion).
+    entries: Vec<MemoEntry>,
+    /// Next slot to overwrite once the table is full.
+    next_evict: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// One memoized frame: the records it produced and the per-processor
+/// availability it left, both absolute, plus the frame base they are
+/// relative to under translation.
+#[derive(Debug, Default)]
+struct MemoEntry {
+    src_base: TimeQ,
+    records: Vec<JobRecord>,
+    avail_out: Vec<TimeQ>,
+    /// The frame's completions at the wrap-predecessor jobs (absolute).
+    /// These are the only completion slots any *later* frame reads — via
+    /// `wrap_preds_of` during computation and `wrap_pred_data` during
+    /// fingerprinting — so a replay hit fills just these few instead of
+    /// storing all `n_jobs` completions back.
+    wrap_out: Vec<(u32, TimeQ)>,
+}
+
+impl FrameMemo {
+    const CAPACITY: usize = 16;
+
+    /// Forgets every entry while keeping all buffer capacity (and the
+    /// cumulative hit/miss counters).
+    fn reset(&mut self) {
+        self.keys.clear();
+        self.next_evict = 0;
+    }
+
+    /// Looks up a fingerprint, counting the hit or miss.
+    fn lookup(&mut self, fingerprint: u64) -> Option<usize> {
+        match self.keys.iter().position(|&k| k == fingerprint) {
+            Some(i) => {
+                self.hits += 1;
+                Some(i)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes one computed frame, evicting round-robin when full. The
+    /// copy is `clear` + `extend_from_slice` into retained buffers:
+    /// allocation-free once the buffers have warmed to the frame size.
+    fn insert(
+        &mut self,
+        fingerprint: u64,
+        src_base: TimeQ,
+        records: &[JobRecord],
+        avail: &[TimeQ],
+        wrap_preds: &[JobId],
+        frame_completion: &[Option<TimeQ>],
+    ) {
+        let slot = if self.keys.len() < Self::CAPACITY {
+            self.keys.push(fingerprint);
+            if self.entries.len() < self.keys.len() {
+                self.entries.push(MemoEntry::default());
+            }
+            self.keys.len() - 1
+        } else {
+            let slot = self.next_evict;
+            self.next_evict = (slot + 1) % Self::CAPACITY;
+            self.keys[slot] = fingerprint;
+            slot
+        };
+        let entry = &mut self.entries[slot];
+        entry.src_base = src_base;
+        entry.records.clear();
+        entry.records.extend_from_slice(records);
+        entry.avail_out.clear();
+        entry.avail_out.extend_from_slice(avail);
+        entry.wrap_out.clear();
+        for &p in wrap_preds {
+            let j = p.index();
+            let done = frame_completion[j].expect("memoized frames are complete");
+            entry.wrap_out.push((j as u32, done));
+        }
     }
 }
 
@@ -365,6 +551,21 @@ pub(crate) struct RoundEngine<'a> {
     frame_gates: Vec<TimeQ>,
     h: TimeQ,
     overhead: OverheadModel,
+    /// Whether the sequential loop may consult the frame memo: requested
+    /// via [`SimConfig::resolved_memo`] **and** sound to replay — the
+    /// deterministic [`ExecTimeModel::Wcet`] model on a network without
+    /// bounded-capacity FIFOs. Everything else computes every frame live.
+    memo_enabled: bool,
+    /// Job indices whose slots are server (sporadic) slots — the only
+    /// slots whose resolution can differ between frames relative to the
+    /// frame base, hence the only slots the frame fingerprint must absorb.
+    server_slots: Vec<usize>,
+    /// Per-frame static fingerprint contribution (server-slot resolutions
+    /// and the release gate, relative to the frame base) — fixed once the
+    /// stimuli are bound, so it is hashed once at engine build instead of
+    /// once per compute. Empty unless the memo is enabled; the
+    /// collision-audit path builds its own copy on demand.
+    frame_fp_static: Vec<u64>,
     /// Cooperative cancellation, polled at round/frame boundaries by every
     /// backend. `None` (the default) compiles the checks down to a branch
     /// on a constant — classic runs pay nothing.
@@ -414,7 +615,49 @@ impl<'a> RoundEngine<'a> {
             .map(|f| TimeQ::from_int(f as i64) * h + config.overhead.frame_overhead(f))
             .collect();
 
-        Ok(RoundEngine {
+        // Replay is only sound when the exec-time draws are a pure function
+        // of the job (`Wcet`: sample ≡ wcet, frame-invariant by
+        // construction); the bounded-FIFO exclusion is deliberately
+        // conservative — round *times* ignore capacities, but capacity
+        // networks already take fallback paths elsewhere (sharding) and the
+        // differential suite pins this gate as a fallback case.
+        let memo_enabled = config.resolved_memo()
+            && matches!(config.exec_time, ExecTimeModel::Wcet)
+            && !net.channels().iter().any(|c| c.capacity().is_some());
+
+        // Built unconditionally (it is one cheap pass) so the
+        // collision-audit path fingerprints identically whether or not the
+        // memo itself is enabled.
+        let server_slots: Vec<usize> = graph
+            .jobs()
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.is_server)
+            .map(|(i, _)| i)
+            .collect();
+        #[cfg(debug_assertions)]
+        if memo_enabled {
+            // The fingerprint skips non-server slots because their
+            // resolution is frame-invariant relative to the frame base
+            // (`Template::Periodic`: invoked = base + A_i, deadline =
+            // invoked + D_i, always executable). Pin that template
+            // contract here so a future resolver change cannot silently
+            // unsound the memo.
+            for f in 1..frames as usize {
+                let base = TimeQ::from_int(f as i64) * h;
+                for (j, job) in graph.jobs().iter().enumerate() {
+                    if job.is_server {
+                        continue;
+                    }
+                    let s = f * n_jobs + j;
+                    debug_assert_eq!(slot_invoked[s] - base, slot_invoked[j]);
+                    debug_assert_eq!(slot_deadline[s] - base, slot_deadline[j]);
+                    debug_assert!(slot_executable[s] && slot_executable[j]);
+                }
+            }
+        }
+
+        let mut engine = RoundEngine {
             graph,
             frames,
             n_jobs,
@@ -427,8 +670,37 @@ impl<'a> RoundEngine<'a> {
             frame_gates,
             h,
             overhead: config.overhead,
+            memo_enabled,
+            server_slots,
+            frame_fp_static: Vec::new(),
             cancel: None,
-        })
+        };
+        if engine.memo_enabled {
+            engine.frame_fp_static = engine.build_static_frame_fps();
+        }
+        Ok(engine)
+    }
+
+    /// Hashes each frame's static fingerprint contribution: the server
+    /// slots' resolutions and the release gate, relative to the frame
+    /// base. Everything else a frame's round computation depends on is
+    /// either carry-in (hashed per compute) or frame-invariant by template
+    /// construction (see the `debug_assert` in [`RoundEngine::new`]).
+    fn build_static_frame_fps(&self) -> Vec<u64> {
+        (0..self.frames)
+            .map(|frame| {
+                let base = TimeQ::from_int(frame as i64) * self.h;
+                let slots = frame as usize * self.n_jobs;
+                let mut h = ContentHasher::new();
+                for &j in &self.server_slots {
+                    h.write_time_words(self.slot_invoked[slots + j] - base);
+                    h.write_time_words(self.slot_deadline[slots + j] - base);
+                    h.write_u64_word(u64::from(self.slot_executable[slots + j]));
+                }
+                h.write_time_words(self.frame_gates[frame as usize] - base);
+                h.finish()
+            })
+            .collect()
     }
 
     /// Arms cooperative cancellation: every backend polls `token` at
@@ -594,15 +866,30 @@ impl<'a> RoundEngine<'a> {
     /// calls perform **zero heap allocations** (asserted by the
     /// `alloc_zero` regression test in `fppn-bench`). The computed records
     /// are left in `scratch.records`.
+    ///
+    /// When the engine's memo gate is open this routes through the
+    /// fingerprint-keyed frame loop; a `Stalled` result there falls back to
+    /// the plain free-interleave loop, whose `completed_rounds` accounting
+    /// is the one every backend agrees on (frame-major driving can stop
+    /// earlier than the dataflow fixed point when a stall in frame `f`
+    /// keeps it from ever attempting frame `f+1` rounds other processors
+    /// could still finish).
     pub(crate) fn compute_rounds_seq_into(
         &self,
         scratch: &mut RoundScratch,
     ) -> Result<(), SimError> {
+        if self.memo_enabled {
+            match self.compute_rounds_memo_into(scratch) {
+                Err(SimError::Stalled { .. }) => {}
+                other => return other,
+            }
+        }
         let RoundScratch {
             completion,
             proc_avail,
             cursors,
             records,
+            memo: _,
         } = scratch;
         completion.clear();
         completion.resize(self.total_rounds(), None);
@@ -622,6 +909,239 @@ impl<'a> RoundEngine<'a> {
             records.push(rec);
             true
         })
+    }
+
+    /// Fingerprints frame `frame`'s full round-computation input, relative
+    /// to its base time `frame · H`:
+    ///
+    /// * the determinism class of the exec-time draws (only `Wcet`
+    ///   memoizes, so this tag is future-proofing, not discrimination);
+    /// * per-processor carry-in availability, `proc_avail − base`;
+    /// * the previous frame's completions at every wrap-predecessor slot,
+    ///   `completion − base` (hashed only on networks that *have* wrap
+    ///   predecessors; frame 0, which has none incoming, is tagged so it
+    ///   can still seed replay on wrap-free networks);
+    /// * `static_fp`, the frame's precomputed static contribution from
+    ///   [`RoundEngine::build_static_frame_fps`] — every **server** slot's
+    ///   resolution (`invoked_at − base`, `deadline − base`, executability)
+    ///   and the frame release gate, `gate − base`. Periodic slots are
+    ///   deliberately absent: their resolution is frame-invariant relative
+    ///   to the base by template construction (pinned by a `debug_assert`
+    ///   in [`RoundEngine::new`]), so hashing them would spend the bulk of
+    ///   the fingerprint cost discriminating nothing.
+    ///
+    /// Round arithmetic is built from `max` and `+` over these quantities
+    /// plus the (frame-invariant under `Wcet`) execution times, so it is
+    /// equivariant under time translation: equal fingerprints ⇒ the frames'
+    /// round tables are exact translates of each other. That implication is
+    /// what the collision-audit proptest exercises.
+    fn frame_fingerprint(
+        &self,
+        frame: u64,
+        base: TimeQ,
+        completion: &[Option<TimeQ>],
+        proc_avail: &[TimeQ],
+        static_fp: u64,
+    ) -> u64 {
+        // Word-granularity FNV throughout: this runs once per frame per
+        // compute over thousands of server slots, and the 16× round
+        // reduction vs the byte family is what keeps a fingerprint cheaper
+        // than the frame it saves.
+        let mut h = ContentHasher::new();
+        h.write_u64_word(0); // determinism class: Wcet
+        for &avail in proc_avail {
+            h.write_time_words(avail - base);
+        }
+        let t = self.tables;
+        if !t.wrap_pred_data.is_empty() {
+            h.write_u64_word(u64::from(frame == 0));
+            if frame > 0 {
+                let prev = (frame as usize - 1) * self.n_jobs;
+                for p in &t.wrap_pred_data {
+                    let done = completion[prev + p.index()]
+                        .expect("fingerprinting runs after the previous frame completed");
+                    h.write_time_words(done - base);
+                }
+            }
+        }
+        h.write_u64_word(static_fp);
+        h.finish()
+    }
+
+    /// Drives every processor's cursor through exactly one frame (free
+    /// interleaving *within* the frame — sound because no round depends on
+    /// a later frame), appending the frame's `n_jobs` records.
+    fn compute_frame(
+        &self,
+        frame: u64,
+        completion: &mut [Option<TimeQ>],
+        proc_avail: &mut [TimeQ],
+        cursors: &mut Vec<(u64, usize)>,
+        records: &mut Vec<JobRecord>,
+    ) -> Result<(), SimError> {
+        cursors.clear();
+        cursors.resize(self.m_procs, (frame, 0));
+        let n_jobs = self.n_jobs;
+        let mut done = 0usize;
+        while done < n_jobs {
+            if self.cancelled() {
+                return Err(SimError::Cancelled {
+                    completed_rounds: records.len(),
+                });
+            }
+            let mut progressed = false;
+            for (m, cursor) in cursors.iter_mut().enumerate() {
+                let order = self.proc_order(m);
+                while cursor.1 < order.len() {
+                    let id = order[cursor.1];
+                    let lookup =
+                        |f: u64, p: JobId| completion[f as usize * n_jobs + p.index()];
+                    let Some(rec) = self.try_round(frame, id, m, proc_avail[m], lookup)
+                    else {
+                        break;
+                    };
+                    completion[frame as usize * n_jobs + id.index()] = Some(rec.completion);
+                    proc_avail[m] = rec.completion;
+                    records.push(rec);
+                    cursor.1 += 1;
+                    done += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed && done < n_jobs {
+                return Err(SimError::Stalled {
+                    completed_rounds: records.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The memoized sequential loop: frame-major (valid because rounds
+    /// never depend on later frames and `canonicalize` makes record
+    /// production order irrelevant), fingerprinting each frame's carry-in
+    /// and replaying the memoized round table — every time shifted by the
+    /// frame-base delta — on a fingerprint hit. A periodic workload
+    /// computes frame 0 and replays the other `N−1`.
+    fn compute_rounds_memo_into(&self, scratch: &mut RoundScratch) -> Result<(), SimError> {
+        let RoundScratch {
+            completion,
+            proc_avail,
+            cursors,
+            records,
+            memo,
+        } = scratch;
+        completion.clear();
+        completion.resize(self.total_rounds(), None);
+        proc_avail.clear();
+        proc_avail.resize(self.m_procs, TimeQ::ZERO);
+        records.clear();
+        records.reserve(self.total_rounds());
+        memo.reset();
+        let n_jobs = self.n_jobs;
+        for frame in 0..self.frames {
+            let base = TimeQ::from_int(frame as i64) * self.h;
+            let fp = self.frame_fingerprint(
+                frame,
+                base,
+                completion,
+                proc_avail,
+                self.frame_fp_static[frame as usize],
+            );
+            if let Some(slot) = memo.lookup(fp) {
+                let entry = &memo.entries[slot];
+                let delta = base - entry.src_base;
+                let out = frame as usize * n_jobs;
+                // One fused copy+shift pass (the slice iterator's exact
+                // length elides per-push capacity checks); these records
+                // are wide enough that a second patching pass over the
+                // block is measurably memory-bound.
+                records.extend(entry.records.iter().map(|rec| JobRecord {
+                    frame,
+                    invoked_at: rec.invoked_at + delta,
+                    start: rec.start + delta,
+                    completion: rec.completion + delta,
+                    deadline: rec.deadline + delta,
+                    ..*rec
+                }));
+                // Later frames only ever read the wrap-predecessor
+                // completions of this frame, so replay fills just those.
+                for &(j, done) in &entry.wrap_out {
+                    completion[out + j as usize] = Some(done + delta);
+                }
+                for (avail, &src) in proc_avail.iter_mut().zip(&entry.avail_out) {
+                    *avail = src + delta;
+                }
+            } else {
+                let start = records.len();
+                self.compute_frame(frame, completion, proc_avail, cursors, records)?;
+                // Sort the freshly computed block into the canonical
+                // per-frame order `(completion, topological position)`
+                // before memoizing it: replays (a uniform time shift)
+                // preserve the order, so the whole memoized run streams
+                // out already canonical and `canonicalize`'s sorted fast
+                // path collapses the final sort to a linear scan.
+                let topo_pos = self.topo_positions();
+                records[start..].sort_unstable_by(|a, b| {
+                    (a.completion, topo_pos[a.job.index()])
+                        .cmp(&(b.completion, topo_pos[b.job.index()]))
+                });
+                let out = frame as usize * n_jobs;
+                memo.insert(
+                    fp,
+                    base,
+                    &records[start..],
+                    proc_avail,
+                    &self.tables.wrap_pred_data,
+                    &completion[out..out + n_jobs],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// The frame-major loop with **replay disabled**: computes every frame
+    /// live while reporting each frame's fingerprint. This is the
+    /// collision-audit seam — a test can check that fingerprint-equal
+    /// frames really did produce translate-identical round tables, with no
+    /// memo in the loop to make the check vacuous. Fingerprints are only
+    /// meaningful under [`ExecTimeModel::Wcet`] (the fingerprint does not
+    /// absorb stochastic draws).
+    pub(crate) fn compute_rounds_fingerprinted(
+        &self,
+        scratch: &mut RoundScratch,
+        fingerprints: &mut Vec<u64>,
+    ) -> Result<(), SimError> {
+        let RoundScratch {
+            completion,
+            proc_avail,
+            cursors,
+            records,
+            memo: _,
+        } = scratch;
+        completion.clear();
+        completion.resize(self.total_rounds(), None);
+        proc_avail.clear();
+        proc_avail.resize(self.m_procs, TimeQ::ZERO);
+        records.clear();
+        records.reserve(self.total_rounds());
+        fingerprints.clear();
+        // The audit path works whether or not the memo is enabled, so it
+        // builds its own static contributions instead of relying on the
+        // engine's (empty-when-disabled) cache. Perf is irrelevant here.
+        let static_fps = self.build_static_frame_fps();
+        for frame in 0..self.frames {
+            let base = TimeQ::from_int(frame as i64) * self.h;
+            fingerprints.push(self.frame_fingerprint(
+                frame,
+                base,
+                completion,
+                proc_avail,
+                static_fps[frame as usize],
+            ));
+            self.compute_frame(frame, completion, proc_avail, cursors, records)?;
+        }
+        Ok(())
     }
 
     /// Checks that the per-processor orders are consistent with the
@@ -667,24 +1187,32 @@ impl<'a> RoundEngine<'a> {
     /// vector at all) computes identical identities.
     pub(crate) fn canonicalize(&self, net: &Fppn, records: &mut [JobRecord]) {
         let topo_pos = self.topo_positions();
-        // Decorate-sort-permute with an *unstable* sort: the canonical key
-        // is already a total order (the topological position is unique per
-        // job within a frame), so stability buys nothing and pdqsort over
-        // compact `(key, index)` pairs avoids the stable sort's merge
-        // scratch. The trailing index is a tie-breaker in theory only.
-        let mut keyed: Vec<(TimeQ, u64, u32, u32)> = records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.completion, r.frame, topo_pos[r.job.index()] as u32, i as u32))
-            .collect();
-        keyed.sort_unstable();
-        for i in 0..keyed.len() {
-            let mut index = keyed[i].3 as usize;
-            while index < i {
-                index = keyed[index].3 as usize;
+        let key = |r: &JobRecord| (r.completion, r.frame, topo_pos[r.job.index()] as u32);
+        // Sorted fast path: the memoized sequential loop emits each frame
+        // block pre-sorted, so on schedulable workloads (no frame overruns
+        // its hyperperiod) the concatenation is already canonical and one
+        // linear scan replaces the sort + permutation entirely.
+        if !records.windows(2).all(|w| key(&w[0]) <= key(&w[1])) {
+            // Decorate-sort-permute with an *unstable* sort: the canonical
+            // key is already a total order (the topological position is
+            // unique per job within a frame), so stability buys nothing and
+            // pdqsort over compact `(key, index)` pairs avoids the stable
+            // sort's merge scratch. The trailing index is a tie-breaker in
+            // theory only.
+            let mut keyed: Vec<(TimeQ, u64, u32, u32)> = records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.completion, r.frame, topo_pos[r.job.index()] as u32, i as u32))
+                .collect();
+            keyed.sort_unstable();
+            for i in 0..keyed.len() {
+                let mut index = keyed[i].3 as usize;
+                while index < i {
+                    index = keyed[index].3 as usize;
+                }
+                keyed[i].3 = index as u32;
+                records.swap(i, index);
             }
-            keyed[i].3 = index as u32;
-            records.swap(i, index);
         }
 
         // Global invocation counts are a pure function of the canonical
@@ -754,7 +1282,6 @@ impl<'a> RoundEngine<'a> {
             }
             state.into_observables()
         };
-
         Ok(self.render(net, records, observables))
     }
 

@@ -13,15 +13,16 @@
 //! with round computation — all of which must be bit-identical.
 
 use fppn_apps::{
-    adversarial_presets, random_workload, synthetic_fppn, SyntheticFppnConfig,
-    SyntheticGraphConfig, WorkloadConfig,
+    adversarial_presets, fms_network, fms_wcet, random_workload, synthetic_fppn, FmsVariant,
+    SyntheticFppnConfig, SyntheticGraphConfig, WorkloadConfig,
 };
 use fppn_core::Stimuli;
 use fppn_sched::{list_schedule, Heuristic};
+use fppn_sim::hotpath::SeqRounds;
 use fppn_sim::{
     adversarial_stimuli, clip_stimuli, compile_key, random_stimuli, simulate, simulate_parallel,
     simulate_pipelined, simulate_seq, AdversarialClass, CompileConfig, CompiledNetwork,
-    ExecTimeModel, OverheadModel, RunScratch, SimConfig, SimRun,
+    ExecTimeModel, OverheadModel, RunScratch, SimConfig, SimRun, StaticTables,
 };
 use fppn_taskgraph::derive_task_graph;
 use fppn_time::TimeQ;
@@ -774,5 +775,328 @@ proptest! {
             compile_key(&w1.net, &CompileConfig::new(w1.wcet.clone(), m + 1)),
             artifact.content_hash()
         );
+    }
+}
+
+/// Frame memoization differential sweep: with `memo: true`, every backend
+/// must stay bit-identical to the memo-off sequential oracle — across the
+/// adversarial stimulus classes (sporadic bursts, floods, tie storms,
+/// external inputs), frame counts spanning no-reuse (1) through heavy
+/// reuse (32), and both the memoizing exec model (`Wcet`) and a
+/// stochastic one that must fall back to the live loop. Only the
+/// sequential round path consults the memo; the parallel and pipelined
+/// backends must ignore the flag without diverging.
+#[test]
+fn memo_on_is_bit_identical_to_memo_off_across_backends() {
+    for (label, fppn_cfg) in adversarial_presets() {
+        let w = synthetic_fppn(&fppn_cfg);
+        let derived = derive_task_graph(&w.net, &w.wcet).expect("derivable");
+        let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+        for frames in [1u64, 8, 32] {
+            let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+            // At 32 frames only the memoizing model is interesting (the
+            // stochastic fallback is already pinned at 1 and 8).
+            let execs: &[ExecTimeModel] = if frames == 32 {
+                &[ExecTimeModel::Wcet]
+            } else {
+                &[ExecTimeModel::Wcet, ExecTimeModel::typical_jitter(0x3E30)]
+            };
+            for class in AdversarialClass::ALL {
+                let raw = adversarial_stimuli(&w.net, &derived, horizon, class, 0x3E30);
+                let stimuli = clip_stimuli(&w.net, &derived, &raw, frames);
+                for &exec in execs {
+                    let base = SimConfig {
+                        frames,
+                        exec_time: exec,
+                        ..SimConfig::default()
+                    };
+                    let tag = format!("{label} {} f{frames} {exec:?}", class.name());
+                    let oracle =
+                        simulate_seq(&w.net, &w.bank, &stimuli, &derived, &schedule, &base)
+                            .expect("memo-off oracle");
+                    let seq = simulate_seq(
+                        &w.net,
+                        &w.bank,
+                        &stimuli,
+                        &derived,
+                        &schedule,
+                        &SimConfig { memo: true, ..base },
+                    )
+                    .expect("memo-on sequential");
+                    assert_bit_identical(&oracle, &seq, &format!("{tag} seq"));
+                    for parallel_behaviors in [false, true] {
+                        let par = simulate_parallel(
+                            &w.net,
+                            &w.bank,
+                            &stimuli,
+                            &derived,
+                            &schedule,
+                            &SimConfig {
+                                workers: 4,
+                                parallel_behaviors,
+                                memo: true,
+                                ..base
+                            },
+                        )
+                        .expect("memo-on parallel");
+                        assert_bit_identical(
+                            &oracle,
+                            &par,
+                            &format!("{tag} sharded {parallel_behaviors}"),
+                        );
+                    }
+                    let pipe = simulate_pipelined(
+                        &w.net,
+                        &w.bank,
+                        &stimuli,
+                        &derived,
+                        &schedule,
+                        &SimConfig {
+                            workers: 4,
+                            pipeline: true,
+                            memo: true,
+                            ..base
+                        },
+                    )
+                    .expect("memo-on pipelined");
+                    assert_bit_identical(&oracle, &pipe, &format!("{tag} pipeline"));
+                }
+            }
+        }
+    }
+}
+
+/// On a pure-periodic production workload (FMS) every hyperperiod after
+/// the transient settles carries the same relative state, so the frame
+/// memo must actually engage — frames replay as hits, not recompute as
+/// misses — and the replayed run must equal the memo-off oracle bit for
+/// bit.
+#[test]
+fn memo_replays_settled_periodic_frames_as_hits() {
+    let (net, bank, ids) = fms_network(FmsVariant::Original);
+    let derived = derive_task_graph(&net, &fms_wcet(&ids)).expect("derivable");
+    let schedule = list_schedule(&derived.graph, 4, Heuristic::AlapEdf);
+    let tables = StaticTables::build(&net, &derived, &schedule);
+    let stimuli = Stimuli::new();
+    let config = SimConfig {
+        frames: 32,
+        memo: true,
+        ..SimConfig::default()
+    };
+    let mut rounds =
+        SeqRounds::new(&net, &stimuli, &derived, &tables, &config).expect("round engine");
+    rounds.compute().expect("rounds");
+    let (hits, misses) = rounds.memo_stats();
+    assert_eq!(hits + misses, 32, "memo must be consulted for every frame");
+    assert!(
+        hits >= 24,
+        "periodic frames must replay as hits once settled (hits={hits}, misses={misses})"
+    );
+
+    let frames = 8u64;
+    let off = simulate_seq(
+        &net,
+        &bank,
+        &stimuli,
+        &derived,
+        &schedule,
+        &SimConfig {
+            frames,
+            ..SimConfig::default()
+        },
+    )
+    .expect("memo-off oracle");
+    let on = simulate_seq(
+        &net,
+        &bank,
+        &stimuli,
+        &derived,
+        &schedule,
+        &SimConfig {
+            frames,
+            memo: true,
+            ..SimConfig::default()
+        },
+    )
+    .expect("memo-on run");
+    assert_bit_identical(&off, &on, "fms periodic memo replay");
+}
+
+/// The memo's soundness gate: bounded-capacity FIFOs and stochastic
+/// exec-time models disqualify the network/config from memoization
+/// entirely — the engine must fall back to the live loop (zero lookups,
+/// zero hits) and still produce the memo-off result bit for bit.
+#[test]
+fn memo_disengages_on_bounded_fifos_and_stochastic_exec() {
+    use fppn_core::{ChannelKind, ChannelSpec, EventSpec, FppnBuilder, JobCtx, ProcessSpec, Value};
+    let ms = TimeQ::from_ms;
+    let mut b = FppnBuilder::new();
+    let src = b.process(ProcessSpec::new("src", EventSpec::periodic(ms(100))));
+    let dst = b.process(ProcessSpec::new("dst", EventSpec::periodic(ms(100))));
+    let ch = b.channel_spec(
+        ChannelSpec::new("bounded", src, dst, ChannelKind::Fifo)
+            .with_capacity(std::num::NonZeroUsize::new(2).unwrap()),
+    );
+    b.priority(src, dst);
+    b.behavior(src, move || {
+        Box::new(move |ctx: &mut JobCtx<'_>| ctx.write(ch, Value::Int(ctx.k() as i64)))
+    });
+    b.behavior(dst, move || {
+        Box::new(move |ctx: &mut JobCtx<'_>| while ctx.read(ch).is_some() {})
+    });
+    let (net, bank) = b.build().unwrap();
+    let derived = derive_task_graph(&net, &fppn_taskgraph::WcetModel::uniform(ms(10))).unwrap();
+    let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+    let tables = StaticTables::build(&net, &derived, &schedule);
+    let config = SimConfig {
+        frames: 8,
+        memo: true,
+        ..SimConfig::default()
+    };
+
+    let mut rounds =
+        SeqRounds::new(&net, &Stimuli::new(), &derived, &tables, &config).expect("round engine");
+    rounds.compute().expect("rounds");
+    assert_eq!(
+        rounds.memo_stats(),
+        (0, 0),
+        "bounded FIFOs must disable the memo entirely"
+    );
+
+    let off = simulate_seq(
+        &net,
+        &bank,
+        &Stimuli::new(),
+        &derived,
+        &schedule,
+        &SimConfig {
+            memo: false,
+            ..config
+        },
+    )
+    .expect("memo-off oracle");
+    let on = simulate_seq(&net, &bank, &Stimuli::new(), &derived, &schedule, &config)
+        .expect("memo-on run");
+    assert_bit_identical(&off, &on, "bounded-fifo memo fallback");
+
+    // Stochastic exec times: the memo flag stays on but the engine must
+    // never consult the table (replay would freeze one sampled timeline).
+    let w = random_workload(&WorkloadConfig {
+        periodic: 4,
+        sporadic: 1,
+        seed: 0x3E31,
+        ..WorkloadConfig::default()
+    });
+    let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+    let schedule = list_schedule(&derived.graph, 2, Heuristic::AlapEdf);
+    let tables = StaticTables::build(&w.net, &derived, &schedule);
+    let jitter = SimConfig {
+        frames: 8,
+        memo: true,
+        exec_time: ExecTimeModel::typical_jitter(0x3E32),
+        ..SimConfig::default()
+    };
+    let mut rounds =
+        SeqRounds::new(&w.net, &Stimuli::new(), &derived, &tables, &jitter).expect("round engine");
+    rounds.compute().expect("rounds");
+    assert_eq!(
+        rounds.memo_stats(),
+        (0, 0),
+        "stochastic exec models must disable the memo entirely"
+    );
+    let off = simulate_seq(
+        &w.net,
+        &w.bank,
+        &Stimuli::new(),
+        &derived,
+        &schedule,
+        &SimConfig {
+            memo: false,
+            ..jitter
+        },
+    )
+    .expect("memo-off oracle");
+    let on = simulate_seq(&w.net, &w.bank, &Stimuli::new(), &derived, &schedule, &jitter)
+        .expect("memo-on run");
+    assert_bit_identical(&off, &on, "stochastic memo fallback");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Collision audit for the frame fingerprint: over random workload
+    /// shapes and sporadic densities, any two frames that hash to the
+    /// same fingerprint must have produced round tables that are exact
+    /// time-translates of each other (same jobs, processors, miss/skip
+    /// flags; all four timestamps shifted by a whole number of
+    /// hyperperiods). A fingerprint collision between genuinely different
+    /// carry-in states would surface here as a non-translate pair.
+    #[test]
+    fn fingerprint_equal_frames_are_time_translates(
+        periodic in 2usize..6,
+        sporadic in 0usize..3,
+        density in 0u32..=1000,
+        seed in any::<u64>(),
+        m in 1usize..4,
+        frames in 2u64..7,
+    ) {
+        let cfg = WorkloadConfig {
+            periodic,
+            sporadic,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        let w = random_workload(&cfg);
+        let derived = derive_task_graph(&w.net, &w.wcet).unwrap();
+        let horizon = TimeQ::from_int(frames as i64) * derived.hyperperiod;
+        let stimuli = random_stimuli(&w.net, horizon, density, seed ^ 0x3E33);
+        let stimuli = clip_stimuli(&w.net, &derived, &stimuli, frames);
+        let schedule = list_schedule(&derived.graph, m, Heuristic::AlapEdf);
+        let tables = StaticTables::build(&w.net, &derived, &schedule);
+        let config = SimConfig {
+            frames,
+            memo: true,
+            exec_time: ExecTimeModel::Wcet,
+            ..SimConfig::default()
+        };
+        let mut rounds = SeqRounds::new(&w.net, &stimuli, &derived, &tables, &config).unwrap();
+        let mut fps = Vec::new();
+        let records = rounds.compute_fingerprinted(&mut fps).unwrap();
+        prop_assert_eq!(fps.len() as u64, frames);
+
+        let mut by_frame: Vec<Vec<&fppn_sim::JobRecord>> = vec![Vec::new(); frames as usize];
+        for rec in &records {
+            by_frame[rec.frame as usize].push(rec);
+        }
+        for block in &mut by_frame {
+            block.sort_by_key(|r| r.job.index());
+        }
+        for i in 0..frames as usize {
+            for j in (i + 1)..frames as usize {
+                if fps[i] != fps[j] {
+                    continue;
+                }
+                let di = TimeQ::from_int(i as i64) * derived.hyperperiod;
+                let dj = TimeQ::from_int(j as i64) * derived.hyperperiod;
+                prop_assert_eq!(
+                    by_frame[i].len(),
+                    by_frame[j].len(),
+                    "fingerprint-equal frames {} and {} differ in record count",
+                    i,
+                    j
+                );
+                for (a, b) in by_frame[i].iter().zip(by_frame[j].iter()) {
+                    prop_assert_eq!(a.job, b.job, "frames {} vs {}", i, j);
+                    prop_assert_eq!(a.process, b.process, "frames {} vs {}", i, j);
+                    prop_assert_eq!(a.processor, b.processor, "frames {} vs {}", i, j);
+                    prop_assert_eq!(a.missed, b.missed, "frames {} vs {}", i, j);
+                    prop_assert_eq!(a.skipped, b.skipped, "frames {} vs {}", i, j);
+                    prop_assert_eq!(a.invoked_at - di, b.invoked_at - dj, "frames {} vs {}", i, j);
+                    prop_assert_eq!(a.start - di, b.start - dj, "frames {} vs {}", i, j);
+                    prop_assert_eq!(a.completion - di, b.completion - dj, "frames {} vs {}", i, j);
+                    prop_assert_eq!(a.deadline - di, b.deadline - dj, "frames {} vs {}", i, j);
+                }
+            }
+        }
     }
 }
